@@ -1,0 +1,287 @@
+// Benchmarks regenerating the paper's tables and figures with the Go
+// benchmark harness. Each BenchmarkFigN corresponds to a figure of the
+// evaluation (Section 4); BenchmarkTable1 covers the schedule-structure
+// table. Wall-clock ns/op measures this runtime's real execution; the
+// "vus/op" metric is the virtual time per operation under the α-β cost
+// model of the named system profile, which is what reproduces the paper's
+// shapes (see EXPERIMENTS.md). cmd/cartbench regenerates the full figures
+// with all panels, block sizes and series.
+package cartcc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cartcc"
+)
+
+// benchCase is one (figure panel, block size, series) cell.
+type benchCase struct {
+	profile string
+	d, n    int
+	procs   int
+	m       int
+	op      string // "alltoall", "allgather", "alltoallv"
+	series  string // "neighbor", "ineighbor", "trivial", "combining"
+}
+
+// runCollectiveBench executes b.N synchronized operations of the case
+// under the profile's cost model and reports virtual µs/op.
+func runCollectiveBench(b *testing.B, bc benchCase) {
+	b.Helper()
+	model, err := cartcc.ModelPreset(bc.profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nbh, err := cartcc.Stencil(bc.d, bc.n, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dims, err := cartcc.DimsCreate(bc.procs, bc.d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vtime float64
+	err = cartcc.Run(cartcc.RunConfig{Procs: bc.procs, Model: model, Seed: 1}, func(w *cartcc.ProcComm) error {
+		c, err := cartcc.NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		op, err := buildBenchOp(c, w, nbh.Dims(), len(nbh), bc)
+		if err != nil {
+			return err
+		}
+		if err := cartcc.Barrier(w); err != nil {
+			return err
+		}
+		t0 := w.VTime()
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		elapsed := []float64{w.VTime() - t0}
+		if err := cartcc.Allreduce(w, elapsed, elapsed, cartcc.MaxOf); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			vtime = elapsed[0]
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(vtime/float64(b.N)*1e6, "vus/op")
+}
+
+// buildBenchOp constructs the measured operation closure for one series.
+func buildBenchOp(c *cartcc.Comm, w *cartcc.ProcComm, d, t int, bc benchCase) (func() error, error) {
+	switch bc.op {
+	case "alltoall":
+		send := make([]int32, t*bc.m)
+		recv := make([]int32, t*bc.m)
+		switch bc.series {
+		case "neighbor", "ineighbor":
+			g, err := c.DistGraph()
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return neighborAlltoall(g, send, recv, bc.series == "ineighbor") }, nil
+		case "trivial":
+			p, err := cartcc.AlltoallInit(c, bc.m, cartcc.Trivial)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return cartcc.RunPlan(p, send, recv) }, nil
+		case "combining":
+			p, err := cartcc.AlltoallInit(c, bc.m, cartcc.Combining)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return cartcc.RunPlan(p, send, recv) }, nil
+		}
+	case "allgather":
+		send := make([]int32, bc.m)
+		recv := make([]int32, t*bc.m)
+		switch bc.series {
+		case "neighbor":
+			g, err := c.DistGraph()
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return neighborAllgather(g, send, recv) }, nil
+		case "trivial":
+			p, err := cartcc.AllgatherInit(c, bc.m, cartcc.Trivial)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return cartcc.RunPlan(p, send, recv) }, nil
+		case "combining":
+			p, err := cartcc.AllgatherInit(c, bc.m, cartcc.Combining)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return cartcc.RunPlan(p, send, recv) }, nil
+		}
+	case "alltoallv":
+		// The paper's Figure 6 sizing: block i of m·(d−z+1) elements for z
+		// non-zero coordinates, 0 for the self block.
+		nbh := c.Neighborhood()
+		counts := make([]int, t)
+		total := 0
+		for i, rel := range nbh {
+			if z := rel.NonZeros(); z > 0 {
+				counts[i] = bc.m * (d - z + 1)
+			}
+			total += counts[i]
+		}
+		displs := make([]int, t)
+		run := 0
+		for i, ct := range counts {
+			displs[i] = run
+			run += ct
+		}
+		send := make([]int32, total)
+		recv := make([]int32, total)
+		switch bc.series {
+		case "neighbor":
+			g, err := c.DistGraph()
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return neighborAlltoallv(g, send, counts, displs, recv) }, nil
+		case "combining":
+			p, err := cartcc.AlltoallvInit(c, counts, displs, counts, displs, cartcc.Combining)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return cartcc.RunPlan(p, send, recv) }, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown case %+v", bc)
+}
+
+// neighborAlltoall runs the (non)blocking baseline.
+func neighborAlltoall(g *cartcc.ProcComm, send, recv []int32, nonblocking bool) error {
+	if !nonblocking {
+		return cartcc.NeighborAlltoall(g, send, recv)
+	}
+	req, err := cartcc.IneighborAlltoall(g, send, recv)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+func neighborAllgather(g *cartcc.ProcComm, send, recv []int32) error {
+	return cartcc.NeighborAllgather(g, send, recv)
+}
+
+func neighborAlltoallv(g *cartcc.ProcComm, send []int32, counts, displs []int, recv []int32) error {
+	return cartcc.NeighborAlltoallv(g, send, counts, displs, recv, counts, displs)
+}
+
+// subName renders the sub-benchmark name.
+func (bc benchCase) subName() string {
+	return fmt.Sprintf("d%d_n%d_m%d_%s", bc.d, bc.n, bc.m, bc.series)
+}
+
+// BenchmarkTable1Schedules measures the O(td) schedule computations for
+// the largest Table 1 neighborhood (d=5, n=5: t = 3125).
+func BenchmarkTable1Schedules(b *testing.B) {
+	nbh, err := cartcc.Stencil(5, 5, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("stats_d5_n5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := cartcc.ComputeStats(nbh)
+			if s.VolAlltoall != 12500 {
+				b.Fatal("wrong volume")
+			}
+		}
+	})
+}
+
+// BenchmarkFig3Alltoall regenerates representative cells of Figure 3
+// (Open-MPI-on-Hydra profile): Cart_alltoall vs the neighborhood-
+// collective baseline.
+func BenchmarkFig3Alltoall(b *testing.B) {
+	for _, bc := range []benchCase{
+		{"hydra", 3, 3, 27, 1, "alltoall", "neighbor"},
+		{"hydra", 3, 3, 27, 1, "alltoall", "ineighbor"},
+		{"hydra", 3, 3, 27, 1, "alltoall", "trivial"},
+		{"hydra", 3, 3, 27, 1, "alltoall", "combining"},
+		{"hydra", 3, 3, 27, 100, "alltoall", "neighbor"},
+		{"hydra", 3, 3, 27, 100, "alltoall", "combining"},
+		{"hydra", 5, 5, 32, 1, "alltoall", "neighbor"},
+		{"hydra", 5, 5, 32, 1, "alltoall", "combining"},
+	} {
+		bc := bc
+		b.Run(bc.subName(), func(b *testing.B) { runCollectiveBench(b, bc) })
+	}
+}
+
+// BenchmarkFig4Alltoall regenerates a Figure 4 cell (the second MPI
+// library of the paper; same direct-delivery baseline in this runtime).
+func BenchmarkFig4Alltoall(b *testing.B) {
+	for _, bc := range []benchCase{
+		{"hydra", 3, 5, 27, 1, "alltoall", "neighbor"},
+		{"hydra", 3, 5, 27, 1, "alltoall", "combining"},
+		{"hydra", 3, 5, 27, 10, "alltoall", "combining"},
+	} {
+		bc := bc
+		b.Run(bc.subName(), func(b *testing.B) { runCollectiveBench(b, bc) })
+	}
+}
+
+// BenchmarkFig5Alltoall regenerates Figure 5 cells under the Cray-Titan
+// profile (the two series the paper plots there).
+func BenchmarkFig5Alltoall(b *testing.B) {
+	for _, bc := range []benchCase{
+		{"titan", 5, 3, 32, 1, "alltoall", "neighbor"},
+		{"titan", 5, 3, 32, 1, "alltoall", "combining"},
+		{"titan", 5, 3, 32, 100, "alltoall", "neighbor"},
+		{"titan", 5, 3, 32, 100, "alltoall", "combining"},
+	} {
+		bc := bc
+		b.Run(bc.subName(), func(b *testing.B) { runCollectiveBench(b, bc) })
+	}
+}
+
+// BenchmarkFig6Allgather regenerates Figure 6 (top): Cart_allgather for
+// the d=5, n=5 neighborhood.
+func BenchmarkFig6Allgather(b *testing.B) {
+	for _, bc := range []benchCase{
+		{"hydra", 5, 5, 32, 1, "allgather", "neighbor"},
+		{"hydra", 5, 5, 32, 1, "allgather", "trivial"},
+		{"hydra", 5, 5, 32, 1, "allgather", "combining"},
+		{"hydra", 5, 5, 32, 10, "allgather", "combining"},
+	} {
+		bc := bc
+		b.Run(bc.subName(), func(b *testing.B) { runCollectiveBench(b, bc) })
+	}
+}
+
+// BenchmarkFig6Alltoallv regenerates Figure 6 (bottom): the irregular
+// Cart_alltoallv with the paper's m·(d−z) block sizing, Titan profile.
+func BenchmarkFig6Alltoallv(b *testing.B) {
+	for _, bc := range []benchCase{
+		{"titan", 3, 3, 27, 1, "alltoallv", "neighbor"},
+		{"titan", 3, 3, 27, 1, "alltoallv", "combining"},
+		{"titan", 5, 5, 32, 1, "alltoallv", "neighbor"},
+		{"titan", 5, 5, 32, 1, "alltoallv", "combining"},
+	} {
+		bc := bc
+		b.Run(bc.subName(), func(b *testing.B) { runCollectiveBench(b, bc) })
+	}
+}
+
+// BenchmarkFig7NoisyAlltoall measures the Figure 7 configuration (d=3,
+// n=3, m=1 combining Cart_alltoall) under the noisy Titan model; the
+// distribution itself is rendered by `cartbench fig7`.
+func BenchmarkFig7NoisyAlltoall(b *testing.B) {
+	runCollectiveBench(b, benchCase{"titan-noisy", 3, 3, 27, 1, "alltoall", "combining"})
+}

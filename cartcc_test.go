@@ -1,0 +1,155 @@
+package cartcc_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cartcc"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	// The doc-comment quick start, verified.
+	err := cartcc.Launch(9, func(w *cartcc.ProcComm) error {
+		nbh, err := cartcc.Stencil(2, 3, -1)
+		if err != nil {
+			return err
+		}
+		c, err := cartcc.NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		t0 := len(nbh)
+		send := make([]float64, t0)
+		recv := make([]float64, t0)
+		for i := range send {
+			send[i] = float64(w.Rank()*100 + i)
+		}
+		if err := cartcc.Alltoall(c, send, recv); err != nil {
+			return err
+		}
+		for i, rel := range nbh {
+			src, ok := c.Grid().RankDisplace(w.Rank(), rel.Neg())
+			if !ok {
+				return fmt.Errorf("displacement failed")
+			}
+			if recv[i] != float64(src*100+i) {
+				return fmt.Errorf("rank %d block %d: %v", w.Rank(), i, recv[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeModelAndStats(t *testing.T) {
+	m, err := cartcc.ModelPreset("hydra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbh, _ := cartcc.Stencil(3, 3, -1)
+	s := cartcc.ComputeStats(nbh)
+	if s.C != 6 || s.VolAlltoall != 54 {
+		t.Fatalf("stats %+v", s)
+	}
+	cut := m.CutoffBytes(s.T, s.C, s.VolAlltoall)
+	if cut <= 0 || math.IsInf(cut, 1) {
+		t.Fatalf("cutoff %v", cut)
+	}
+}
+
+func TestFacadeVirtualTimeRun(t *testing.T) {
+	model, _ := cartcc.ModelPreset("titan")
+	err := cartcc.Run(cartcc.RunConfig{Procs: 4, Model: model, Seed: 1}, func(w *cartcc.ProcComm) error {
+		if err := cartcc.Barrier(w); err != nil {
+			return err
+		}
+		if w.VTime() <= 0 {
+			return fmt.Errorf("virtual clock did not advance: %v", w.VTime())
+		}
+		vals := []float64{float64(w.Rank())}
+		if err := cartcc.Allreduce(w, vals, vals, cartcc.MaxOf); err != nil {
+			return err
+		}
+		if vals[0] != 3 {
+			return fmt.Errorf("allreduce max = %v", vals[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLayouts(t *testing.T) {
+	l := cartcc.SubarrayLayout(5, 1, 1, 2, 2)
+	if l.Size() != 4 {
+		t.Fatalf("subarray size %d", l.Size())
+	}
+	v := cartcc.VectorLayout(3, 1, 5, 0)
+	if v.Size() != 3 {
+		t.Fatalf("vector size %d", v.Size())
+	}
+	if _, err := cartcc.IndexedLayout([]int{0}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched indexed accepted")
+	}
+	if cartcc.Contiguous(2, 3).Size() != 3 {
+		t.Fatal("contiguous size")
+	}
+}
+
+func TestFacadeStencilSubstrate(t *testing.T) {
+	err := cartcc.Launch(4, func(w *cartcc.ProcComm) error {
+		g, err := cartcc.NewGrid2D[float64](2, 2, 1)
+		if err != nil {
+			return err
+		}
+		ex, err := cartcc.NewExchanger2D(w, []int{2, 2}, g, true, cartcc.Combining)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				g.Set(i, j, float64(w.Rank()))
+			}
+		}
+		if err := cartcc.Exchange2D(ex, g); err != nil {
+			return err
+		}
+		if g.At(-1, 0) < 0 || g.At(-1, 0) > 3 {
+			return fmt.Errorf("halo value %v", g.At(-1, 0))
+		}
+		dst, _ := cartcc.NewGrid2D[float64](2, 2, 1)
+		cartcc.Jacobi5(dst, g)
+		cartcc.Jacobi9(dst, g)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDetect(t *testing.T) {
+	err := cartcc.Launch(4, func(w *cartcc.ProcComm) error {
+		dims := []int{2, 2}
+		nbh := cartcc.Neighborhood{cartcc.Vec{0, 1}}
+		grid, err := cartcc.NewGrid(dims, nil)
+		if err != nil {
+			return err
+		}
+		tgt, _ := grid.RankDisplace(w.Rank(), nbh[0])
+		c, detected, err := cartcc.DetectCartesian(w, dims, nil, []int{tgt})
+		if err != nil {
+			return err
+		}
+		if !detected || c == nil {
+			return fmt.Errorf("detection failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

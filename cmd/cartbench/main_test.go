@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"cartcc/internal/bench"
+)
+
+// The cheap experiments run end to end (the heavy ones are exercised by
+// the bench package's own tests and by invoking the binary).
+func TestRunCheapExperiments(t *testing.T) {
+	sc := bench.Scale{ProcsD3: 8, ProcsD5: 32, Reps: 1}
+	for _, name := range []string{"table1", "predict", "timeline"} {
+		if err := run(name, sc, renderText); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunSmallFigureAllModes(t *testing.T) {
+	sc := bench.Scale{ProcsD3: 8, ProcsD5: 32, Reps: 1}
+	// A single panel through every render mode.
+	panels := bench.Figure6Bottom(sc)
+	for _, mode := range []renderMode{renderText, renderCSV, renderBars} {
+		if err := figure(mode, "test", "t", panels); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nosuch", bench.QuickScale, renderText); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Command cartinfo inspects the schedule structure of a Cartesian
+// neighborhood without running any communication: the Table 1 quantities
+// (trivial rounds t, combining rounds C = Σ C_k, alltoall and allgather
+// volumes), the allgather routing-tree dimension order, and the analytic
+// cut-off block sizes under the built-in network models.
+//
+// Usage:
+//
+//	cartinfo -d 3 -n 5 -f -1          # the paper's stencil family
+//	cartinfo -offsets "0,1;1,0;-1,-1" # explicit offset list (d inferred)
+//	cartinfo -d 3 -moore 2            # Moore neighborhood of radius 2
+//	cartinfo -d 4 -vonneumann 1       # von Neumann (2d+1-point) stencil
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/vec"
+)
+
+func main() {
+	d := flag.Int("d", 0, "dimension of the stencil family")
+	n := flag.Int("n", 0, "neighbors per dimension of the stencil family")
+	f := flag.Int("f", -1, "first offset of the stencil family")
+	moore := flag.Int("moore", 0, "Moore neighborhood radius (with -d)")
+	vonNeumann := flag.Int("vonneumann", 0, "von Neumann neighborhood radius (with -d)")
+	offsets := flag.String("offsets", "", "explicit neighborhood: offsets separated by ';', coordinates by ','")
+	schedule := flag.Bool("schedule", false, "print the full round-by-round schedules and the allgather tree")
+	asJSON := flag.Bool("json", false, "emit the stats and schedules as JSON")
+	flag.Parse()
+
+	nbh, err := buildNeighborhood(*d, *n, *f, *moore, *vonNeumann, *offsets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cartinfo:", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		if err := reportJSON(nbh); err != nil {
+			fmt.Fprintln(os.Stderr, "cartinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report(nbh)
+	if *schedule {
+		fmt.Println()
+		fmt.Print(cart.AlltoallSchedule(nbh).Describe())
+		fmt.Println()
+		fmt.Print(cart.AllgatherSchedule(nbh).Describe())
+		fmt.Println()
+		fmt.Print(cart.BuildAllgatherTree(nbh, nil).DescribeTree())
+	}
+}
+
+func buildNeighborhood(d, n, f, moore, vonNeumann int, offsets string) (vec.Neighborhood, error) {
+	switch {
+	case offsets != "":
+		return parseOffsets(offsets)
+	case moore > 0:
+		if d <= 0 {
+			return nil, fmt.Errorf("-moore needs -d")
+		}
+		return vec.Moore(d, moore)
+	case vonNeumann > 0:
+		if d <= 0 {
+			return nil, fmt.Errorf("-vonneumann needs -d")
+		}
+		return vec.VonNeumann(d, vonNeumann)
+	case d > 0 && n > 0:
+		return vec.Stencil(d, n, f)
+	default:
+		return nil, fmt.Errorf("specify -offsets, -d/-n, -d/-moore or -d/-vonneumann")
+	}
+}
+
+func parseOffsets(s string) (vec.Neighborhood, error) {
+	var nbh vec.Neighborhood
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var v vec.Vec
+		for _, c := range strings.Split(part, ",") {
+			x, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				return nil, fmt.Errorf("bad coordinate %q: %v", c, err)
+			}
+			v = append(v, x)
+		}
+		nbh = append(nbh, v)
+	}
+	if len(nbh) == 0 {
+		return nil, fmt.Errorf("empty neighborhood")
+	}
+	d := len(nbh[0])
+	if err := nbh.Validate(d); err != nil {
+		return nil, err
+	}
+	return nbh, nil
+}
+
+// reportJSON marshals the neighborhood, the Table 1 statistics, and both
+// symbolic schedules for downstream tooling.
+func reportJSON(nbh vec.Neighborhood) error {
+	s := cart.ComputeStats(nbh)
+	ratio := s.CutoffRatio
+	if math.IsInf(ratio, 1) {
+		ratio = -1 // JSON has no +Inf; -1 encodes "combining always wins"
+	}
+	out := struct {
+		Neighborhood vec.Neighborhood `json:"neighborhood"`
+		Stats        cart.Stats       `json:"stats"`
+		CutoffRatio  float64          `json:"cutoffRatio"` // -1 = always wins
+		Alltoall     *cart.Schedule   `json:"alltoall"`
+		Allgather    *cart.Schedule   `json:"allgather"`
+	}{
+		Neighborhood: nbh,
+		Stats:        s,
+		CutoffRatio:  ratio,
+		Alltoall:     cart.AlltoallSchedule(nbh),
+		Allgather:    cart.AllgatherSchedule(nbh),
+	}
+	// The embedded Stats also carries the raw ratio; zero the +Inf copy so
+	// encoding cannot fail.
+	if math.IsInf(out.Stats.CutoffRatio, 1) {
+		out.Stats.CutoffRatio = -1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func report(nbh vec.Neighborhood) {
+	s := cart.ComputeStats(nbh)
+	fmt.Printf("neighborhood: t = %d offsets in %d dimensions", s.T, nbh.Dims())
+	if nbh.HasZero() {
+		fmt.Printf(" (including the zero offset)")
+	}
+	fmt.Println()
+	if s.T <= 32 {
+		fmt.Printf("  %v\n", nbh)
+	}
+	fmt.Println()
+	fmt.Printf("trivial algorithm (Listing 4):       %4d rounds, volume %d blocks\n", s.TComm, s.TComm)
+	fmt.Printf("message-combining alltoall (Alg. 1): %4d rounds (C_k = %v), volume %d blocks\n", s.C, s.Ck, s.VolAlltoall)
+	tree := cart.BuildAllgatherTree(nbh, nil)
+	fmt.Printf("message-combining allgather (Alg. 2):%4d rounds, volume %d blocks (tree order %v)\n", s.C, s.VolAllgather, tree.DimOrder)
+	fmt.Println()
+	fmt.Printf("cut-off ratio (t−C)/(V−t): %.3f\n", s.CutoffRatio)
+	for _, profile := range []string{"hydra", "titan"} {
+		m, err := netmodel.Preset(profile)
+		if err != nil {
+			continue
+		}
+		cut := m.CutoffBytes(s.T, s.C, s.VolAlltoall)
+		fmt.Printf("  %-6s (α/β = %.0f B): alltoall combining wins below %.0f B per block\n",
+			profile, m.Alpha/m.Beta, cut)
+	}
+	if s.VolAllgather <= s.TComm {
+		fmt.Println("  allgather combining wins at every block size (V <= t)")
+	}
+}

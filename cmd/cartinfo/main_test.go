@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"cartcc/internal/vec"
+)
+
+func TestBuildNeighborhood(t *testing.T) {
+	nbh, err := buildNeighborhood(2, 3, -1, 0, 0, "")
+	if err != nil || len(nbh) != 9 {
+		t.Fatalf("stencil family: %v %v", nbh, err)
+	}
+	nbh, err = buildNeighborhood(3, 0, 0, 1, 0, "")
+	if err != nil || len(nbh) != 27 {
+		t.Fatalf("moore: %v %v", nbh, err)
+	}
+	nbh, err = buildNeighborhood(2, 0, 0, 0, 1, "")
+	if err != nil || len(nbh) != 5 {
+		t.Fatalf("von neumann: %v %v", nbh, err)
+	}
+	if _, err := buildNeighborhood(0, 0, 0, 0, 0, ""); err == nil {
+		t.Fatal("no selector accepted")
+	}
+	if _, err := buildNeighborhood(0, 0, 0, 2, 0, ""); err == nil {
+		t.Fatal("moore without d accepted")
+	}
+	if _, err := buildNeighborhood(0, 0, 0, 0, 2, ""); err == nil {
+		t.Fatal("vonneumann without d accepted")
+	}
+}
+
+func TestParseOffsets(t *testing.T) {
+	nbh, err := parseOffsets("0,1; 1,0 ;-1,-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vec.Neighborhood{{0, 1}, {1, 0}, {-1, -1}}
+	if !nbh.Equal(want) {
+		t.Fatalf("parsed %v", nbh)
+	}
+	if _, err := parseOffsets("0,x"); err == nil {
+		t.Fatal("bad coordinate accepted")
+	}
+	if _, err := parseOffsets(";"); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := parseOffsets("0,1;1"); err == nil {
+		t.Fatal("ragged arity accepted")
+	}
+}
+
+func TestReportsDoNotPanic(t *testing.T) {
+	nbh, _ := vec.Stencil(2, 3, -1)
+	report(nbh)
+	if err := reportJSON(nbh); err != nil {
+		t.Fatal(err)
+	}
+	// +Inf cut-off path (von Neumann).
+	vn, _ := vec.VonNeumann(2, 1)
+	if err := reportJSON(vn); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// stencil2d: a distributed 9-point Jacobi relaxation on a 2-D torus — the
+// computation that motivates the paper's Figure 1 and Listing 3. The halo
+// exchange (rows, columns and corners, in place) is one Cart_alltoallw
+// plan over the 8-neighbor Moore neighborhood; the diagonal neighbors are
+// exactly what plain MPI Cartesian communicators cannot express.
+//
+// The program relaxes a hot-spot initial condition, reports the global
+// residual every few iterations, and cross-checks the final field against
+// a serial computation of the same global problem.
+//
+// Run with: go run ./examples/stencil2d
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"cartcc"
+)
+
+const (
+	procRows, procCols = 2, 2
+	globalN            = 32 // global grid is globalN × globalN
+	iterations         = 50
+)
+
+func main() {
+	nx, err := cartcc.Decompose(globalN, procRows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ny, err := cartcc.Decompose(globalN, procCols)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serial reference on the full torus grid.
+	ref := serialJacobi(initialGlobal(), iterations)
+
+	var mu sync.Mutex
+	maxErr := 0.0
+
+	err = cartcc.Launch(procRows*procCols, func(w *cartcc.ProcComm) error {
+		src, err := cartcc.NewGrid2D[float64](nx, ny, 1)
+		if err != nil {
+			return err
+		}
+		dst, _ := cartcc.NewGrid2D[float64](nx, ny, 1)
+		ex, err := cartcc.NewExchanger2D(w, []int{procRows, procCols}, src, true, cartcc.Combining)
+		if err != nil {
+			return err
+		}
+		coords := ex.Comm().Coords()
+		global := initialGlobal()
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				src.Set(i, j, global[coords[0]*nx+i][coords[1]*ny+j])
+			}
+		}
+
+		for it := 1; it <= iterations; it++ {
+			if err := cartcc.Exchange2D(ex, src); err != nil {
+				return err
+			}
+			cartcc.Jacobi9(dst, src)
+			src, dst = dst, src
+
+			if it%10 == 0 {
+				// Global residual ‖src − dst‖∞ via allreduce.
+				local := 0.0
+				for i := 0; i < nx; i++ {
+					for j := 0; j < ny; j++ {
+						if d := math.Abs(src.At(i, j) - dst.At(i, j)); d > local {
+							local = d
+						}
+					}
+				}
+				res := []float64{local}
+				if err := cartcc.Allreduce(w, res, res, cartcc.MaxOf); err != nil {
+					return err
+				}
+				if w.Rank() == 0 {
+					fmt.Printf("iteration %3d: residual %.3e\n", it, res[0])
+				}
+			}
+		}
+
+		// Compare against the serial reference.
+		local := 0.0
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				d := math.Abs(src.At(i, j) - ref[coords[0]*nx+i][coords[1]*ny+j])
+				if d > local {
+					local = d
+				}
+			}
+		}
+		mu.Lock()
+		if local > maxErr {
+			maxErr = local
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max deviation from serial reference after %d iterations: %.3e\n", iterations, maxErr)
+	if maxErr > 1e-12 {
+		log.Fatal("distributed result does not match the serial reference")
+	}
+	fmt.Println("distributed 9-point Jacobi matches the serial computation exactly")
+}
+
+// initialGlobal builds the hot-spot initial condition.
+func initialGlobal() [][]float64 {
+	g := make([][]float64, globalN)
+	for i := range g {
+		g[i] = make([]float64, globalN)
+	}
+	g[globalN/2][globalN/2] = 1000
+	g[globalN/4][3*globalN/4] = -500
+	return g
+}
+
+// serialJacobi runs the same relaxation on the full periodic grid.
+func serialJacobi(g [][]float64, iters int) [][]float64 {
+	n := len(g)
+	cur := g
+	for it := 0; it < iters; it++ {
+		next := make([][]float64, n)
+		for i := range next {
+			next[i] = make([]float64, n)
+			for j := range next[i] {
+				at := func(di, dj int) float64 {
+					return cur[((i+di)%n+n)%n][((j+dj)%n+n)%n]
+				}
+				edge := at(-1, 0) + at(1, 0) + at(0, -1) + at(0, 1)
+				corner := at(-1, -1) + at(-1, 1) + at(1, -1) + at(1, 1)
+				next[i][j] = (4*edge + corner) / 20
+			}
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,3 @@
+module cartcc
+
+go 1.24

@@ -1,0 +1,408 @@
+// Package bench is the experiment harness that regenerates the tables and
+// figures of the paper's evaluation (Section 4): workload generation for
+// the (d, n, f) stencil family, measurement of the Cartesian collectives
+// against the MPI neighborhood-collective baselines under the virtual-time
+// cost models, Appendix A's robust statistics, and text/CSV rendering.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/stats"
+	"cartcc/internal/vec"
+)
+
+// Series identifies one measured implementation variant, named as in the
+// figures of the paper.
+type Series string
+
+const (
+	// SeriesNeighbor is the blocking MPI_Neighbor_* baseline all figures
+	// normalize to (direct delivery over a distributed graph).
+	SeriesNeighbor Series = "MPI_Neighbor"
+	// SeriesIneighbor is the nonblocking MPI_Ineighbor_* baseline.
+	SeriesIneighbor Series = "MPI_Ineighbor"
+	// SeriesTrivial is the t-round blocking Cartesian algorithm
+	// (Listing 4).
+	SeriesTrivial Series = "Cart (trivial)"
+	// SeriesCombining is the message-combining Cartesian algorithm
+	// (Algorithms 1 and 2).
+	SeriesCombining Series = "Cart (combining)"
+)
+
+// AllSeries is the four-variant lineup of Figures 3 and 4.
+var AllSeries = []Series{SeriesNeighbor, SeriesIneighbor, SeriesTrivial, SeriesCombining}
+
+// Config describes one experiment sweep.
+type Config struct {
+	// Op selects alltoall or allgather.
+	Op cart.OpKind
+	// D, N, F parameterize the stencil neighborhood family of §4.1.1.
+	D, N, F int
+	// Procs is the number of simulated processes; dimensions are derived
+	// with DimsCreate. Zero picks a default suited to D.
+	Procs int
+	// BlockSizes are the m values (elements per block; the paper uses
+	// MPI_INT, our element type is int32).
+	BlockSizes []int
+	// Irregular applies the paper's Figure 6 block sizing m·(d−z) with 0
+	// for the self block (alltoallv) instead of uniform blocks.
+	Irregular bool
+	// Reps is the number of timed repetitions per variant.
+	Reps int
+	// InnerIters is the number of back-to-back operations per timed
+	// repetition; the recorded sample is the mean. Batching amortizes the
+	// barrier exit skew that would otherwise bias relative run times
+	// toward 1 as p grows (the paper likewise measures repetition loops).
+	// Zero means 4.
+	InnerIters int
+	// Profile names the netmodel preset and the Appendix A filter:
+	// "hydra", "titan" or "titan-noisy".
+	Profile string
+	// Seed drives the deterministic noise generators.
+	Seed int64
+	// Series are the variants to measure; nil means AllSeries.
+	Series []Series
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Procs == 0 {
+		switch {
+		case c.D >= 5:
+			c.Procs = 32
+		case c.D >= 4:
+			c.Procs = 81
+		default:
+			c.Procs = 64
+		}
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.InnerIters == 0 {
+		c.InnerIters = 4
+	}
+	if c.Profile == "" {
+		c.Profile = "hydra"
+	}
+	if len(c.BlockSizes) == 0 {
+		c.BlockSizes = []int{1, 10, 100}
+	}
+	if c.Series == nil {
+		c.Series = AllSeries
+	}
+	hasBase := false
+	for _, s := range c.Series {
+		if s == SeriesNeighbor {
+			hasBase = true
+		}
+	}
+	if !hasBase {
+		c.Series = append([]Series{SeriesNeighbor}, c.Series...)
+	}
+	if c.F == 0 {
+		c.F = -1
+	}
+	return c
+}
+
+// Cell is one measured (d, n, m) cell of a figure: the absolute baseline
+// time and, per series, the mean relative run time with its 95% CI
+// half-width, after Appendix A filtering.
+type Cell struct {
+	D, N, M  int
+	Baseline float64 // absolute seconds, SeriesNeighbor mean
+	Rel      map[Series]float64
+	CI       map[Series]float64
+	Abs      map[Series]float64
+}
+
+// Run executes the sweep and returns one Cell per block size.
+func Run(cfg Config) ([]Cell, error) {
+	cfg = cfg.withDefaults()
+	samples, err := RunSamples(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(cfg.BlockSizes))
+	for _, m := range cfg.BlockSizes {
+		cell := Cell{D: cfg.D, N: cfg.N, M: m,
+			Rel: map[Series]float64{}, CI: map[Series]float64{}, Abs: map[Series]float64{}}
+		base := stats.Mean(stats.Filter(cfg.Profile, samples[m][SeriesNeighbor]))
+		cell.Baseline = base
+		for _, s := range cfg.Series {
+			filtered := stats.Filter(cfg.Profile, samples[m][s])
+			mean, hw := stats.MeanCI(filtered)
+			cell.Abs[s] = mean
+			if base > 0 {
+				cell.Rel[s] = mean / base
+				cell.CI[s] = hw / base
+			}
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// RunSamples executes the sweep and returns the raw per-repetition timings
+// (seconds of virtual time, max over ranks) for every block size and
+// series — the input to both the figure cells and the Figure 7 histograms.
+func RunSamples(cfg Config) (map[int]map[Series][]float64, error) {
+	cfg = cfg.withDefaults()
+	model, err := netmodel.Preset(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	nbh, err := vec.Stencil(cfg.D, cfg.N, cfg.F)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := vec.DimsCreate(cfg.Procs, cfg.D)
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	samples := map[int]map[Series][]float64{} // m -> series -> samples
+	for _, m := range cfg.BlockSizes {
+		samples[m] = map[Series][]float64{}
+	}
+
+	err = mpi.Run(mpi.Config{Procs: cfg.Procs, Model: model, Seed: cfg.Seed, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		graph, err := c.DistGraph()
+		if err != nil {
+			return err
+		}
+		for _, m := range cfg.BlockSizes {
+			ops, err := buildVariants(cfg, c, graph, nbh, m)
+			if err != nil {
+				return err
+			}
+			for _, s := range cfg.Series {
+				op, ok := ops[s]
+				if !ok {
+					return fmt.Errorf("bench: unknown series %q", s)
+				}
+				for rep := 0; rep < cfg.Reps; rep++ {
+					dt, err := timeBatch(w, op, cfg.InnerIters)
+					if err != nil {
+						return err
+					}
+					if w.Rank() == 0 {
+						mu.Lock()
+						samples[m][s] = append(samples[m][s], dt)
+						mu.Unlock()
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// timeOnce measures one synchronized execution of op in virtual time and
+// returns the maximum elapsed time over all ranks (every rank returns the
+// same value).
+func timeOnce(w *mpi.Comm, op func() error) (float64, error) {
+	return timeBatch(w, op, 1)
+}
+
+// timeBatch measures n back-to-back executions after one barrier and
+// returns the per-operation mean of the rank-wise maximum.
+func timeBatch(w *mpi.Comm, op func() error, n int) (float64, error) {
+	if n < 1 {
+		n = 1
+	}
+	if err := mpi.Barrier(w); err != nil {
+		return 0, err
+	}
+	t0 := w.VTime()
+	for i := 0; i < n; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := []float64{(w.VTime() - t0) / float64(n)}
+	if err := mpi.Allreduce(w, elapsed, elapsed, mpi.MaxOp[float64]); err != nil {
+		return 0, err
+	}
+	return elapsed[0], nil
+}
+
+// buildVariants constructs the four measured operations for one (op, m)
+// configuration. Element type is int32, matching the paper's MPI_INT.
+func buildVariants(cfg Config, c *cart.Comm, graph *mpi.Comm, nbh vec.Neighborhood, m int) (map[Series]func() error, error) {
+	t := len(nbh)
+	if cfg.Irregular {
+		return buildIrregularVariants(cfg, c, graph, nbh, m)
+	}
+	switch cfg.Op {
+	case cart.OpAlltoall:
+		send := make([]int32, t*m)
+		recv := make([]int32, t*m)
+		for i := range send {
+			send[i] = int32(i)
+		}
+		trivPlan, err := cart.AlltoallInit(c, m, cart.Trivial)
+		if err != nil {
+			return nil, err
+		}
+		combPlan, err := cart.AlltoallInit(c, m, cart.Combining)
+		if err != nil {
+			return nil, err
+		}
+		return map[Series]func() error{
+			SeriesNeighbor: func() error { return mpi.NeighborAlltoall(graph, send, recv) },
+			SeriesIneighbor: func() error {
+				req, err := mpi.IneighborAlltoall(graph, send, recv)
+				if err != nil {
+					return err
+				}
+				_, err = req.Wait()
+				return err
+			},
+			SeriesTrivial:   func() error { return cart.Run(trivPlan, send, recv) },
+			SeriesCombining: func() error { return cart.Run(combPlan, send, recv) },
+		}, nil
+	case cart.OpAllgather:
+		send := make([]int32, m)
+		recv := make([]int32, t*m)
+		for i := range send {
+			send[i] = int32(i)
+		}
+		trivPlan, err := cart.AllgatherInit(c, m, cart.Trivial)
+		if err != nil {
+			return nil, err
+		}
+		combPlan, err := cart.AllgatherInit(c, m, cart.Combining)
+		if err != nil {
+			return nil, err
+		}
+		return map[Series]func() error{
+			SeriesNeighbor: func() error { return mpi.NeighborAllgather(graph, send, recv) },
+			SeriesIneighbor: func() error {
+				req, err := mpi.IneighborAllgather(graph, send, recv)
+				if err != nil {
+					return err
+				}
+				_, err = req.Wait()
+				return err
+			},
+			SeriesTrivial:   func() error { return cart.Run(trivPlan, send, recv) },
+			SeriesCombining: func() error { return cart.Run(combPlan, send, recv) },
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: unsupported op %v", cfg.Op)
+	}
+}
+
+// buildIrregularVariants builds the Figure 6 (bottom) Cart_alltoallv
+// experiment: block i has m·(d−z) elements for z non-zero coordinates
+// (0 for the self block), resembling rows/columns vs. corners of Figure 1.
+func buildIrregularVariants(cfg Config, c *cart.Comm, graph *mpi.Comm, nbh vec.Neighborhood, m int) (map[Series]func() error, error) {
+	if cfg.Op != cart.OpAlltoall {
+		return nil, fmt.Errorf("bench: irregular sizing is defined for the alltoall experiment")
+	}
+	d := nbh.Dims()
+	counts := make([]int, len(nbh))
+	total := 0
+	for i, rel := range nbh {
+		z := rel.NonZeros()
+		if z > 0 {
+			counts[i] = m * (d - z + 1)
+		}
+		total += counts[i]
+	}
+	displs := make([]int, len(nbh))
+	run := 0
+	for i, ct := range counts {
+		displs[i] = run
+		run += ct
+	}
+	send := make([]int32, total)
+	recv := make([]int32, total)
+	for i := range send {
+		send[i] = int32(i)
+	}
+	trivPlan, err := cart.AlltoallvInit(c, counts, displs, counts, displs, cart.Trivial)
+	if err != nil {
+		return nil, err
+	}
+	combPlan, err := cart.AlltoallvInit(c, counts, displs, counts, displs, cart.Combining)
+	if err != nil {
+		return nil, err
+	}
+	return map[Series]func() error{
+		SeriesNeighbor: func() error {
+			return mpi.NeighborAlltoallv(graph, send, counts, displs, recv, counts, displs)
+		},
+		SeriesIneighbor: func() error {
+			req, err := mpi.IneighborAlltoallv(graph, send, counts, displs, recv, counts, displs)
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		},
+		SeriesTrivial:   func() error { return cart.Run(trivPlan, send, recv) },
+		SeriesCombining: func() error { return cart.Run(combPlan, send, recv) },
+	}, nil
+}
+
+// Predict returns the analytic relative run time of each non-baseline
+// series under the α-β model, the expectation the measured shapes are
+// compared against in EXPERIMENTS.md. mBytes is the block size in bytes.
+func Predict(cfg Config, mBytes int) (map[Series]float64, error) {
+	cfg = cfg.withDefaults()
+	model, err := netmodel.Preset(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	nbh, err := vec.Stencil(cfg.D, cfg.N, cfg.F)
+	if err != nil {
+		return nil, err
+	}
+	s := cart.ComputeStats(nbh)
+	// The runtime's LogGP-style accounting: per-message costs serialize on
+	// the overheads and β·bytes (injection); direct delivery pays the wire
+	// latency α once, the combining schedule once per dimension phase.
+	o := model.SendOverhead + model.RecvOverhead
+	direct := float64(s.TComm)*(o+model.Beta*float64(mBytes)) + model.Alpha
+	vol := s.VolAlltoall
+	if cfg.Op == cart.OpAllgather {
+		vol = s.VolAllgather
+	}
+	combining := float64(s.C)*o + model.Beta*float64(vol*mBytes) + float64(cfg.D)*model.Alpha
+	out := map[Series]float64{
+		SeriesIneighbor: 1,
+		SeriesCombining: combining / direct,
+	}
+	return out, nil
+}
+
+// SortSeries orders series for stable rendering: baseline first, then the
+// order of AllSeries.
+func SortSeries(ss []Series) []Series {
+	rank := map[Series]int{}
+	for i, s := range AllSeries {
+		rank[s] = i
+	}
+	out := append([]Series(nil), ss...)
+	sort.SliceStable(out, func(a, b int) bool { return rank[out[a]] < rank[out[b]] })
+	return out
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/vec"
+)
+
+// CrossoverResult records the empirical validation of the paper's
+// Section 3.1 cut-off analysis for one (d, n) neighborhood: the measured
+// relative run time of message combining across a logarithmic sweep of
+// block sizes, and where it crosses 1.0, against the analytic prediction
+// m* = (α/β)·(t−C)/(V−t).
+type CrossoverResult struct {
+	D, N int
+	// Ms are the swept block sizes in elements (int32, 4 bytes each).
+	Ms []int
+	// Rel[i] is the measured combining/direct ratio at Ms[i].
+	Rel []float64
+	// AnalyticBytes is the cut-off the paper's idealized formula predicts,
+	// (α/β)·(t−C)/(V−t).
+	AnalyticBytes float64
+	// ModelBytes is the cut-off predicted by the runtime's detailed LogGP
+	// accounting (netmodel.CutoffBytesLogGP).
+	ModelBytes float64
+	// EmpiricalBytes is the measured crossing point in bytes, linearly
+	// interpolated between the bracketing sweep points (0 when combining
+	// never loses inside the sweep).
+	EmpiricalBytes float64
+}
+
+// RunCrossover sweeps block sizes for the (d, n, f=-1) neighborhood under
+// the profile's model and locates the empirical cut-off.
+func RunCrossover(d, n, procs int, profile string, ms []int) (*CrossoverResult, error) {
+	if len(ms) == 0 {
+		// Capped at 16000 ints (64 kB blocks): large sweeps multiply into
+		// gigabytes of in-flight wire data for the bigger neighborhoods.
+		ms = []int{1, 10, 100, 1000, 4000, 16000}
+	}
+	if procs > 32 {
+		procs = 32
+	}
+	cells, err := Run(Config{
+		Op: cart.OpAlltoall, D: d, N: n, F: -1,
+		Procs: procs, Reps: 3, BlockSizes: ms,
+		InnerIters: 2,
+		Profile:    profile, Seed: 21,
+		Series: []Series{SeriesNeighbor, SeriesCombining},
+	})
+	if err != nil {
+		return nil, err
+	}
+	model, err := netmodel.Preset(profile)
+	if err != nil {
+		return nil, err
+	}
+	nbh, err := vec.Stencil(d, n, -1)
+	if err != nil {
+		return nil, err
+	}
+	s := cart.ComputeStats(nbh)
+	res := &CrossoverResult{
+		D: d, N: n,
+		AnalyticBytes: model.CutoffBytes(s.T, s.C, s.VolAlltoall),
+		ModelBytes:    model.CutoffBytesLogGP(s.TComm, s.C, s.VolAlltoall, d),
+	}
+	for _, cell := range cells {
+		res.Ms = append(res.Ms, cell.M)
+		res.Rel = append(res.Rel, cell.Rel[SeriesCombining])
+	}
+	// Locate the first crossing of 1.0.
+	const elemBytes = 4
+	for i := 1; i < len(res.Rel); i++ {
+		if res.Rel[i-1] < 1 && res.Rel[i] >= 1 {
+			x0, x1 := float64(res.Ms[i-1]*elemBytes), float64(res.Ms[i]*elemBytes)
+			y0, y1 := res.Rel[i-1], res.Rel[i]
+			res.EmpiricalBytes = x0 + (1-y0)/(y1-y0)*(x1-x0)
+			break
+		}
+	}
+	return res, nil
+}
+
+// FormatCrossover renders the sweep and both cut-off estimates.
+func FormatCrossover(res *CrossoverResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cut-off validation — d=%d n=%d (combining/direct vs block size)\n", res.D, res.N)
+	for i, m := range res.Ms {
+		marker := ""
+		if res.Rel[i] >= 1 {
+			marker = "   <- combining loses"
+		}
+		fmt.Fprintf(&b, "  m=%7d ints (%8d B): %7.3f%s\n", m, m*4, res.Rel[i], marker)
+	}
+	fmt.Fprintf(&b, "  paper's cut-off (α/β)·(t−C)/(V−t):  %8.0f B\n", res.AnalyticBytes)
+	fmt.Fprintf(&b, "  model-consistent cut-off (LogGP):   %8.0f B\n", res.ModelBytes)
+	if res.EmpiricalBytes > 0 {
+		fmt.Fprintf(&b, "  empirical cut-off (interpolated):   %8.0f B\n", res.EmpiricalBytes)
+	} else {
+		fmt.Fprintf(&b, "  empirical cut-off: not reached inside the sweep\n")
+	}
+	return b.String()
+}

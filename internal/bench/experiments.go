@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/stats"
+	"cartcc/internal/vec"
+	"time"
+)
+
+// Panel pairs a figure panel label with its experiment configuration.
+type Panel struct {
+	Label string
+	Cfg   Config
+}
+
+// Scale tunes how heavy the experiment runs are: process counts and
+// repetitions. The paper ran 1152–16384 MPI processes; the simulated
+// defaults keep wall-clock time reasonable while preserving the shapes
+// (per-process message counts are independent of p under the α-β model).
+type Scale struct {
+	ProcsD3 int
+	ProcsD5 int
+	Reps    int
+}
+
+// DefaultScale is used by cmd/cartbench.
+var DefaultScale = Scale{ProcsD3: 64, ProcsD5: 32, Reps: 5}
+
+// QuickScale keeps CI and the Go benchmarks fast.
+var QuickScale = Scale{ProcsD3: 27, ProcsD5: 32, Reps: 3}
+
+func (s Scale) procs(d int) int {
+	if d >= 5 {
+		return s.ProcsD5
+	}
+	return s.ProcsD3
+}
+
+// Figure3 reproduces Figure 3: Cart_alltoall vs MPI_Neighbor_alltoall with
+// all four series on the Hydra (Open MPI) profile, panels
+// (d,n) ∈ {(3,3),(3,5),(5,3),(5,5)}, m ∈ {1,10,100}.
+func Figure3(sc Scale) []Panel {
+	return alltoallPanels(sc, "hydra", 1, AllSeries)
+}
+
+// Figure4 reproduces Figure 4: the same sweep as Figure 3 on the second
+// MPI library of the paper (Intel MPI on Hydra; in this reproduction the
+// same direct-delivery baseline under the Hydra model with an independent
+// seed — our runtime has no library-specific pathologies to model, see
+// EXPERIMENTS.md).
+func Figure4(sc Scale) []Panel {
+	return alltoallPanels(sc, "hydra", 2, AllSeries)
+}
+
+// Figure5 reproduces Figure 5: the Cray Titan profile with the two series
+// the paper plots there (baseline and message-combining Cart_alltoall).
+func Figure5(sc Scale) []Panel {
+	return alltoallPanels(sc, "titan", 3, []Series{SeriesNeighbor, SeriesCombining})
+}
+
+func alltoallPanels(sc Scale, profile string, seed int64, series []Series) []Panel {
+	var panels []Panel
+	for _, dn := range [][2]int{{3, 3}, {3, 5}, {5, 3}, {5, 5}} {
+		d, n := dn[0], dn[1]
+		panels = append(panels, Panel{
+			Label: fmt.Sprintf("d: %d  n: %d", d, n),
+			Cfg: Config{
+				Op: cart.OpAlltoall, D: d, N: n, F: -1,
+				Procs: sc.procs(d), Reps: sc.Reps,
+				BlockSizes: []int{1, 10, 100},
+				Profile:    profile, Seed: seed, Series: series,
+			},
+		})
+	}
+	return panels
+}
+
+// Figure6Top reproduces Figure 6 (top): Cart_allgather with all four
+// series for the large d=5, n=5 neighborhood on the Hydra profile.
+func Figure6Top(sc Scale) []Panel {
+	return []Panel{{
+		Label: "allgather d: 5  n: 5",
+		Cfg: Config{
+			Op: cart.OpAllgather, D: 5, N: 5, F: -1,
+			Procs: sc.ProcsD5, Reps: sc.Reps,
+			BlockSizes: []int{1, 10, 100},
+			Profile:    "hydra", Seed: 4,
+		},
+	}}
+}
+
+// Figure6Bottom reproduces Figure 6 (bottom): the irregular Cart_alltoallv
+// with the paper's m·(d−z) block sizing on the Titan profile, m ∈ {1, 10}.
+func Figure6Bottom(sc Scale) []Panel {
+	return []Panel{{
+		Label: "alltoallv d: 5  n: 5 (irregular)",
+		Cfg: Config{
+			Op: cart.OpAlltoall, D: 5, N: 5, F: -1,
+			Procs: sc.ProcsD5, Reps: sc.Reps,
+			BlockSizes: []int{1, 10},
+			Irregular:  true,
+			Profile:    "titan", Seed: 5,
+			Series: []Series{SeriesNeighbor, SeriesCombining},
+		},
+	}}
+}
+
+// HistogramConfig parameterizes the Figure 7 reproduction: run-time
+// distributions of the combining Cart_alltoall under system noise at two
+// scales.
+type HistogramConfig struct {
+	D, N, M int
+	Procs   int
+	Reps    int
+	Bins    int
+	Seed    int64
+}
+
+// Figure7Configs returns the two panels of Figure 7: the same N:3, d:3,
+// m:1 measurement at a small and a large process count (128×16 and
+// 1024×16 in the paper, scaled here).
+func Figure7Configs(sc Scale) []HistogramConfig {
+	return []HistogramConfig{
+		{D: 3, N: 3, M: 1, Procs: sc.ProcsD3, Reps: 120, Bins: 25, Seed: 7},
+		{D: 3, N: 3, M: 1, Procs: 4 * sc.ProcsD3, Reps: 120, Bins: 25, Seed: 7},
+	}
+}
+
+// RunHistogram measures the combining Cart_alltoall under the noisy Titan
+// model and bins the per-repetition times (microseconds).
+func RunHistogram(hc HistogramConfig) (*stats.Histogram, []float64, error) {
+	model := netmodel.TitanNoisy()
+	nbh, err := vec.Stencil(hc.D, hc.N, -1)
+	if err != nil {
+		return nil, nil, err
+	}
+	dims, err := vec.DimsCreate(hc.Procs, hc.D)
+	if err != nil {
+		return nil, nil, err
+	}
+	var samples []float64
+	err = mpi.Run(mpi.Config{Procs: hc.Procs, Model: model, Seed: hc.Seed, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		plan, err := cart.AlltoallInit(c, hc.M, cart.Combining)
+		if err != nil {
+			return err
+		}
+		t := len(nbh)
+		send := make([]int32, t*hc.M)
+		recv := make([]int32, t*hc.M)
+		for rep := 0; rep < hc.Reps; rep++ {
+			dt, err := timeOnce(w, func() error { return cart.Run(plan, send, recv) })
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 {
+				samples = append(samples, dt*1e6) // µs, as in Figure 7
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := stats.NewHistogram(samples, hc.Bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, samples, nil
+}

@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/stats"
+	"cartcc/internal/vec"
+)
+
+// ReduceCell is one measured block size of the neighborhood-reduction
+// experiment (the Section 2.2 extension): trivial vs combining, absolute
+// and relative virtual times.
+type ReduceCell struct {
+	M                  int
+	Trivial, Combining float64 // seconds
+}
+
+// RunReduceExperiment measures NeighborReduce for the (d, n) stencil
+// family under the profile's cost model.
+func RunReduceExperiment(d, n, procs int, profile string, ms []int, reps int) ([]ReduceCell, error) {
+	model, err := netmodel.Preset(profile)
+	if err != nil {
+		return nil, err
+	}
+	nbh, err := vec.Stencil(d, n, -1)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := vec.DimsCreate(procs, d)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		ms = []int{1, 10, 100}
+	}
+	if reps == 0 {
+		reps = 5
+	}
+	cells := make([]ReduceCell, len(ms))
+	for i, m := range ms {
+		cells[i].M = m
+	}
+	err = mpi.Run(mpi.Config{Procs: procs, Model: model, Seed: 31, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		for i, m := range ms {
+			for _, algo := range []cart.Algorithm{cart.Trivial, cart.Combining} {
+				plan, err := cart.NeighborReduceInit(c, m, algo)
+				if err != nil {
+					return err
+				}
+				send := make([]float64, m)
+				recv := make([]float64, m)
+				var samples []float64
+				for rep := 0; rep < reps; rep++ {
+					dt, err := timeOnce(w, func() error {
+						return cart.RunReduce(plan, send, recv, mpi.SumOp[float64])
+					})
+					if err != nil {
+						return err
+					}
+					samples = append(samples, dt)
+				}
+				if w.Rank() == 0 {
+					mean := stats.Mean(stats.Filter(profile, samples))
+					if algo == cart.Trivial {
+						cells[i].Trivial = mean
+					} else {
+						cells[i].Combining = mean
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// FormatReduce renders the reduction experiment.
+func FormatReduce(d, n int, cells []ReduceCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Neighborhood reduction — d=%d n=%d (trivial vs reversed-tree combining)\n", d, n)
+	fmt.Fprintf(&b, "%6s %14s %14s %10s\n", "m", "trivial(µs)", "combining(µs)", "speedup")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%6d %14.2f %14.2f %9.1f×\n", c.M, c.Trivial*1e6, c.Combining*1e6, c.Trivial/c.Combining)
+	}
+	return b.String()
+}
+
+// MeshResult summarizes the mesh-extension experiment: combining vs
+// trivial timing on a non-periodic mesh, plus the per-process volume
+// spread the boundary pruning produces.
+type MeshResult struct {
+	Op                 cart.OpKind
+	TrivialTime        float64
+	CombiningTime      float64
+	MinVolume          int
+	MaxVolume          int
+	TorusVolume        int
+	BoundaryMeanVolume float64
+}
+
+// RunMeshExperiment measures the mesh-aware combining schedules against
+// the trivial algorithm on a fully non-periodic 2-D mesh (9-point
+// stencil).
+func RunMeshExperiment(op cart.OpKind, procs, m, reps int) (*MeshResult, error) {
+	model := netmodel.Hydra()
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := vec.DimsCreate(procs, 2)
+	if err != nil {
+		return nil, err
+	}
+	res := &MeshResult{Op: op, MinVolume: 1 << 30}
+	var mu sync.Mutex
+	var volSum int
+	err = mpi.Run(mpi.Config{Procs: procs, Model: model, Seed: 61, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, []bool{false, false}, nbh, nil)
+		if err != nil {
+			return err
+		}
+		mkPlan := func(algo cart.Algorithm) (*cart.Plan, error) {
+			if op == cart.OpAllgather {
+				return cart.AllgatherInit(c, m, algo)
+			}
+			return cart.AlltoallInit(c, m, algo)
+		}
+		comb, err := mkPlan(cart.Combining)
+		if err != nil {
+			return err
+		}
+		triv, err := mkPlan(cart.Trivial)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		v := comb.SendElements() / max(m, 1)
+		if v < res.MinVolume {
+			res.MinVolume = v
+		}
+		if v > res.MaxVolume {
+			res.MaxVolume = v
+		}
+		volSum += v
+		mu.Unlock()
+
+		sendLen := len(nbh) * m
+		if op == cart.OpAllgather {
+			sendLen = m
+		}
+		send := make([]int32, sendLen)
+		recv := make([]int32, len(nbh)*m)
+		for _, pair := range []struct {
+			plan *cart.Plan
+			out  *float64
+		}{{triv, &res.TrivialTime}, {comb, &res.CombiningTime}} {
+			var samples []float64
+			for rep := 0; rep < reps; rep++ {
+				dt, err := timeBatch(w, func() error { return cart.Run(pair.plan, send, recv) }, 4)
+				if err != nil {
+					return err
+				}
+				samples = append(samples, dt)
+			}
+			if w.Rank() == 0 {
+				*pair.out = stats.Mean(samples)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.BoundaryMeanVolume = float64(volSum) / float64(procs)
+	torus := cart.ComputeStats(nbh)
+	res.TorusVolume = torus.VolAlltoall
+	if op == cart.OpAllgather {
+		res.TorusVolume = torus.VolAllgather
+	}
+	return res, nil
+}
+
+// FormatMesh renders the mesh experiment.
+func FormatMesh(res *MeshResult, procs, m int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mesh %s — 9-point stencil on a non-periodic %d-process mesh, m=%d\n", res.Op, procs, m)
+	fmt.Fprintf(&b, "  per-process combining volume: %d–%d blocks (mean %.1f; torus interior would be %d)\n",
+		res.MinVolume, res.MaxVolume, res.BoundaryMeanVolume, res.TorusVolume)
+	fmt.Fprintf(&b, "  trivial %.2f µs vs combining %.2f µs (%.1f× faster)\n",
+		res.TrivialTime*1e6, res.CombiningTime*1e6, res.TrivialTime/res.CombiningTime)
+	return b.String()
+}
+
+// ScalingCell is one process count of the weak-scaling check.
+type ScalingCell struct {
+	Procs    int
+	Relative float64 // combining / baseline
+}
+
+// RunScalingExperiment validates the claim that the relative advantage of
+// message combining is independent of the process count (per-process
+// message counts do not depend on p): the same (d, n, m) cell measured at
+// several torus sizes.
+func RunScalingExperiment(d, n, m int, procCounts []int, profile string, reps int) ([]ScalingCell, error) {
+	var out []ScalingCell
+	for _, p := range procCounts {
+		cells, err := Run(Config{
+			Op: cart.OpAlltoall, D: d, N: n, F: -1,
+			Procs: p, Reps: reps, BlockSizes: []int{m},
+			Profile: profile, Seed: 51,
+			Series: []Series{SeriesNeighbor, SeriesCombining},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingCell{Procs: p, Relative: cells[0].Rel[SeriesCombining]})
+	}
+	return out, nil
+}
+
+// FormatScaling renders the weak-scaling check.
+func FormatScaling(d, n, m int, cells []ScalingCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Weak scaling — combining/direct ratio vs process count (d=%d n=%d m=%d)\n", d, n, m)
+	for _, c := range cells {
+		fmt.Fprintf(&b, "  p=%4d: %.3f\n", c.Procs, c.Relative)
+	}
+	return b.String()
+}
+
+// ReorderResult summarizes the rank-reordering experiment on a two-level
+// machine.
+type ReorderResult struct {
+	CoresPerNode     int
+	IdentityFraction float64
+	BlockedFraction  float64
+	IdentityTime     float64
+	ReorderedTime    float64
+}
+
+// RunReorderExperiment measures the direct sparse exchange with and
+// without node-blocked rank reordering under a hierarchical model.
+func RunReorderExperiment(procs, coresPerNode, m, reps int) (*ReorderResult, error) {
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := vec.DimsCreate(procs, 2)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := vec.NewGrid(dims, nil)
+	if err != nil {
+		return nil, err
+	}
+	if reps == 0 {
+		reps = 5
+	}
+	res := &ReorderResult{CoresPerNode: coresPerNode}
+	res.IdentityFraction = cart.IntraNodeFraction(grid, nbh, coresPerNode, nil)
+	if perm, ok := cart.BlockedPermutation(grid, coresPerNode); ok {
+		res.BlockedFraction = cart.IntraNodeFraction(grid, nbh, coresPerNode, perm)
+	}
+
+	measure := func(reorder bool) (float64, error) {
+		model := netmodel.Hydra()
+		model.Hierarchy = &netmodel.Hierarchy{CoresPerNode: coresPerNode, IntraAlpha: 0.05e-6, IntraBeta: 8e-13}
+		var out float64
+		err := mpi.Run(mpi.Config{Procs: procs, Model: model, Seed: 41, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+			var opts []cart.Option
+			if reorder {
+				opts = append(opts, cart.WithReorder())
+			}
+			c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil, opts...)
+			if err != nil {
+				return err
+			}
+			g, err := c.DistGraph()
+			if err != nil {
+				return err
+			}
+			send := make([]int32, len(nbh)*m)
+			recv := make([]int32, len(nbh)*m)
+			var samples []float64
+			for rep := 0; rep < reps; rep++ {
+				dt, err := timeOnce(w, func() error { return mpi.NeighborAlltoall(g, send, recv) })
+				if err != nil {
+					return err
+				}
+				samples = append(samples, dt)
+			}
+			if w.Rank() == 0 {
+				out = stats.Mean(samples)
+			}
+			return nil
+		})
+		return out, err
+	}
+	if res.IdentityTime, err = measure(false); err != nil {
+		return nil, err
+	}
+	if res.ReorderedTime, err = measure(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FormatReorder renders the reordering experiment.
+func FormatReorder(r *ReorderResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rank reordering on a two-level machine (%d cores/node, 9-point stencil, 16 kB blocks)\n", r.CoresPerNode)
+	fmt.Fprintf(&b, "  intra-node message fraction: identity %.3f, node-blocked %.3f\n", r.IdentityFraction, r.BlockedFraction)
+	fmt.Fprintf(&b, "  direct exchange time: identity %.2f µs, reordered %.2f µs (%.1f%% faster)\n",
+		r.IdentityTime*1e6, r.ReorderedTime*1e6, 100*(1-r.ReorderedTime/r.IdentityTime))
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cartcc/internal/cart"
+)
+
+func TestRunReduceExperiment(t *testing.T) {
+	cells, err := RunReduceExperiment(2, 3, 16, "hydra", []int{1, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	for _, c := range cells {
+		if c.Trivial <= 0 || c.Combining <= 0 {
+			t.Fatalf("non-positive times: %+v", c)
+		}
+		if c.Combining >= c.Trivial {
+			t.Errorf("m=%d: combining reduction %v not faster than trivial %v", c.M, c.Combining, c.Trivial)
+		}
+	}
+	out := FormatReduce(2, 3, cells)
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunReduceExperimentBadProfile(t *testing.T) {
+	if _, err := RunReduceExperiment(2, 3, 16, "nope", nil, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestRunReorderExperiment(t *testing.T) {
+	res, err := RunReorderExperiment(64, 4, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockedFraction <= res.IdentityFraction {
+		t.Errorf("blocked fraction %v not above identity %v", res.BlockedFraction, res.IdentityFraction)
+	}
+	if res.ReorderedTime >= res.IdentityTime {
+		t.Errorf("reordered %v not faster than identity %v", res.ReorderedTime, res.IdentityTime)
+	}
+	out := FormatReorder(res)
+	if !strings.Contains(out, "faster") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunCrossoverSmall(t *testing.T) {
+	res, err := RunCrossover(2, 3, 9, "hydra", []int{1, 1000, 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ms) != 3 || len(res.Rel) != 3 {
+		t.Fatalf("sweep shape %v %v", res.Ms, res.Rel)
+	}
+	if res.Rel[0] >= 1 {
+		t.Errorf("m=1 relative %v, expected < 1", res.Rel[0])
+	}
+	if res.Rel[2] <= 1 {
+		t.Errorf("m=8000 relative %v, expected > 1", res.Rel[2])
+	}
+	if res.EmpiricalBytes <= 0 {
+		t.Error("no empirical crossover located")
+	}
+	if res.AnalyticBytes <= 0 || res.ModelBytes <= 0 {
+		t.Errorf("predictions: %v %v", res.AnalyticBytes, res.ModelBytes)
+	}
+	out := FormatCrossover(res)
+	if !strings.Contains(out, "combining loses") || !strings.Contains(out, "empirical cut-off") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunScalingExperiment(t *testing.T) {
+	cells, err := RunScalingExperiment(2, 3, 5, []int{9, 16, 25}, "hydra", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	// The relative advantage must be stable across process counts (the
+	// p-independence claim): spread under 15%.
+	lo, hi := cells[0].Relative, cells[0].Relative
+	for _, c := range cells {
+		if c.Relative <= 0 || c.Relative >= 1 {
+			t.Fatalf("ratio out of range: %+v", c)
+		}
+		if c.Relative < lo {
+			lo = c.Relative
+		}
+		if c.Relative > hi {
+			hi = c.Relative
+		}
+	}
+	if (hi-lo)/lo > 0.15 {
+		t.Errorf("ratio not p-independent: %v", cells)
+	}
+	out := FormatScaling(2, 3, 5, cells)
+	if !strings.Contains(out, "p=") {
+		t.Errorf("format: %s", out)
+	}
+}
+
+func TestRunMeshExperiment(t *testing.T) {
+	for _, op := range []cart.OpKind{cart.OpAlltoall, cart.OpAllgather} {
+		res, err := RunMeshExperiment(op, 16, 5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CombiningTime >= res.TrivialTime {
+			t.Errorf("%v: combining %v not faster than trivial %v", op, res.CombiningTime, res.TrivialTime)
+		}
+		if res.MinVolume >= res.MaxVolume || res.MaxVolume > res.TorusVolume {
+			t.Errorf("%v: volume spread %d..%d (torus %d)", op, res.MinVolume, res.MaxVolume, res.TorusVolume)
+		}
+		out := FormatMesh(res, 16, 5)
+		if !strings.Contains(out, "faster") {
+			t.Errorf("format: %s", out)
+		}
+	}
+}

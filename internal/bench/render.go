@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/vec"
+)
+
+// FormatPanels renders a figure's panels as a text table: absolute
+// baseline times plus relative run times (±95% CI) per series, the same
+// content as the bars and annotations of the paper's figures.
+func FormatPanels(title string, panels []Panel, results [][]Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for pi, panel := range panels {
+		cfg := panel.Cfg.withDefaults()
+		fmt.Fprintf(&b, "\n[%s]  p=%d, profile=%s, reps=%d\n", panel.Label, cfg.Procs, cfg.Profile, cfg.Reps)
+		series := SortSeries(cfg.Series)
+		fmt.Fprintf(&b, "%6s %14s", "m", "baseline(ms)")
+		for _, s := range series {
+			if s == SeriesNeighbor {
+				continue
+			}
+			fmt.Fprintf(&b, " %24s", s)
+		}
+		fmt.Fprintln(&b)
+		for _, cell := range results[pi] {
+			fmt.Fprintf(&b, "%6d %14.4f", cell.M, cell.Baseline*1e3)
+			for _, s := range series {
+				if s == SeriesNeighbor {
+					continue
+				}
+				fmt.Fprintf(&b, " %17.3f±%.3f", cell.Rel[s], cell.CI[s])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// BarPanels renders a figure's panels as horizontal bar charts, one group
+// of bars per block size — the visual analog of the paper's figures. Bars
+// are scaled per panel so the baseline (1.0) sits at a fixed width.
+func BarPanels(title string, panels []Panel, results [][]Cell) string {
+	const unit = 30 // characters per 1.0 relative run time
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for pi, panel := range panels {
+		cfg := panel.Cfg.withDefaults()
+		fmt.Fprintf(&b, "\n[%s]  baseline = MPI_Neighbor (1.0)\n", panel.Label)
+		for _, cell := range results[pi] {
+			fmt.Fprintf(&b, " m=%d (baseline %.4f ms)\n", cell.M, cell.Baseline*1e3)
+			for _, s := range SortSeries(cfg.Series) {
+				rel := cell.Rel[s]
+				if s == SeriesNeighbor {
+					rel = 1.0
+				}
+				w := int(rel*unit + 0.5)
+				capped := ""
+				if w > 3*unit {
+					w = 3 * unit
+					capped = "+"
+				}
+				if w < 1 {
+					w = 1
+				}
+				fmt.Fprintf(&b, "   %-18s %s%s %.3f\n", s, strings.Repeat("█", w), capped, rel)
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSVPanels renders the same results as CSV rows:
+// figure,panel,d,n,m,series,abs_seconds,relative,ci.
+func CSVPanels(figure string, panels []Panel, results [][]Cell) string {
+	var b strings.Builder
+	b.WriteString("figure,panel,d,n,m,series,abs_seconds,relative,ci\n")
+	for pi, panel := range panels {
+		cfg := panel.Cfg.withDefaults()
+		for _, cell := range results[pi] {
+			for _, s := range SortSeries(cfg.Series) {
+				fmt.Fprintf(&b, "%s,%q,%d,%d,%d,%q,%.9g,%.6g,%.6g\n",
+					figure, panel.Label, cell.D, cell.N, cell.M, s, cell.Abs[s], cell.Rel[s], cell.CI[s])
+			}
+		}
+	}
+	return b.String()
+}
+
+// Table1Row is one column block of the paper's Table 1 for a (d, n)
+// stencil.
+type Table1Row struct {
+	D, N int
+	cart.Stats
+}
+
+// Table1 computes every (d, n) cell of the paper's Table 1.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, d := range []int{2, 3, 4, 5} {
+		for _, n := range []int{3, 4, 5} {
+			nbh, err := vec.Stencil(d, n, -1)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table1Row{D: d, N: n, Stats: cart.ComputeStats(nbh)})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 in the paper's layout: one column per
+// (d, n), rows for t−1 (communication rounds of the trivial algorithm),
+// C, the allgather and alltoall volumes, and the cut-off ratio.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1 — rounds, volumes and cut-off ratio for the (d,n,f=-1) stencil family\n")
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("d%d,n%d", r.D, r.N))
+	}
+	fmt.Fprintln(&b)
+	line := func(label string, f func(Table1Row) string) {
+		fmt.Fprintf(&b, "%-22s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, " %9s", f(r))
+		}
+		fmt.Fprintln(&b)
+	}
+	line("t = n^d - 1", func(r Table1Row) string { return fmt.Sprint(r.TComm) })
+	line("C = d(n-1)", func(r Table1Row) string { return fmt.Sprint(r.C) })
+	line("Allgather V", func(r Table1Row) string { return fmt.Sprint(r.VolAllgather) })
+	line("Alltoall V", func(r Table1Row) string { return fmt.Sprint(r.VolAlltoall) })
+	line("(t-C)/(V-t), t=n^d", func(r Table1Row) string { return fmt.Sprintf("%.3f", r.CutoffRatio) })
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package cart
+
+import "cartcc/internal/vec"
+
+// identityOrder returns [0, 1, ..., d-1].
+func identityOrder(d int) []int {
+	o := make([]int, d)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// AlltoallSchedule computes the message-combining alltoall schedule of
+// Algorithm 1 of the paper in O(td) time, purely locally.
+//
+// Dimension-wise path expansion: the block for neighbor N[i] travels one
+// hop per non-zero coordinate of N[i], via the intermediate relative
+// processes (n0,0,...,0), (n0,n1,0,...,0), .... Phase k bundles, into one
+// round per distinct non-zero k-th coordinate, all blocks whose k-th
+// coordinate equals that value (found by a stable bucket sort). Between
+// hops a block alternates between the temporary buffer and its final
+// position in the receive buffer, with the parity arranged so the last hop
+// lands in the receive buffer — no block is ever copied between buffers
+// explicitly. Blocks for the zero offset become a local copy phase.
+//
+// The resulting schedule has C = Σ_k C_k rounds and per-process volume
+// V = Σ_i z_i blocks (Proposition 3.2).
+func AlltoallSchedule(nbh vec.Neighborhood) *Schedule {
+	d := nbh.Dims()
+	t := len(nbh)
+	s := &Schedule{Op: OpAlltoall, Algo: Combining, DimOrder: identityOrder(d), TempSlots: t}
+
+	// hops[i] counts the remaining hops of block i, initialized to z_i.
+	hops := make([]int, t)
+	zi := make([]int, t)
+	for i, rel := range nbh {
+		zi[i] = rel.NonZeros()
+		hops[i] = zi[i]
+		if zi[i] == 0 {
+			s.Copies = append(s.Copies, LocalCopy{From: BufSend, FromSlot: i, ToSlot: i})
+		}
+	}
+
+	for k := 0; k < d; k++ {
+		order := vec.BucketSortByCoord(nbh, k)
+		var rounds []Round
+		var cur *Round
+		curCoord := 0
+		for _, i := range order {
+			ck := nbh[i][k]
+			if ck == 0 {
+				continue
+			}
+			if cur == nil || ck != curCoord {
+				rel := make(vec.Vec, d)
+				rel[k] = ck
+				rounds = append(rounds, Round{Rel: rel})
+				cur = &rounds[len(rounds)-1]
+				curCoord = ck
+			}
+			h := hops[i] // remaining hops including this one
+			mv := Move{Block: i, FromSlot: i, ToSlot: i}
+			switch {
+			case h == zi[i]:
+				mv.From = BufSend // first hop: out of the user send buffer
+			case h%2 == 0:
+				mv.From = BufRecv
+			default:
+				mv.From = BufTemp
+			}
+			if h%2 == 1 {
+				mv.To = BufRecv // odd remaining hops: this or a later odd hop lands here
+			} else {
+				mv.To = BufTemp
+				s.NeedTemp = true
+			}
+			cur.Moves = append(cur.Moves, mv)
+			hops[i]--
+			s.Volume++
+		}
+		s.Phases = append(s.Phases, Phase{Dim: k, Rounds: rounds})
+		s.Rounds += len(rounds)
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package cart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the schedule as human-readable text: one line per
+// round, listing the relative step and the blocks moved with their buffer
+// flow. It is the inspection view behind `cartinfo -schedule` and is
+// invaluable when checking a schedule against the paper's Algorithm 1/2
+// walkthroughs by hand.
+func (s *Schedule) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s schedule (%s): %d rounds, volume %d blocks, dim order %v\n",
+		s.Op, s.Algo, s.Rounds, s.Volume, s.DimOrder)
+	for pi, ph := range s.Phases {
+		if len(ph.Rounds) == 0 {
+			fmt.Fprintf(&b, "phase %d (dim %d): no communication\n", pi, ph.Dim)
+			continue
+		}
+		fmt.Fprintf(&b, "phase %d (dim %d):\n", pi, ph.Dim)
+		for ri, r := range ph.Rounds {
+			fmt.Fprintf(&b, "  round %d: step %v, %d blocks:", ri, r.Rel, len(r.Moves))
+			for _, mv := range r.Moves {
+				fmt.Fprintf(&b, " %d[%s%d→%s%d]", mv.Block, bufShort(mv.From), mv.FromSlot, bufShort(mv.To), mv.ToSlot)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	if len(s.Copies) > 0 {
+		fmt.Fprintf(&b, "local copies:")
+		for _, cp := range s.Copies {
+			fmt.Fprintf(&b, " %s%d→recv%d", bufShort(cp.From), cp.FromSlot, cp.ToSlot)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func bufShort(b BufKind) string {
+	switch b {
+	case BufSend:
+		return "send"
+	case BufRecv:
+		return "recv"
+	default:
+		return "tmp"
+	}
+}
+
+// DescribeTree renders an allgather routing tree as indented text, the
+// form of the paper's Figure 2.
+func (t *AllgatherTree) DescribeTree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "allgather tree: dim order %v, %d edges\n", t.DimOrder, t.Edges)
+	var walk func(n *TreeNode, depth int)
+	walk = func(n *TreeNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if n.Level < 0 {
+			fmt.Fprintf(&b, "%sroot %v\n", indent, n.Members)
+		} else {
+			hop := "hop"
+			if n.Coord == 0 {
+				hop = "pass"
+			}
+			fmt.Fprintf(&b, "%s%s dim %d step %+d: members %v\n", indent, hop, t.DimOrder[n.Level], n.Coord, n.Members)
+		}
+		for _, ch := range n.Children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package cart
+
+import (
+	"strings"
+	"testing"
+
+	"cartcc/internal/vec"
+)
+
+func TestDescribeAlltoallSchedule(t *testing.T) {
+	nbh := vec.Neighborhood{{-2, 1, 1}, {-1, 1, 1}, {1, 1, 1}, {2, 1, 1}}
+	out := AlltoallSchedule(nbh).Describe()
+	for _, want := range []string{
+		"alltoall schedule (combining): 6 rounds, volume 12 blocks",
+		"phase 0 (dim 0):",
+		"step (-2,0,0)",
+		"send0→recv0",
+		"tmp0→recv0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeWithCopiesAndEmptyPhase(t *testing.T) {
+	// Zero offset produces a local copy; a dimension with only zero
+	// coordinates produces an empty phase.
+	nbh := vec.Neighborhood{{0, 0}, {1, 0}}
+	out := AlltoallSchedule(nbh).Describe()
+	if !strings.Contains(out, "local copies: send0→recv0") {
+		t.Errorf("copies missing:\n%s", out)
+	}
+	if !strings.Contains(out, "no communication") {
+		t.Errorf("empty phase missing:\n%s", out)
+	}
+}
+
+func TestDescribeAllgatherTree(t *testing.T) {
+	nbh := vec.Neighborhood{{-2, 1, 1}, {-1, 1, 1}, {1, 1, 1}, {2, 1, 1}}
+	tr := BuildAllgatherTree(nbh, nil)
+	out := tr.DescribeTree()
+	for _, want := range []string{"6 edges", "root [0 1 2 3]", "step +1", "step -2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DescribeTree missing %q:\n%s", want, out)
+		}
+	}
+	// Pass-through nodes are labeled.
+	nbh2 := vec.Neighborhood{{1, 0}, {1, 1}}
+	out2 := BuildAllgatherTree(nbh2, []int{0, 1}).DescribeTree()
+	if !strings.Contains(out2, "pass") {
+		t.Errorf("pass-through label missing:\n%s", out2)
+	}
+}

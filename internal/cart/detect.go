@@ -1,0 +1,110 @@
+package cart
+
+import (
+	"fmt"
+
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// DetectCartesian implements the observation of Section 2.2 of the paper:
+// Cartesian Collective Communication needs no new MPI interface, because a
+// distributed-graph creation call can cheaply detect that the supplied
+// neighborhoods are isomorphic and preselect the specialized algorithms.
+//
+// Every process passes the ranks of its target neighbors in neighbor-list
+// order (the adjacency it would pass to MPI_Dist_graph_create_adjacent) on
+// a torus/mesh of the given geometry. The check is collective and costs
+// O(t) communication: the root broadcasts its neighbor count and its
+// relative neighborhood in canonical (lexicographically sorted) order, and
+// every process verifies that its own canonical relative neighborhood is
+// identical. On success a Cartesian-neighborhood communicator with the
+// canonical neighborhood is returned and detected is true; otherwise
+// detected is false on every process (the caller should fall back to the
+// general graph collectives).
+//
+// Relative offsets are reconstructed canonically: each component reduced
+// to the symmetric range (−p_i/2, p_i/2] on periodic dimensions, which
+// maps torus-equivalent offsets (e.g. +2 ≡ −1 on extent 3) to one
+// representative without changing any target.
+func DetectCartesian(base *mpi.Comm, dims []int, periods []bool, targets []int, opts ...Option) (c *Comm, detected bool, err error) {
+	grid, err := vec.NewGrid(dims, periods)
+	if err != nil {
+		return nil, false, err
+	}
+	if grid.Size() != base.Size() {
+		return nil, false, fmt.Errorf("cart: grid %v has %d processes, communicator has %d", dims, grid.Size(), base.Size())
+	}
+	mine := grid.CoordOf(base.Rank())
+	rel := make(vec.Neighborhood, len(targets))
+	valid := true
+	for i, r := range targets {
+		if r < 0 || r >= base.Size() {
+			valid = false
+			break
+		}
+		rel[i] = canonicalRelative(grid, mine, grid.CoordOf(r))
+	}
+	if valid {
+		vec.SortLex(rel)
+	}
+
+	// Collective check: same t everywhere, same canonical offsets as root.
+	meta := []int{len(targets)}
+	if err := mpi.Bcast(base, meta, 0); err != nil {
+		return nil, false, err
+	}
+	ok := valid && meta[0] == len(targets)
+	d := grid.NDims()
+	flat := make([]int, meta[0]*d)
+	if ok {
+		copy(flat, rel.Flatten())
+	}
+	if err := mpi.Bcast(base, flat, 0); err != nil {
+		return nil, false, err
+	}
+	if ok {
+		mineFlat := rel.Flatten()
+		for i := range flat {
+			if flat[i] != mineFlat[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	agree := []int{1}
+	if !ok {
+		agree[0] = 0
+	}
+	if err := mpi.Allreduce(base, agree, agree, mpi.MinOp[int]); err != nil {
+		return nil, false, err
+	}
+	if agree[0] == 0 {
+		return nil, false, nil
+	}
+	canonical, err := vec.Unflatten(flat, d)
+	if err != nil {
+		return nil, false, err
+	}
+	cc, err := NeighborhoodCreate(base, dims, periods, canonical, nil, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	return cc, true, nil
+}
+
+// canonicalRelative returns the relative offset from coordinate a to b,
+// reduced to the symmetric range on periodic dimensions.
+func canonicalRelative(g *vec.Grid, a, b vec.Vec) vec.Vec {
+	rel := b.Sub(a)
+	for i := range rel {
+		if g.Periods[i] {
+			p := g.Dims[i]
+			rel[i] = ((rel[i] % p) + p) % p
+			if rel[i] > p/2 {
+				rel[i] -= p
+			}
+		}
+	}
+	return rel
+}

@@ -1,0 +1,226 @@
+package cart
+
+import (
+	"sort"
+
+	"cartcc/internal/vec"
+)
+
+// Rank reordering — the paper's reorder flag, which it observes current
+// MPI libraries accept but do not exploit (§1, citing Gropp's node/socket
+// work). When the run's cost model declares a two-level hierarchy (nodes
+// of k consecutive physical ranks with cheap intra-node communication),
+// NeighborhoodCreate with WithReorder tiles the torus into subgrid blocks
+// of k processes and renumbers ranks so that each block shares a node:
+// stencil neighbors are then overwhelmingly intra-node, and the virtual
+// clock shows the benefit directly (BenchmarkReorderHierarchical).
+
+// BlockedPermutation computes a node-blocked rank permutation for the
+// grid: the torus is tiled by subgrids of coresPerNode processes (block
+// extents dividing the grid extents), blocks are numbered row-major, and
+// processes within a block get consecutive physical ranks. It returns
+// newToOld with newToOld[newRank] = oldRank (old ranks assumed to be the
+// physical, machine-order ranks) and ok=false when coresPerNode cannot be
+// factored into divisors of the grid.
+func BlockedPermutation(grid *vec.Grid, coresPerNode int) (newToOld []int, ok bool) {
+	d := grid.NDims()
+	if coresPerNode <= 1 || grid.Size()%coresPerNode != 0 {
+		return nil, false
+	}
+	block, ok := blockDims(grid.Dims, coresPerNode)
+	if !ok {
+		return nil, false
+	}
+	nodesPerDim := make([]int, d)
+	for i := range block {
+		nodesPerDim[i] = grid.Dims[i] / block[i]
+	}
+	// Physical rank of logical coordinate c: node-major, then core-major.
+	physOf := func(c vec.Vec) int {
+		node, core := 0, 0
+		for i := 0; i < d; i++ {
+			node = node*nodesPerDim[i] + c[i]/block[i]
+			core = core*block[i] + c[i]%block[i]
+		}
+		return node*coresPerNode + core
+	}
+	// The new (logical) rank order is the grid's row-major order; the old
+	// (physical) rank it lands on is physOf.
+	newToOld = make([]int, grid.Size())
+	for r := 0; r < grid.Size(); r++ {
+		newToOld[r] = physOf(grid.CoordOf(r))
+	}
+	return newToOld, true
+}
+
+// blockDims factors coresPerNode into per-dimension block extents that
+// divide the grid extents, greedily assigning each prime factor (largest
+// first) to the dimension with the largest remaining node extent that can
+// absorb it.
+func blockDims(dims []int, coresPerNode int) ([]int, bool) {
+	d := len(dims)
+	block := make([]int, d)
+	for i := range block {
+		block[i] = 1
+	}
+	var primes []int
+	n := coresPerNode
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			primes = append(primes, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		primes = append(primes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(primes)))
+	for _, p := range primes {
+		best := -1
+		bestExtent := 0
+		for i := 0; i < d; i++ {
+			if dims[i]%(block[i]*p) == 0 {
+				if extent := dims[i] / block[i]; extent > bestExtent {
+					best, bestExtent = i, extent
+				}
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		block[best] *= p
+	}
+	return block, true
+}
+
+// BestBlockedPermutation searches all factorizations of coresPerNode into
+// per-dimension block extents (dividing the grid extents) and returns the
+// permutation whose node tiling maximizes the weighted fraction of
+// intra-node neighbor traffic — the use the paper suggests for weighted
+// neighborhoods ("weighted neighborhoods can be taken into account if
+// process remapping is to be attempted"). weights may be nil (uniform).
+// ok is false when no factorization exists.
+func BestBlockedPermutation(grid *vec.Grid, coresPerNode int, nbh vec.Neighborhood, weights []int) (newToOld []int, ok bool) {
+	d := grid.NDims()
+	if coresPerNode <= 1 || grid.Size()%coresPerNode != 0 {
+		return nil, false
+	}
+	var best []int
+	bestScore := -1.0
+	var enumerate func(dim, rem int, block []int)
+	enumerate = func(dim, rem int, block []int) {
+		if dim == d {
+			if rem != 1 {
+				return
+			}
+			perm := permFromBlocks(grid, block, coresPerNode)
+			score := weightedIntraFraction(grid, nbh, coresPerNode, perm, weights)
+			if score > bestScore {
+				bestScore = score
+				best = perm
+			}
+			return
+		}
+		for div := 1; div <= rem && div <= grid.Dims[dim]; div++ {
+			if rem%div == 0 && grid.Dims[dim]%div == 0 {
+				block[dim] = div
+				enumerate(dim+1, rem/div, block)
+			}
+		}
+	}
+	enumerate(0, coresPerNode, make([]int, d))
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// permFromBlocks builds the node-blocked permutation for explicit block
+// extents.
+func permFromBlocks(grid *vec.Grid, block []int, coresPerNode int) []int {
+	d := grid.NDims()
+	nodesPerDim := make([]int, d)
+	for i := range block {
+		nodesPerDim[i] = grid.Dims[i] / block[i]
+	}
+	perm := make([]int, grid.Size())
+	for r := 0; r < grid.Size(); r++ {
+		c := grid.CoordOf(r)
+		node, core := 0, 0
+		for i := 0; i < d; i++ {
+			node = node*nodesPerDim[i] + c[i]/block[i]
+			core = core*block[i] + c[i]%block[i]
+		}
+		perm[r] = node*coresPerNode + core
+	}
+	return perm
+}
+
+// weightedIntraFraction is IntraNodeFraction with per-neighbor weights.
+func weightedIntraFraction(grid *vec.Grid, nbh vec.Neighborhood, coresPerNode int, newToOld []int, weights []int) float64 {
+	p := grid.Size()
+	phys := func(r int) int {
+		if newToOld == nil {
+			return r
+		}
+		return newToOld[r]
+	}
+	intra, total := 0.0, 0.0
+	for r := 0; r < p; r++ {
+		for i, rel := range nbh {
+			if rel.IsZero() {
+				continue
+			}
+			w := 1.0
+			if weights != nil {
+				w = float64(weights[i])
+			}
+			dst, ok := grid.RankDisplace(r, rel)
+			if !ok {
+				continue
+			}
+			total += w
+			if phys(r)/coresPerNode == phys(dst)/coresPerNode {
+				intra += w
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return intra / total
+}
+
+// IntraNodeFraction reports, for diagnostics and tests, the fraction of a
+// process's neighbor messages that stay inside a node under the given
+// rank-to-physical mapping (identity when phys is nil). It averages over
+// all processes.
+func IntraNodeFraction(grid *vec.Grid, nbh vec.Neighborhood, coresPerNode int, newToOld []int) float64 {
+	p := grid.Size()
+	phys := func(r int) int {
+		if newToOld == nil {
+			return r
+		}
+		return newToOld[r]
+	}
+	intra, total := 0, 0
+	for r := 0; r < p; r++ {
+		for _, rel := range nbh {
+			if rel.IsZero() {
+				continue
+			}
+			dst, ok := grid.RankDisplace(r, rel)
+			if !ok {
+				continue
+			}
+			total++
+			if phys(r)/coresPerNode == phys(dst)/coresPerNode {
+				intra++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(intra) / float64(total)
+}

@@ -1,0 +1,362 @@
+package cart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cartcc/internal/vec"
+)
+
+func mustStencil(t *testing.T, d, n, f int) vec.Neighborhood {
+	t.Helper()
+	nbh, err := vec.Stencil(d, n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nbh
+}
+
+// randomNeighborhood draws a random neighborhood: dimension 1..4, size
+// 1..20, offsets in [-3, 3], with occasional duplicates and usually the
+// zero vector.
+func randomNeighborhood(rng *rand.Rand) vec.Neighborhood {
+	d := rng.Intn(4) + 1
+	t := rng.Intn(20) + 1
+	nbh := make(vec.Neighborhood, 0, t)
+	for i := 0; i < t; i++ {
+		if len(nbh) > 0 && rng.Intn(10) == 0 {
+			nbh = append(nbh, nbh[rng.Intn(len(nbh))].Clone()) // duplicate
+			continue
+		}
+		v := make(vec.Vec, d)
+		for j := range v {
+			v[j] = rng.Intn(7) - 3
+		}
+		nbh = append(nbh, v)
+	}
+	return nbh
+}
+
+func TestAlltoallScheduleProposition32(t *testing.T) {
+	// Proposition 3.2: C = Σ C_k rounds, V = Σ z_i volume.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		nbh := randomNeighborhood(rng)
+		s := AlltoallSchedule(nbh)
+		if err := s.Validate(len(nbh)); err != nil {
+			t.Fatalf("trial %d: %v (nbh=%v)", trial, err, nbh)
+		}
+		wantC, wantV := 0, 0
+		for k := 0; k < nbh.Dims(); k++ {
+			wantC += vec.CountDistinctNonZero(nbh, k)
+		}
+		for _, rel := range nbh {
+			wantV += rel.NonZeros()
+		}
+		if s.Rounds != wantC {
+			t.Fatalf("trial %d: rounds %d, want %d (nbh=%v)", trial, s.Rounds, wantC, nbh)
+		}
+		if s.Volume != wantV {
+			t.Fatalf("trial %d: volume %d, want %d (nbh=%v)", trial, s.Volume, wantV, nbh)
+		}
+		if len(s.Phases) != nbh.Dims() {
+			t.Fatalf("trial %d: %d phases for %d dims", trial, len(s.Phases), nbh.Dims())
+		}
+	}
+}
+
+func TestAlltoallScheduleMooreClosedForms(t *testing.T) {
+	// Section 3.1's example: the (d, n) stencil family volumes of Table 1.
+	want := map[[2]int]int{
+		{2, 3}: 12, {2, 4}: 24, {2, 5}: 40,
+		{3, 3}: 54, {3, 4}: 144, {3, 5}: 300,
+		{4, 3}: 216, {4, 4}: 768, {4, 5}: 2000,
+		{5, 3}: 810, {5, 4}: 3840, {5, 5}: 12500,
+	}
+	for dn, v := range want {
+		d, n := dn[0], dn[1]
+		nbh := mustStencil(t, d, n, -1)
+		s := AlltoallSchedule(nbh)
+		if s.Volume != v {
+			t.Errorf("d=%d n=%d: volume %d, want %d", d, n, s.Volume, v)
+		}
+		if got := MooreAlltoallVolume(d, n); got != v {
+			t.Errorf("closed form d=%d n=%d: %d, want %d", d, n, got, v)
+		}
+		if s.Rounds != d*(n-1) {
+			t.Errorf("d=%d n=%d: rounds %d, want %d", d, n, s.Rounds, d*(n-1))
+		}
+	}
+}
+
+func TestAlltoallScheduleBufferChain(t *testing.T) {
+	// Per block, hops must chain: first hop reads the send buffer, each
+	// later hop reads where the previous hop wrote, the last hop writes
+	// the receive buffer.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		nbh := randomNeighborhood(rng)
+		s := AlltoallSchedule(nbh)
+		type state struct {
+			seen int
+			loc  BufKind
+		}
+		st := make([]state, len(nbh))
+		for i := range st {
+			st[i].loc = BufSend
+		}
+		for _, ph := range s.Phases {
+			for _, r := range ph.Rounds {
+				for _, mv := range r.Moves {
+					if mv.FromSlot != mv.Block || mv.ToSlot != mv.Block {
+						t.Fatalf("alltoall move must keep its block slot: %+v", mv)
+					}
+					if mv.From != st[mv.Block].loc {
+						t.Fatalf("block %d: hop %d reads %v, block is in %v (nbh=%v)",
+							mv.Block, st[mv.Block].seen, mv.From, st[mv.Block].loc, nbh)
+					}
+					st[mv.Block].loc = mv.To
+					st[mv.Block].seen++
+				}
+			}
+		}
+		for i, rel := range nbh {
+			if st[i].seen != rel.NonZeros() {
+				t.Fatalf("block %d: %d hops, want %d", i, st[i].seen, rel.NonZeros())
+			}
+			if st[i].seen > 0 && st[i].loc != BufRecv {
+				t.Fatalf("block %d ends in %v", i, st[i].loc)
+			}
+		}
+	}
+}
+
+func TestTrivialSchedule(t *testing.T) {
+	nbh := mustStencil(t, 2, 3, -1)
+	s := TrivialSchedule(nbh, OpAlltoall)
+	if err := s.Validate(len(nbh)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 8 || s.Volume != 8 {
+		t.Errorf("trivial rounds/volume = %d/%d, want 8/8", s.Rounds, s.Volume)
+	}
+	if len(s.Copies) != 1 {
+		t.Errorf("copies = %d, want 1 (zero offset)", len(s.Copies))
+	}
+	if s.NeedTemp {
+		t.Error("trivial schedule claims to need a temp buffer")
+	}
+}
+
+func TestAllgatherTreeFigure2(t *testing.T) {
+	// Figure 2: N = [(-2,1,1), (-1,1,1), (1,1,1), (2,1,1)].
+	nbh := vec.Neighborhood{{-2, 1, 1}, {-1, 1, 1}, {1, 1, 1}, {2, 1, 1}}
+	inc := BuildAllgatherTree(nbh, []int{0, 1, 2})
+	if inc.Edges != 12 {
+		t.Errorf("increasing-order tree edges = %d, want 12", inc.Edges)
+	}
+	// Decreasing order 2,1,0: one hop along dim 2, one along dim 1, then 4
+	// along dim 0 — 6 edges. (The paper's prose says 7 for this tree; the
+	// construction it describes yields 6, see EXPERIMENTS.md.)
+	dec := BuildAllgatherTree(nbh, []int{2, 1, 0})
+	if dec.Edges != 6 {
+		t.Errorf("decreasing-order tree edges = %d, want 6", dec.Edges)
+	}
+	// The increasing-C_k heuristic must pick the cheap order here:
+	// C = (4, 1, 1) so order (1, 2, 0) or (2, 1, 0), both 6 edges.
+	auto := BuildAllgatherTree(nbh, nil)
+	if auto.Edges != 6 {
+		t.Errorf("auto-order tree edges = %d, want 6", auto.Edges)
+	}
+}
+
+func TestAllgatherScheduleProposition33(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		nbh := randomNeighborhood(rng)
+		s := AllgatherSchedule(nbh)
+		if err := s.Validate(len(nbh)); err != nil {
+			t.Fatalf("trial %d: %v (nbh=%v)", trial, err, nbh)
+		}
+		wantC := 0
+		for k := 0; k < nbh.Dims(); k++ {
+			wantC += vec.CountDistinctNonZero(nbh, k)
+		}
+		if s.Rounds != wantC {
+			t.Fatalf("trial %d: rounds %d, want %d (nbh=%v)", trial, s.Rounds, wantC, nbh)
+		}
+		tree := BuildAllgatherTree(nbh, nil)
+		if s.Volume != tree.Edges {
+			t.Fatalf("trial %d: volume %d, tree edges %d (nbh=%v)", trial, s.Volume, tree.Edges, nbh)
+		}
+	}
+}
+
+func TestAllgatherScheduleMooreVolumes(t *testing.T) {
+	// Section 3.2: for the stencil family the allgather combining volume
+	// V = n^d − 1 matches the trivial volume exactly, with exponentially
+	// fewer rounds.
+	for _, d := range []int{2, 3, 4, 5} {
+		for _, n := range []int{3, 4, 5} {
+			nbh := mustStencil(t, d, n, -1)
+			s := AllgatherSchedule(nbh)
+			want := MooreAllgatherVolume(d, n)
+			if s.Volume != want {
+				t.Errorf("d=%d n=%d: allgather volume %d, want %d", d, n, s.Volume, want)
+			}
+			if s.Rounds != MooreRounds(d, n) {
+				t.Errorf("d=%d n=%d: rounds %d, want %d", d, n, s.Rounds, MooreRounds(d, n))
+			}
+			triv := TrivialSchedule(nbh, OpAllgather)
+			if triv.Volume != want {
+				t.Errorf("d=%d n=%d: trivial volume %d != %d", d, n, triv.Volume, want)
+			}
+		}
+	}
+}
+
+func TestAllgatherScheduleStagingNeverRewrittenBeforeRead(t *testing.T) {
+	// The invariant motivating the staging discipline: no (buffer, slot)
+	// location is written twice, and every read of a staging location
+	// happens at a phase strictly after its write.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		nbh := randomNeighborhood(rng)
+		s := AllgatherSchedule(nbh)
+		type loc struct {
+			buf  BufKind
+			slot int
+		}
+		writePhase := map[loc]int{}
+		for pi, ph := range s.Phases {
+			for _, r := range ph.Rounds {
+				for _, mv := range r.Moves {
+					w := loc{mv.To, mv.ToSlot}
+					if _, dup := writePhase[w]; dup {
+						t.Fatalf("trial %d: %v written twice (nbh=%v)", trial, w, nbh)
+					}
+					writePhase[w] = pi
+					if mv.From != BufSend {
+						src := loc{mv.From, mv.FromSlot}
+						wp, ok := writePhase[src]
+						if !ok {
+							t.Fatalf("trial %d: read of never-written %v (nbh=%v)", trial, src, nbh)
+						}
+						if wp >= pi {
+							t.Fatalf("trial %d: read of %v in phase %d, written in phase %d (nbh=%v)", trial, src, pi, wp, nbh)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherScheduleCoversAllSlots(t *testing.T) {
+	// Every receive-buffer slot is either written by a round or filled by
+	// a local copy — exactly once as the final action.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		nbh := randomNeighborhood(rng)
+		s := AllgatherSchedule(nbh)
+		filled := make([]bool, len(nbh))
+		for _, ph := range s.Phases {
+			for _, r := range ph.Rounds {
+				for _, mv := range r.Moves {
+					if mv.To == BufRecv {
+						filled[mv.ToSlot] = true
+					}
+				}
+			}
+		}
+		for _, cp := range s.Copies {
+			if filled[cp.ToSlot] {
+				t.Fatalf("trial %d: slot %d both received and copied (nbh=%v)", trial, cp.ToSlot, nbh)
+			}
+			filled[cp.ToSlot] = true
+		}
+		for i, f := range filled {
+			if !f {
+				t.Fatalf("trial %d: recv slot %d never filled (nbh=%v)", trial, i, nbh)
+			}
+		}
+	}
+}
+
+func TestComputeStatsTable1(t *testing.T) {
+	// Table 1 of the paper, with the formulas the printed ratios verify:
+	// t = n^d (incl. self), C = d(n−1), ratio = (t−C)/(V_aa−t).
+	type row struct {
+		d, n        int
+		c, vag, vaa int
+		ratio       float64
+	}
+	rows := []row{
+		{2, 3, 4, 8, 12, 5.0 / 3.0}, // paper prints 1.167, computed 1.667
+		{2, 4, 6, 15, 24, 1.250},
+		{2, 5, 8, 24, 40, 17.0 / 15.0},
+		{3, 3, 6, 26, 54, 21.0 / 27.0},
+		{3, 4, 9, 63, 144, 55.0 / 80.0},
+		{3, 5, 12, 124, 300, 113.0 / 175.0},
+		{4, 3, 8, 80, 216, 73.0 / 135.0},
+		{4, 4, 12, 255, 768, 244.0 / 512.0},
+		{4, 5, 16, 624, 2000, 609.0 / 1375.0},
+		{5, 3, 10, 242, 810, 233.0 / 567.0},
+		{5, 4, 15, 1023, 3840, 1009.0 / 2816.0},
+		{5, 5, 20, 3124, 12500, 3105.0 / 9375.0},
+	}
+	for _, r := range rows {
+		nbh := mustStencil(t, r.d, r.n, -1)
+		s := ComputeStats(nbh)
+		tWant := 1
+		for i := 0; i < r.d; i++ {
+			tWant *= r.n
+		}
+		if s.T != tWant || s.TComm != tWant-1 {
+			t.Errorf("d=%d n=%d: T=%d TComm=%d", r.d, r.n, s.T, s.TComm)
+		}
+		if s.C != r.c {
+			t.Errorf("d=%d n=%d: C=%d, want %d", r.d, r.n, s.C, r.c)
+		}
+		if s.VolAllgather != r.vag {
+			t.Errorf("d=%d n=%d: V_ag=%d, want %d", r.d, r.n, s.VolAllgather, r.vag)
+		}
+		if s.VolAlltoall != r.vaa {
+			t.Errorf("d=%d n=%d: V_aa=%d, want %d", r.d, r.n, s.VolAlltoall, r.vaa)
+		}
+		if math.Abs(s.CutoffRatio-r.ratio) > 1e-9 {
+			t.Errorf("d=%d n=%d: ratio=%.4f, want %.4f", r.d, r.n, s.CutoffRatio, r.ratio)
+		}
+	}
+}
+
+func TestComputeStatsDegenerate(t *testing.T) {
+	// Neighborhood of only the zero vector: no communication at all.
+	s := ComputeStats(vec.Neighborhood{{0, 0}})
+	if s.TComm != 0 || s.C != 0 || s.VolAlltoall != 0 || s.VolAllgather != 0 {
+		t.Errorf("zero-only stats: %+v", s)
+	}
+	if s.CutoffRatio != math.Inf(1) {
+		t.Errorf("zero-only ratio = %v", s.CutoffRatio)
+	}
+	// A von Neumann stencil: one hop per neighbor, V == TComm, combining
+	// always wins on rounds (ratio +Inf).
+	vn, _ := vec.VonNeumann(3, 1)
+	s = ComputeStats(vn)
+	if s.VolAlltoall != s.TComm {
+		t.Errorf("von Neumann V=%d TComm=%d", s.VolAlltoall, s.TComm)
+	}
+	if !math.IsInf(s.CutoffRatio, 1) {
+		t.Errorf("von Neumann ratio = %v", s.CutoffRatio)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := [][4]int{{5, 2, 10, 0}, {5, 0, 1, 0}, {5, 5, 1, 0}, {5, 6, 0, 0}, {5, -1, 0, 0}, {10, 3, 120, 0}}
+	for _, c := range cases {
+		if got := binomial(c[0], c[1]); got != c[2] {
+			t.Errorf("binomial(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

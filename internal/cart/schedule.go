@@ -1,0 +1,589 @@
+package cart
+
+import (
+	"fmt"
+	"reflect"
+
+	"cartcc/internal/datatype"
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// reflectSize returns the size in bytes of type T.
+func reflectSize[T any]() uintptr {
+	var z T
+	return reflect.TypeOf(&z).Elem().Size()
+}
+
+// OpKind distinguishes the two Cartesian collective families.
+type OpKind uint8
+
+const (
+	// OpAlltoall: a personalized block per target neighbor.
+	OpAlltoall OpKind = iota
+	// OpAllgather: the same block to every target neighbor.
+	OpAllgather
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	if k == OpAllgather {
+		return "allgather"
+	}
+	return "alltoall"
+}
+
+// BufKind identifies which buffer a schedule move reads from or writes to.
+// The message-combining algorithms alternate blocks between the temporary
+// and the receive buffer so that no block ever needs an extra copy
+// (Algorithm 1's parity trick).
+type BufKind uint8
+
+const (
+	// BufSend is the user's send buffer (first hop of a block).
+	BufSend BufKind = iota
+	// BufRecv is the user's receive buffer.
+	BufRecv
+	// BufTemp is the library's temporary staging buffer.
+	BufTemp
+)
+
+// String returns the buffer name.
+func (b BufKind) String() string {
+	switch b {
+	case BufSend:
+		return "send"
+	case BufRecv:
+		return "recv"
+	default:
+		return "temp"
+	}
+}
+
+// Move describes one data block's participation in one communication
+// round: the sender gathers block FromSlot from buffer From; the receiver
+// scatters it to ToSlot in buffer To. Block is the neighbor index the move
+// serves (equal to the slots for alltoall; the subtree representative for
+// allgather).
+type Move struct {
+	Block    int
+	From     BufKind
+	FromSlot int
+	To       BufKind
+	ToSlot   int
+}
+
+// Round is one send-receive exchange: every process sends the gathered
+// moves to the process at relative offset Rel and receives the same
+// pattern from the process at −Rel.
+type Round struct {
+	// Rel is the relative coordinate step of this round (c·e_k for the
+	// message-combining schedules, N[i] for the trivial schedule).
+	Rel   vec.Vec
+	Moves []Move
+}
+
+// Phase groups the independent rounds executed with concurrent
+// nonblocking operations (one dimension of the combining schedules).
+type Phase struct {
+	// Dim is the dimension this phase routes along (−1 for the trivial
+	// schedule's single phase).
+	Dim    int
+	Rounds []Round
+}
+
+// LocalCopy is a block movement that needs no communication: blocks for
+// the zero-offset neighbor (the process itself), and duplicated allgather
+// neighbors.
+type LocalCopy struct {
+	From     BufKind
+	FromSlot int
+	ToSlot   int // always in the receive buffer
+}
+
+// Schedule is the block-size-independent structure of a Cartesian
+// collective: which blocks travel together in which rounds, and through
+// which buffers. Per Section 3.3 of the paper the same schedule drives the
+// regular, irregular (v) and typed (w) variants.
+type Schedule struct {
+	Op     OpKind
+	Algo   Algorithm
+	Phases []Phase
+	Copies []LocalCopy
+	// Rounds is the total number of communication rounds C.
+	Rounds int
+	// Volume is the per-process communication volume V in blocks.
+	Volume int
+	// DimOrder is the order in which dimensions are routed (identity for
+	// alltoall; increasing C_k for allgather).
+	DimOrder []int
+	// NeedTemp reports whether any move stages through the temporary
+	// buffer.
+	NeedTemp bool
+	// TempSlots is the number of temporary staging slots the schedule
+	// uses: block indices for alltoall (slot i holds block i), sequential
+	// tree-node slots for allgather.
+	TempSlots int
+}
+
+// TrivialSchedule builds the t-round direct schedule of Listing 4 of the
+// paper: one send-receive round per non-zero neighbor, blocks for the
+// zero offset copied locally. Works for alltoall and (with every block
+// read from the same send block) allgather.
+func TrivialSchedule(nbh vec.Neighborhood, op OpKind) *Schedule {
+	s := &Schedule{Op: op, Algo: Trivial}
+	var rounds []Round
+	for i, rel := range nbh {
+		if rel.IsZero() {
+			s.Copies = append(s.Copies, LocalCopy{From: BufSend, FromSlot: i, ToSlot: i})
+			continue
+		}
+		rounds = append(rounds, Round{
+			Rel:   rel.Clone(),
+			Moves: []Move{{Block: i, From: BufSend, FromSlot: i, To: BufRecv, ToSlot: i}},
+		})
+		s.Volume++
+	}
+	s.Phases = []Phase{{Dim: -1, Rounds: rounds}}
+	s.Rounds = len(rounds)
+	s.DimOrder = identityOrder(nbh.Dims())
+	return s
+}
+
+// Validate checks internal schedule invariants; it is used by the property
+// tests and when loading externally-constructed schedules.
+func (s *Schedule) Validate(t int) error {
+	rounds, volume := 0, 0
+	for _, ph := range s.Phases {
+		rounds += len(ph.Rounds)
+		for _, r := range ph.Rounds {
+			if len(r.Moves) == 0 {
+				return fmt.Errorf("cart: empty round in phase dim %d", ph.Dim)
+			}
+			if r.Rel.IsZero() {
+				return fmt.Errorf("cart: zero relative step in a communication round")
+			}
+			for _, mv := range r.Moves {
+				if mv.Block < 0 || mv.Block >= t {
+					return fmt.Errorf("cart: move block out of range: %+v (t=%d)", mv, t)
+				}
+				if err := s.checkSlot(mv.From, mv.FromSlot, t); err != nil {
+					return err
+				}
+				if err := s.checkSlot(mv.To, mv.ToSlot, t); err != nil {
+					return err
+				}
+				if mv.To == BufSend {
+					return fmt.Errorf("cart: move writes into the send buffer: %+v", mv)
+				}
+			}
+			volume += len(r.Moves)
+		}
+	}
+	if rounds != s.Rounds {
+		return fmt.Errorf("cart: recorded rounds %d != actual %d", s.Rounds, rounds)
+	}
+	if volume != s.Volume {
+		return fmt.Errorf("cart: recorded volume %d != actual %d", s.Volume, volume)
+	}
+	return nil
+}
+
+// checkSlot validates a slot index against its buffer's slot space: the
+// neighborhood size for send/receive slots, TempSlots for temp slots (the
+// alltoall schedule also uses block indices as temp slots).
+func (s *Schedule) checkSlot(b BufKind, slot, t int) error {
+	limit := t
+	if b == BufTemp && s.TempSlots > limit {
+		limit = s.TempSlots
+	}
+	if slot < 0 || slot >= limit {
+		return fmt.Errorf("cart: %s slot %d out of range [0,%d)", b, slot, limit)
+	}
+	return nil
+}
+
+// BlockGeometry resolves the element layout of every block slot in the
+// three buffers for one concrete operation instance: it is the bridge from
+// the symbolic schedule to an executable plan. SendAt/RecvAt return the
+// layout of slot i in the user send/receive buffers; TempAt returns the
+// layout of staging slot i in the temporary buffer (block indices for
+// alltoall, tree-node slots for allgather). The plan compiler derives the
+// temporary buffer length from the layouts actually referenced.
+type BlockGeometry struct {
+	SendAt func(i int) datatype.Layout
+	RecvAt func(i int) datatype.Layout
+	TempAt func(i int) datatype.Layout
+}
+
+// uniformGeometry is the geometry of the regular operations: block i of m
+// elements at offset i·m in each buffer. For allgather the send buffer is
+// a single block (slot-independent).
+func uniformGeometry(op OpKind, m int) BlockGeometry {
+	g := BlockGeometry{
+		RecvAt: func(i int) datatype.Layout { return datatype.Contiguous(i*m, m) },
+		TempAt: func(i int) datatype.Layout { return datatype.Contiguous(i*m, m) },
+	}
+	if op == OpAllgather {
+		g.SendAt = func(int) datatype.Layout { return datatype.Contiguous(0, m) }
+	} else {
+		g.SendAt = func(i int) datatype.Layout { return datatype.Contiguous(i*m, m) }
+	}
+	return g
+}
+
+// bufIndex maps BufKind to the executor's buffer array position.
+func bufIndex(b BufKind) int {
+	switch b {
+	case BufSend:
+		return 0
+	case BufRecv:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// execRound is one compiled communication round: concrete peer ranks and
+// the gathered send/recv composites over (send, recv, temp) buffers.
+type execRound struct {
+	sendTo   int
+	recvFrom int
+	send     datatype.Composite
+	recv     datatype.Composite
+}
+
+// execCopy is a compiled local copy.
+type execCopy struct {
+	fromBuf int
+	from    datatype.Layout
+	to      datatype.Layout
+}
+
+// Plan is an executable, reusable communication plan: the result of the
+// paper's Cart_*_init operations. A Plan is bound to a communicator and a
+// concrete block geometry but not to buffers or an element type; it can be
+// executed many times (persistent-collective style).
+type Plan struct {
+	comm     *Comm
+	op       OpKind
+	algo     Algorithm
+	blocking bool // trivial schedule: sequential blocking rounds
+	phases   [][]execRound
+	copies   []execCopy
+	tempLen  int
+	rounds   int
+	volume   int
+	sendLen  int // required send buffer length in elements (0 = unchecked)
+	recvLen  int // required recv buffer length in elements
+	temp     any // cached temporary buffer ([]T of the last element type)
+
+	// Auto plans carry the trivial alternative and the mean block size in
+	// elements; Run applies the paper's analytic cut-off once the element
+	// size and the run's cost model are known.
+	alt           *Plan
+	avgBlockElems float64
+}
+
+// Rounds returns the number of communication rounds C of the plan.
+func (p *Plan) Rounds() int { return p.rounds }
+
+// Volume returns the per-process communication volume V in blocks.
+func (p *Plan) Volume() int { return p.volume }
+
+// Algorithm returns the schedule family the plan was compiled from.
+func (p *Plan) Algorithm() Algorithm { return p.algo }
+
+// Op returns the collective family of the plan.
+func (p *Plan) Op() OpKind { return p.op }
+
+// Messages returns the number of point-to-point messages this process
+// posts per execution (its non-skipped send rounds) — on meshes this can
+// be below Rounds(), whose count is the interior upper bound.
+func (p *Plan) Messages() int {
+	n := 0
+	for _, rounds := range p.phases {
+		for i := range rounds {
+			if rounds[i].sendTo != ProcNull {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SendElements returns the total number of elements this process sends
+// per execution — volume in concrete units rather than blocks, the
+// quantity behind the β·V·m term of the paper's analysis.
+func (p *Plan) SendElements() int {
+	n := 0
+	for _, rounds := range p.phases {
+		for i := range rounds {
+			if rounds[i].sendTo != ProcNull {
+				n += rounds[i].send.Size()
+			}
+		}
+	}
+	return n
+}
+
+// compile turns a symbolic schedule plus block geometry into an executable
+// plan for this process: relative round steps resolve to concrete ranks,
+// move lists resolve to gather/scatter composites. Purely local, O(td).
+func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, error) {
+	p := &Plan{
+		comm:     c,
+		op:       s.Op,
+		algo:     s.Algo,
+		blocking: blocking,
+		rounds:   s.Rounds,
+		volume:   s.Volume,
+	}
+	rank := c.comm.Rank()
+	for _, ph := range s.Phases {
+		var rounds []execRound
+		for _, r := range ph.Rounds {
+			er := execRound{sendTo: ProcNull, recvFrom: ProcNull}
+			if dst, ok := c.grid.RankDisplace(rank, r.Rel); ok {
+				er.sendTo = dst
+			}
+			if src, ok := c.grid.RankDisplace(rank, r.Rel.Neg()); ok {
+				er.recvFrom = src
+			}
+			for _, mv := range r.Moves {
+				sendL := layoutFor(mv.From, mv.FromSlot, geom)
+				recvL := layoutFor(mv.To, mv.ToSlot, geom)
+				if sendL.Size() != recvL.Size() {
+					return nil, fmt.Errorf("cart: block %d: send layout has %d elements, receive layout %d — the Cartesian collectives require matching block signatures",
+						mv.Block, sendL.Size(), recvL.Size())
+				}
+				er.send.Append(bufIndex(mv.From), sendL)
+				er.recv.Append(bufIndex(mv.To), recvL)
+				if mv.From == BufTemp || mv.To == BufTemp {
+					if hi := geomTempHigh(geom, mv); hi > p.tempLen {
+						p.tempLen = hi
+					}
+				}
+			}
+			rounds = append(rounds, er)
+		}
+		p.phases = append(p.phases, rounds)
+	}
+	for _, cp := range s.Copies {
+		ec := execCopy{
+			fromBuf: bufIndex(cp.From),
+			from:    layoutFor(cp.From, cp.FromSlot, geom),
+			to:      geom.RecvAt(cp.ToSlot),
+		}
+		if ec.from.Size() != ec.to.Size() {
+			return nil, fmt.Errorf("cart: local copy slot %d -> %d: %d vs %d elements", cp.FromSlot, cp.ToSlot, ec.from.Size(), ec.to.Size())
+		}
+		p.copies = append(p.copies, ec)
+	}
+	return p, nil
+}
+
+// layoutFor resolves a (buffer, slot) pair through the geometry.
+func layoutFor(b BufKind, slot int, geom BlockGeometry) datatype.Layout {
+	switch b {
+	case BufSend:
+		return geom.SendAt(slot)
+	case BufRecv:
+		return geom.RecvAt(slot)
+	default:
+		return geom.TempAt(slot)
+	}
+}
+
+// geomTempHigh returns the temp-buffer extent a move needs.
+func geomTempHigh(geom BlockGeometry, mv Move) int {
+	hi := 0
+	if mv.From == BufTemp {
+		_, h := geom.TempAt(mv.FromSlot).Bounds()
+		if h > hi {
+			hi = h
+		}
+	}
+	if mv.To == BufTemp {
+		_, h := geom.TempAt(mv.ToSlot).Bounds()
+		if h > hi {
+			hi = h
+		}
+	}
+	return hi
+}
+
+// cartTag is the message tag of all Cartesian collective traffic (the
+// paper's CARTTAG). Distinct rounds to the same peer are kept apart by the
+// runtime's non-overtaking matching, exactly as in MPI.
+const cartTag = 11
+
+// Run executes the plan: the zero-copy schedule execution of Listing 5 of
+// the paper. Each phase posts all of its receive and send rounds
+// nonblockingly and waits for the phase to drain; a trivial plan instead
+// executes its rounds as sequential blocking send-receive pairs (Listing
+// 4). The element type binds at execution time; the temporary buffer is
+// cached on the plan across executions.
+func Run[T any](p *Plan, send, recv []T) error {
+	if p.alt != nil {
+		p = p.choose(elemBytesOf[T]())
+	}
+	if err := p.checkBuffers(len(send), len(recv)); err != nil {
+		return err
+	}
+	var temp []T
+	if p.tempLen > 0 {
+		if cached, ok := p.temp.([]T); ok && len(cached) >= p.tempLen {
+			temp = cached
+		} else {
+			temp = make([]T, p.tempLen)
+			p.temp = temp
+		}
+	}
+	bufs := [][]T{send, recv, temp}
+	comm := p.comm.comm
+
+	for _, rounds := range p.phases {
+		if p.blocking {
+			for i := range rounds {
+				if err := runRoundBlocking(comm, &rounds[i], bufs); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		reqs := make([]*mpi.Request, 0, 2*len(rounds))
+		for i := range rounds {
+			r := &rounds[i]
+			if r.recvFrom == ProcNull {
+				continue
+			}
+			req, err := mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for i := range rounds {
+			r := &rounds[i]
+			if r.sendTo == ProcNull {
+				continue
+			}
+			req, err := mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, cartTag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := mpi.Waitall(reqs...); err != nil {
+			return err
+		}
+	}
+	for _, cp := range p.copies {
+		wire := make([]T, cp.from.Size())
+		datatype.Gather(wire, bufs[cp.fromBuf], cp.from)
+		datatype.Scatter(recv, wire, cp.to)
+	}
+	return nil
+}
+
+// Handle is an in-flight nonblocking plan execution started with Start —
+// the nonblocking persistent collectives the paper anticipates from the
+// MPI Forum ("non-blocking, persistent versions of the Cartesian
+// collectives"). Wait blocks until the collective has completed locally.
+type Handle struct {
+	done chan error
+	err  error
+	fin  bool
+}
+
+// Wait blocks until the started collective completes and returns its
+// error. Waiting twice returns the recorded result.
+func (h *Handle) Wait() error {
+	if !h.fin {
+		h.err = <-h.done
+		h.fin = true
+	}
+	return h.err
+}
+
+// Start begins a nonblocking execution of the plan: the schedule runs in a
+// background goroutine and the returned handle's Wait completes it. The
+// caller must not touch send, recv, or the plan until Wait returns, and
+// must not start two executions of one plan concurrently (the temporary
+// buffer is cached on the plan).
+//
+// Start is only available in wall-clock runs: under a virtual-time cost
+// model the rank's clock is owned by its goroutine, and overlapping
+// communication with the caller's progress has no defined virtual
+// semantics (MPI libraries face the same progress-modeling question).
+func Start[T any](p *Plan, send, recv []T) (*Handle, error) {
+	if p.alt != nil {
+		p = p.choose(elemBytesOf[T]())
+	}
+	if p.comm.comm.Model() != nil {
+		return nil, fmt.Errorf("cart: Start requires a wall-clock run (no cost model)")
+	}
+	h := &Handle{done: make(chan error, 1)}
+	go func() {
+		h.done <- Run(p, send, recv)
+	}()
+	return h, nil
+}
+
+// runRoundBlocking performs one round as a blocking exchange, handling
+// ProcNull on either side (mesh boundaries).
+func runRoundBlocking[T any](comm *mpi.Comm, r *execRound, bufs [][]T) error {
+	var rreq, sreq *mpi.Request
+	var err error
+	if r.recvFrom != ProcNull {
+		rreq, err = mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag)
+		if err != nil {
+			return err
+		}
+	}
+	if r.sendTo != ProcNull {
+		sreq, err = mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, cartTag)
+		if err != nil {
+			return err
+		}
+	}
+	return mpi.Waitall(sreq, rreq)
+}
+
+// choose resolves an Auto plan: with a cost model, compare the analytic
+// cost of the combining schedule (Cα + βVmB, plus per-message overheads)
+// against the trivial one (t(α + βmB)) at the actual block size in bytes;
+// without a model, prefer combining (the latency-bound regime motivating
+// the paper).
+func (p *Plan) choose(elemSize int) *Plan {
+	model := p.comm.comm.Model()
+	if model == nil {
+		return p
+	}
+	mBytes := p.avgBlockElems * float64(elemSize)
+	perMsg := model.Alpha + model.SendOverhead + model.RecvOverhead
+	combining := float64(p.rounds)*perMsg + model.Beta*float64(p.volume)*mBytes
+	trivial := float64(p.alt.rounds)*perMsg + model.Beta*float64(p.alt.volume)*mBytes
+	if trivial < combining {
+		return p.alt
+	}
+	return p
+}
+
+// elemBytesOf returns the in-memory size of one element of type T.
+func elemBytesOf[T any]() int {
+	return int(reflectSize[T]())
+}
+
+// checkBuffers validates user buffer lengths against the plan's geometry
+// requirements when known.
+func (p *Plan) checkBuffers(sendLen, recvLen int) error {
+	if p.sendLen > 0 && sendLen < p.sendLen {
+		return fmt.Errorf("cart: send buffer has %d elements, plan requires %d", sendLen, p.sendLen)
+	}
+	if p.recvLen > 0 && recvLen < p.recvLen {
+		return fmt.Errorf("cart: receive buffer has %d elements, plan requires %d", recvLen, p.recvLen)
+	}
+	return nil
+}

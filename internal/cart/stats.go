@@ -1,0 +1,102 @@
+package cart
+
+import (
+	"math"
+
+	"cartcc/internal/vec"
+)
+
+// Stats summarizes the schedule-relevant structure of a t-neighborhood —
+// the quantities of Table 1 of the paper and of Propositions 3.2 and 3.3.
+type Stats struct {
+	// T is the neighborhood size t, including the zero offset if present.
+	T int
+	// TComm is the number of communication rounds of the trivial
+	// algorithm: the neighbors with a non-zero offset.
+	TComm int
+	// Ck[k] is the number of distinct non-zero k-th coordinates.
+	Ck []int
+	// C = Σ_k Ck is the number of rounds of both message-combining
+	// schedules.
+	C int
+	// VolAlltoall = Σ_i z_i is the per-process volume in blocks of the
+	// message-combining alltoall (Proposition 3.2).
+	VolAlltoall int
+	// VolAllgather is the edge count of the increasing-C_k allgather tree
+	// (Proposition 3.3).
+	VolAllgather int
+	// CutoffRatio is (t−C)/(V_alltoall−t), the factor multiplying α/β in
+	// the paper's cut-off block size below which message combining wins
+	// the alltoall (Table 1's bottom row; +Inf when combining always
+	// wins, 0 when it never does).
+	CutoffRatio float64
+}
+
+// ComputeStats derives the Table 1 quantities from a neighborhood in
+// O(td) time.
+func ComputeStats(nbh vec.Neighborhood) Stats {
+	d := nbh.Dims()
+	s := Stats{T: len(nbh), Ck: make([]int, d)}
+	for _, rel := range nbh {
+		if z := rel.NonZeros(); z > 0 {
+			s.TComm++
+			s.VolAlltoall += z
+		}
+	}
+	for k := 0; k < d; k++ {
+		s.Ck[k] = vec.CountDistinctNonZero(nbh, k)
+		s.C += s.Ck[k]
+	}
+	s.VolAllgather = BuildAllgatherTree(nbh, nil).Edges
+	switch {
+	case s.C >= s.T:
+		s.CutoffRatio = 0
+	case s.VolAlltoall <= s.T:
+		s.CutoffRatio = math.Inf(1)
+	default:
+		s.CutoffRatio = float64(s.T-s.C) / float64(s.VolAlltoall-s.T)
+	}
+	return s
+}
+
+// binomial returns the binomial coefficient C(n, k).
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+// MooreAlltoallVolume is the closed-form per-process alltoall volume of
+// the (d, n) stencil family from Section 3.1 of the paper:
+// V = Σ_j j·(n−1)^j·C(d,j) — there are (n−1)^j·C(d,j) offsets with j
+// non-zero coordinates, each of whose blocks travels j hops.
+func MooreAlltoallVolume(d, n int) int {
+	v := 0
+	pw := 1
+	for j := 1; j <= d; j++ {
+		pw *= n - 1
+		v += j * pw * binomial(d, j)
+	}
+	return v
+}
+
+// MooreAllgatherVolume is the closed-form per-process allgather volume of
+// the (d, n) stencil family from Section 3.2: V = n^d − 1, which equals
+// the trivial algorithm's volume — combining then wins at every block
+// size.
+func MooreAllgatherVolume(d, n int) int {
+	v := 1
+	for i := 0; i < d; i++ {
+		v *= n
+	}
+	return v - 1
+}
+
+// MooreRounds is the round count C = d·(n−1) of the (d, n) stencil family
+// for both combining schedules.
+func MooreRounds(d, n int) int { return d * (n - 1) }

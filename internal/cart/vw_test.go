@@ -1,0 +1,408 @@
+package cart
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cartcc/internal/datatype"
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// paperVCounts builds the Fig. 6 irregular block sizes of the paper: block
+// i has m·(d−z) elements for a neighbor with z non-zero coordinates, and 0
+// for the process itself.
+func paperVCounts(nbh vec.Neighborhood, m int) []int {
+	d := nbh.Dims()
+	counts := make([]int, len(nbh))
+	for i, rel := range nbh {
+		z := rel.NonZeros()
+		if z == 0 {
+			counts[i] = 0
+		} else {
+			counts[i] = m * (d - z + 1) // d−z can be 0; keep blocks non-degenerate
+		}
+	}
+	return counts
+}
+
+func TestAlltoallvPaperSizing(t *testing.T) {
+	nbh := mustStencil(t, 2, 3, -1)
+	dims := []int{3, 3}
+	counts := paperVCounts(nbh, 2)
+	displs := prefixSums(counts)
+	for _, algo := range []Algorithm{Trivial, Combining} {
+		algo := algo
+		runWorld(t, 9, func(w *mpi.Comm) error {
+			c, err := NeighborhoodCreate(w, dims, nil, nbh, nil, WithAlgorithm(algo))
+			if err != nil {
+				return err
+			}
+			total := 0
+			for _, ct := range counts {
+				total += ct
+			}
+			send := make([]int, total)
+			for i := range counts {
+				for e := 0; e < counts[i]; e++ {
+					send[displs[i]+e] = encode(w.Rank(), i, e)
+				}
+			}
+			recv := make([]int, total)
+			for j := range recv {
+				recv[j] = -1
+			}
+			if err := Alltoallv(c, send, counts, displs, recv, counts, displs); err != nil {
+				return err
+			}
+			for i, rel := range nbh {
+				src, _ := c.Grid().RankDisplace(w.Rank(), rel.Neg())
+				for e := 0; e < counts[i]; e++ {
+					if got := recv[displs[i]+e]; got != encode(src, i, e) {
+						return fmt.Errorf("rank %d algo %v block %d elem %d: %d", w.Rank(), algo, i, e, got)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAlltoallvValidation(t *testing.T) {
+	nbh := mustStencil(t, 2, 3, -1)
+	runWorld(t, 9, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		counts := make([]int, 9)
+		displs := make([]int, 9)
+		// Mismatched send/recv counts violate isomorphism.
+		rc := append([]int(nil), counts...)
+		counts[3] = 2
+		if _, err := AlltoallvInit(c, counts, displs, rc, displs, Trivial); err == nil {
+			return fmt.Errorf("mismatched counts accepted")
+		}
+		if _, err := AlltoallvInit(c, counts[:5], displs[:5], counts[:5], displs[:5], Trivial); err == nil {
+			return fmt.Errorf("short count arrays accepted")
+		}
+		neg := append([]int(nil), counts...)
+		neg[0] = -1
+		if _, err := AlltoallvInit(c, neg, displs, neg, displs, Trivial); err == nil {
+			return fmt.Errorf("negative count accepted")
+		}
+		return nil
+	})
+}
+
+func TestAllgathervPaperSizing(t *testing.T) {
+	nbh := mustStencil(t, 2, 3, -1)
+	tn := len(nbh)
+	sendCount := 3
+	counts := make([]int, tn)
+	for i := range counts {
+		counts[i] = sendCount
+	}
+	// Non-contiguous receive placement: reverse block order.
+	displs := make([]int, tn)
+	for i := range displs {
+		displs[i] = (tn - 1 - i) * sendCount
+	}
+	for _, algo := range []Algorithm{Trivial, Combining} {
+		algo := algo
+		runWorld(t, 9, func(w *mpi.Comm) error {
+			c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil, WithAlgorithm(algo))
+			if err != nil {
+				return err
+			}
+			send := make([]int, sendCount)
+			for e := range send {
+				send[e] = encode(w.Rank(), 0, e)
+			}
+			recv := make([]int, tn*sendCount)
+			if err := Allgatherv(c, send, recv, counts, displs); err != nil {
+				return err
+			}
+			for i, rel := range nbh {
+				src, _ := c.Grid().RankDisplace(w.Rank(), rel.Neg())
+				for e := 0; e < sendCount; e++ {
+					if got := recv[displs[i]+e]; got != encode(src, 0, e) {
+						return fmt.Errorf("rank %d algo %v block %d: %d", w.Rank(), algo, i, got)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllgathervValidation(t *testing.T) {
+	nbh := mustStencil(t, 2, 3, -1)
+	runWorld(t, 9, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		counts := make([]int, 9)
+		displs := make([]int, 9)
+		counts[0] = 2 // != sendCount 1
+		for i := 1; i < 9; i++ {
+			counts[i] = 1
+		}
+		if _, err := AllgathervInit(c, 1, counts, displs, Trivial); err == nil {
+			return fmt.Errorf("count != sendCount accepted")
+		}
+		return nil
+	})
+}
+
+// TestAlltoallwListing3 exercises the paper's Listing 3 end to end: a
+// (n+2)×(n+2) matrix with halo, ROW/COL/COR layouts per neighbor, halo
+// exchange in place with Cart_alltoallw.
+func TestAlltoallwListing3(t *testing.T) {
+	const n = 4          // interior size
+	const stride = n + 2 // matrix row length
+	// Neighborhood exactly as in Listing 3.
+	nbh := vec.Neighborhood{
+		{0, 1}, {0, -1}, {-1, 0}, {1, 0},
+		{-1, 1}, {1, 1}, {1, -1}, {-1, -1},
+	}
+	at := func(r, c int) int { return r*stride + c }
+	// Send layouts: boundary of the interior facing each neighbor.
+	// Neighbor (0,1) is "to the right" (column direction): send right
+	// column, receive into left halo... Listing 3 pairs sendtype[i] with
+	// recvtype[i] such that the block sent to target i is received by the
+	// target as its block i from the opposite side.
+	sendL := []datatype.Layout{
+		datatype.Subarray(stride, 1, n, n, 1), // right col out to (0,1)
+		datatype.Subarray(stride, 1, 1, n, 1), // left col out to (0,-1)
+		datatype.Subarray(stride, 1, 1, 1, n), // upper row out to (-1,0)
+		datatype.Subarray(stride, n, 1, 1, n), // lower row out to (1,0)
+		datatype.Subarray(stride, 1, n, 1, 1), // upper-right corner to (-1,1)
+		datatype.Subarray(stride, n, n, 1, 1), // lower-right corner to (1,1)
+		datatype.Subarray(stride, n, 1, 1, 1), // lower-left corner to (1,-1)
+		datatype.Subarray(stride, 1, 1, 1, 1), // upper-left corner to (-1,-1)
+	}
+	recvL := []datatype.Layout{
+		datatype.Subarray(stride, 1, 0, n, 1),     // from (0,-1) side: left halo
+		datatype.Subarray(stride, 1, n+1, n, 1),   // right halo
+		datatype.Subarray(stride, n+1, 1, 1, n),   // lower halo
+		datatype.Subarray(stride, 0, 1, 1, n),     // upper halo
+		datatype.Subarray(stride, n+1, 0, 1, 1),   // lower-left halo corner
+		datatype.Subarray(stride, 0, 0, 1, 1),     // upper-left halo corner
+		datatype.Subarray(stride, 0, n+1, 1, 1),   // upper-right halo corner
+		datatype.Subarray(stride, n+1, n+1, 1, 1), // lower-right halo corner
+	}
+	dims := []int{3, 3}
+	for _, algo := range []Algorithm{Trivial, Combining} {
+		algo := algo
+		runWorld(t, 9, func(w *mpi.Comm) error {
+			c, err := NeighborhoodCreate(w, dims, nil, nbh, nil, WithAlgorithm(algo))
+			if err != nil {
+				return err
+			}
+			// Matrix holds owner-rank-tagged global coordinates of cells.
+			matrix := make([]float64, stride*stride)
+			coords := c.Coords()
+			for r := 1; r <= n; r++ {
+				for cc := 1; cc <= n; cc++ {
+					gr := coords[0]*n + (r - 1)
+					gc := coords[1]*n + (cc - 1)
+					matrix[at(r, cc)] = float64(gr*1000 + gc)
+				}
+			}
+			if err := Alltoallw(c, matrix, sendL, matrix, recvL); err != nil {
+				return err
+			}
+			// Every halo cell must now hold the global coordinate value of
+			// the torus-wrapped cell it mirrors.
+			globalRows := dims[0] * n
+			globalCols := dims[1] * n
+			wrap := func(x, m int) int { return ((x % m) + m) % m }
+			for r := 0; r < stride; r++ {
+				for cc := 0; cc < stride; cc++ {
+					interior := r >= 1 && r <= n && cc >= 1 && cc <= n
+					if interior {
+						continue
+					}
+					gr := wrap(coords[0]*n+(r-1), globalRows)
+					gc := wrap(coords[1]*n+(cc-1), globalCols)
+					want := float64(gr*1000 + gc)
+					if matrix[at(r, cc)] != want {
+						return fmt.Errorf("rank %d algo %v halo (%d,%d): got %v want %v",
+							w.Rank(), algo, r, cc, matrix[at(r, cc)], want)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAlltoallwValidation(t *testing.T) {
+	nbh := vec.Neighborhood{{0, 1}, {1, 0}}
+	runWorld(t, 4, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, []int{2, 2}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		a := datatype.Contiguous(0, 2)
+		b := datatype.Contiguous(0, 3)
+		if _, err := AlltoallwInit(c, []datatype.Layout{a, a}, []datatype.Layout{a, b}, Trivial); err == nil {
+			return fmt.Errorf("size-mismatched layouts accepted")
+		}
+		if _, err := AlltoallwInit(c, []datatype.Layout{a}, []datatype.Layout{a}, Trivial); err == nil {
+			return fmt.Errorf("short layout arrays accepted")
+		}
+		return nil
+	})
+}
+
+func TestAllgatherw(t *testing.T) {
+	// Every source block lands through a different layout: block i goes to
+	// a strided position pattern (stride t), exercising the paper's
+	// proposed Cart_allgatherw / MPI_Neighbor_allgatherw addition.
+	nbh := mustStencil(t, 2, 3, -1)
+	tn := len(nbh)
+	const m = 2
+	sendL := datatype.Contiguous(0, m)
+	recvL := make([]datatype.Layout, tn)
+	for i := range recvL {
+		recvL[i] = datatype.Vector(m, 1, tn, i) // element e of block i at e*t + i
+	}
+	for _, algo := range []Algorithm{Trivial, Combining} {
+		algo := algo
+		runWorld(t, 9, func(w *mpi.Comm) error {
+			c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil, WithAlgorithm(algo))
+			if err != nil {
+				return err
+			}
+			send := []int{encode(w.Rank(), 0, 0), encode(w.Rank(), 0, 1)}
+			recv := make([]int, tn*m)
+			if err := Allgatherw(c, send, sendL, recv, recvL); err != nil {
+				return err
+			}
+			for i, rel := range nbh {
+				src, _ := c.Grid().RankDisplace(w.Rank(), rel.Neg())
+				for e := 0; e < m; e++ {
+					if got := recv[e*tn+i]; got != encode(src, 0, e) {
+						return fmt.Errorf("rank %d algo %v block %d elem %d: %d", w.Rank(), algo, i, e, got)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllgatherwValidation(t *testing.T) {
+	nbh := vec.Neighborhood{{0, 1}, {1, 0}}
+	runWorld(t, 4, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, []int{2, 2}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		sendL := datatype.Contiguous(0, 2)
+		bad := []datatype.Layout{datatype.Contiguous(0, 2), datatype.Contiguous(0, 1)}
+		if _, err := AllgatherwInit(c, sendL, bad, Trivial); err == nil {
+			return fmt.Errorf("size-mismatched recv layout accepted")
+		}
+		if _, err := AllgatherwInit(c, sendL, bad[:1], Trivial); err == nil {
+			return fmt.Errorf("short recv layout array accepted")
+		}
+		return nil
+	})
+}
+
+func TestDetectCartesianPositive(t *testing.T) {
+	// Every process derives its targets from the same offsets: detection
+	// must succeed and the resulting communicator must work.
+	nbh := vec.Neighborhood{{1, 1}, {0, -1}, {2, 0}}
+	dims := []int{3, 4}
+	runWorld(t, 12, func(w *mpi.Comm) error {
+		grid, _ := vec.NewGrid(dims, nil)
+		targets := make([]int, len(nbh))
+		for i, rel := range nbh {
+			targets[i], _ = grid.RankDisplace(w.Rank(), rel)
+		}
+		c, detected, err := DetectCartesian(w, dims, nil, targets)
+		if err != nil {
+			return err
+		}
+		if !detected {
+			return fmt.Errorf("isomorphic adjacency not detected")
+		}
+		// Canonical form: (2,0) on extent 3 reduces to (-1,0); sorted.
+		want := vec.Neighborhood{{-1, 0}, {0, -1}, {1, 1}}
+		if !c.Neighborhood().Equal(want) {
+			return fmt.Errorf("canonical neighborhood %v, want %v", c.Neighborhood(), want)
+		}
+		// And it must actually communicate correctly.
+		send := make([]int, 3)
+		for i := range send {
+			send[i] = encode(w.Rank(), i, 0)
+		}
+		recv := make([]int, 3)
+		if err := Alltoall(c, send, recv); err != nil {
+			return err
+		}
+		want2 := refAlltoall(c.Grid(), c.Neighborhood(), w.Rank(), 1)
+		if !reflect.DeepEqual(recv, want2) {
+			return fmt.Errorf("detected comm alltoall: %v want %v", recv, want2)
+		}
+		return nil
+	})
+}
+
+func TestDetectCartesianNegative(t *testing.T) {
+	// Rank 0 deviates: no process may report detection.
+	runWorld(t, 6, func(w *mpi.Comm) error {
+		dims := []int{2, 3}
+		grid, _ := vec.NewGrid(dims, nil)
+		rel := vec.Vec{0, 1}
+		if w.Rank() == 0 {
+			rel = vec.Vec{1, 0}
+		}
+		tgt, _ := grid.RankDisplace(w.Rank(), rel)
+		_, detected, err := DetectCartesian(w, dims, nil, []int{tgt})
+		if err != nil {
+			return err
+		}
+		if detected {
+			return fmt.Errorf("rank %d: detected a non-isomorphic adjacency", w.Rank())
+		}
+		return nil
+	})
+}
+
+func TestDetectCartesianDegreeMismatch(t *testing.T) {
+	runWorld(t, 4, func(w *mpi.Comm) error {
+		dims := []int{2, 2}
+		targets := []int{(w.Rank() + 1) % 4}
+		if w.Rank() == 3 {
+			targets = []int{0, 1}
+		}
+		_, detected, err := DetectCartesian(w, dims, nil, targets)
+		if err != nil {
+			return err
+		}
+		if detected {
+			return fmt.Errorf("degree mismatch detected as Cartesian")
+		}
+		return nil
+	})
+}
+
+func TestDetectCartesianBadTargets(t *testing.T) {
+	runWorld(t, 4, func(w *mpi.Comm) error {
+		_, detected, err := DetectCartesian(w, []int{2, 2}, nil, []int{99})
+		if err != nil {
+			return err
+		}
+		if detected {
+			return fmt.Errorf("out-of-range target detected as Cartesian")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,247 @@
+// Package datatype implements a derived-datatype engine in the spirit of
+// MPI datatypes, specialized to typed Go slices.
+//
+// A Layout describes a non-contiguous selection of elements of a buffer as
+// an ordered list of (offset, count) blocks — the information MPI encodes in
+// vector, indexed and struct datatypes. A Composite places several layouts
+// into several distinct buffers; it is the representation of the per-round
+// send and receive "datatypes" built by the message-combining schedule
+// computations (the TypeApp calls of Algorithm 1 in the paper).
+//
+// Gather and Scatter move elements between a layout and a contiguous wire
+// buffer in a single pass. Communication through these functions is
+// zero-copy in the paper's sense: data blocks move directly between user
+// buffers and the transport with no intermediate per-block packing by the
+// application.
+package datatype
+
+import "fmt"
+
+// Block is a run of Count consecutive elements starting at element offset
+// Off within some buffer.
+type Block struct {
+	Off   int
+	Count int
+}
+
+// Layout is an ordered list of blocks within a single buffer. The zero
+// value is an empty layout describing no elements.
+type Layout struct {
+	blocks []Block
+	size   int
+}
+
+// Contiguous returns a layout of count elements starting at off.
+func Contiguous(off, count int) Layout {
+	var l Layout
+	l.Append(off, count)
+	return l
+}
+
+// Vector returns a layout of count blocks of blocklen elements each, with
+// the starts of consecutive blocks stride elements apart, the whole pattern
+// starting at element offset off. It mirrors MPI_Type_vector and describes,
+// e.g., a column of a row-major matrix (blocklen 1, stride = row length).
+func Vector(count, blocklen, stride, off int) Layout {
+	var l Layout
+	for i := 0; i < count; i++ {
+		l.Append(off+i*stride, blocklen)
+	}
+	return l
+}
+
+// Indexed returns a layout with blocks of the given lengths at the given
+// element displacements, mirroring MPI_Type_indexed. The two slices must
+// have equal length.
+func Indexed(displs, lengths []int) (Layout, error) {
+	if len(displs) != len(lengths) {
+		return Layout{}, fmt.Errorf("datatype: %d displacements but %d lengths", len(displs), len(lengths))
+	}
+	var l Layout
+	for i := range displs {
+		l.Append(displs[i], lengths[i])
+	}
+	return l, nil
+}
+
+// Subarray returns a layout describing a rectangular sub-block of a
+// row-major 2-D array: rows×cols elements at (row0, col0) of an array with
+// rowLen elements per row. It mirrors MPI_Type_create_subarray for the 2-D
+// case and describes halo regions of stencil grids.
+func Subarray(rowLen, row0, col0, rows, cols int) Layout {
+	return Vector(rows, cols, rowLen, row0*rowLen+col0)
+}
+
+// Append adds a block of count elements at offset off (the TypeApp
+// operation of Algorithm 1). Appending a non-positive count is a no-op so
+// that empty blocks of the irregular operations vanish from the wire.
+// Adjacent appends that form one contiguous run are coalesced.
+func (l *Layout) Append(off, count int) {
+	if count <= 0 {
+		return
+	}
+	if n := len(l.blocks); n > 0 {
+		last := &l.blocks[n-1]
+		if last.Off+last.Count == off {
+			last.Count += count
+			l.size += count
+			return
+		}
+	}
+	l.blocks = append(l.blocks, Block{Off: off, Count: count})
+	l.size += count
+}
+
+// AppendLayout appends every block of m, shifted by base elements.
+func (l *Layout) AppendLayout(m Layout, base int) {
+	for _, b := range m.blocks {
+		l.Append(base+b.Off, b.Count)
+	}
+}
+
+// Size returns the total number of elements the layout describes.
+func (l Layout) Size() int { return l.size }
+
+// Clone returns a layout with its own block storage. Layout values share
+// their block slice when copied by assignment; Clone is required before
+// mutating a layout whose origin you do not own (Composite.Append uses it
+// so that in-place coalescing can never corrupt a caller's layout).
+func (l Layout) Clone() Layout {
+	return Layout{blocks: append([]Block(nil), l.blocks...), size: l.size}
+}
+
+// Blocks returns the block list. The returned slice must not be modified.
+func (l Layout) Blocks() []Block { return l.blocks }
+
+// Bounds returns the smallest element offset touched and one past the
+// largest (lo, hi). An empty layout returns (0, 0).
+func (l Layout) Bounds() (lo, hi int) {
+	if len(l.blocks) == 0 {
+		return 0, 0
+	}
+	lo, hi = l.blocks[0].Off, l.blocks[0].Off+l.blocks[0].Count
+	for _, b := range l.blocks[1:] {
+		if b.Off < lo {
+			lo = b.Off
+		}
+		if b.Off+b.Count > hi {
+			hi = b.Off + b.Count
+		}
+	}
+	return lo, hi
+}
+
+// Validate checks that every block lies within a buffer of buflen elements.
+func (l Layout) Validate(buflen int) error {
+	for _, b := range l.blocks {
+		if b.Off < 0 || b.Off+b.Count > buflen {
+			return fmt.Errorf("datatype: block [%d,%d) outside buffer of length %d", b.Off, b.Off+b.Count, buflen)
+		}
+	}
+	return nil
+}
+
+// Gather copies the elements selected by l from buf into wire in block
+// order and returns the number of elements copied. wire must have at least
+// l.Size() elements.
+func Gather[T any](wire []T, buf []T, l Layout) int {
+	n := 0
+	for _, b := range l.blocks {
+		n += copy(wire[n:n+b.Count], buf[b.Off:b.Off+b.Count])
+	}
+	return n
+}
+
+// Scatter copies len(wire) elements from wire into the positions of buf
+// selected by l, in block order, and returns the number copied. l.Size()
+// must equal len(wire).
+func Scatter[T any](buf []T, wire []T, l Layout) int {
+	n := 0
+	for _, b := range l.blocks {
+		n += copy(buf[b.Off:b.Off+b.Count], wire[n:n+b.Count])
+	}
+	return n
+}
+
+// Placed is a layout bound to one of several buffers, identified by an
+// integer buffer selector (the schedule executor uses 0 = send buffer,
+// 1 = receive buffer, 2 = temporary buffer).
+type Placed struct {
+	Buf int
+	L   Layout
+}
+
+// Composite is an ordered sequence of placed layouts across multiple
+// buffers: the full description of everything a process sends (or receives)
+// in one communication round of a schedule.
+type Composite struct {
+	parts []Placed
+	size  int
+}
+
+// Append adds the elements described by l within buffer buf to the
+// composite. The composite takes a private copy of the block list, so
+// subsequent merging can never mutate storage shared with the caller.
+func (c *Composite) Append(buf int, l Layout) {
+	if l.Size() == 0 {
+		return
+	}
+	if n := len(c.parts); n > 0 && c.parts[n-1].Buf == buf {
+		// Merge consecutive parts addressing the same buffer. The stored
+		// layout owns its storage (cloned below on first store), so the
+		// in-place coalescing inside AppendLayout is safe.
+		c.parts[n-1].L.AppendLayout(l, 0)
+		c.size += l.Size()
+		return
+	}
+	c.parts = append(c.parts, Placed{Buf: buf, L: l.Clone()})
+	c.size += l.Size()
+}
+
+// AppendBlock adds a single (off, count) block in buffer buf.
+func (c *Composite) AppendBlock(buf, off, count int) {
+	c.Append(buf, Contiguous(off, count))
+}
+
+// Size returns the total number of elements described by the composite.
+func (c *Composite) Size() int { return c.size }
+
+// Parts returns the placed layouts. The returned slice must not be
+// modified.
+func (c *Composite) Parts() []Placed { return c.parts }
+
+// Validate checks every part against the corresponding buffer length in
+// buflens, indexed by the part's buffer selector.
+func (c *Composite) Validate(buflens []int) error {
+	for _, p := range c.parts {
+		if p.Buf < 0 || p.Buf >= len(buflens) {
+			return fmt.Errorf("datatype: composite references buffer %d of %d", p.Buf, len(buflens))
+		}
+		if err := p.L.Validate(buflens[p.Buf]); err != nil {
+			return fmt.Errorf("datatype: buffer %d: %w", p.Buf, err)
+		}
+	}
+	return nil
+}
+
+// GatherComposite copies every element selected by c, in order, from the
+// buffers bufs (indexed by buffer selector) into wire and returns the
+// number of elements copied.
+func GatherComposite[T any](wire []T, bufs [][]T, c *Composite) int {
+	n := 0
+	for _, p := range c.parts {
+		n += Gather(wire[n:], bufs[p.Buf], p.L)
+	}
+	return n
+}
+
+// ScatterComposite copies len(wire) elements from wire into the buffers
+// bufs at the positions selected by c, in order, and returns the number
+// copied.
+func ScatterComposite[T any](bufs [][]T, wire []T, c *Composite) int {
+	n := 0
+	for _, p := range c.parts {
+		n += Scatter(bufs[p.Buf], wire[n:n+p.L.Size()], p.L)
+	}
+	return n
+}

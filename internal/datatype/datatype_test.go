@@ -1,0 +1,327 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func intsUpTo(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestContiguous(t *testing.T) {
+	l := Contiguous(3, 4)
+	if l.Size() != 4 {
+		t.Fatalf("Size = %d", l.Size())
+	}
+	buf := intsUpTo(10)
+	wire := make([]int, 4)
+	if n := Gather(wire, buf, l); n != 4 {
+		t.Fatalf("Gather returned %d", n)
+	}
+	if !reflect.DeepEqual(wire, []int{3, 4, 5, 6}) {
+		t.Fatalf("wire = %v", wire)
+	}
+}
+
+func TestContiguousZeroAndNegativeCount(t *testing.T) {
+	l := Contiguous(0, 0)
+	if l.Size() != 0 || len(l.Blocks()) != 0 {
+		t.Errorf("zero-count layout not empty: %+v", l)
+	}
+	l = Contiguous(5, -3)
+	if l.Size() != 0 {
+		t.Errorf("negative count produced elements")
+	}
+}
+
+func TestVectorDescribesMatrixColumn(t *testing.T) {
+	// 4x5 row-major matrix; column 2 is elements 2, 7, 12, 17.
+	l := Vector(4, 1, 5, 2)
+	buf := intsUpTo(20)
+	wire := make([]int, l.Size())
+	Gather(wire, buf, l)
+	if !reflect.DeepEqual(wire, []int{2, 7, 12, 17}) {
+		t.Fatalf("column gather = %v", wire)
+	}
+}
+
+func TestVectorCoalescesContiguous(t *testing.T) {
+	// stride == blocklen means the blocks are contiguous and must merge.
+	l := Vector(3, 4, 4, 0)
+	if got := len(l.Blocks()); got != 1 {
+		t.Errorf("contiguous vector has %d blocks, want 1", got)
+	}
+	if l.Size() != 12 {
+		t.Errorf("Size = %d", l.Size())
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	l, err := Indexed([]int{0, 10, 5}, []int{2, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := intsUpTo(16)
+	wire := make([]int, l.Size())
+	Gather(wire, buf, l)
+	if !reflect.DeepEqual(wire, []int{0, 1, 10, 5, 6, 7}) {
+		t.Fatalf("indexed gather = %v", wire)
+	}
+	if _, err := Indexed([]int{0}, []int{1, 2}); err == nil {
+		t.Error("mismatched Indexed succeeded")
+	}
+}
+
+func TestSubarrayHaloRegions(t *testing.T) {
+	// 5x5 matrix with a 3x3 interior at (1,1): the paper's Listing 3 shapes.
+	rowLen := 5
+	upperRow := Subarray(rowLen, 1, 1, 1, 3) // row out
+	leftCol := Subarray(rowLen, 1, 1, 3, 1)  // column out
+	corner := Subarray(rowLen, 1, 1, 1, 1)   // corner out
+	interior := Subarray(rowLen, 1, 1, 3, 3) // whole interior
+	buf := intsUpTo(25)
+
+	check := func(l Layout, want []int, name string) {
+		t.Helper()
+		wire := make([]int, l.Size())
+		Gather(wire, buf, l)
+		if !reflect.DeepEqual(wire, want) {
+			t.Errorf("%s gather = %v, want %v", name, wire, want)
+		}
+	}
+	check(upperRow, []int{6, 7, 8}, "upperRow")
+	check(leftCol, []int{6, 11, 16}, "leftCol")
+	check(corner, []int{6}, "corner")
+	check(interior, []int{6, 7, 8, 11, 12, 13, 16, 17, 18}, "interior")
+}
+
+func TestBounds(t *testing.T) {
+	var l Layout
+	if lo, hi := l.Bounds(); lo != 0 || hi != 0 {
+		t.Errorf("empty Bounds = %d,%d", lo, hi)
+	}
+	l.Append(7, 2)
+	l.Append(1, 3)
+	if lo, hi := l.Bounds(); lo != 1 || hi != 9 {
+		t.Errorf("Bounds = %d,%d, want 1,9", lo, hi)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := Contiguous(8, 4)
+	if err := l.Validate(12); err != nil {
+		t.Errorf("Validate(12): %v", err)
+	}
+	if err := l.Validate(11); err == nil {
+		t.Error("Validate(11) succeeded for block [8,12)")
+	}
+	var neg Layout
+	neg.blocks = append(neg.blocks, Block{Off: -1, Count: 1})
+	if err := neg.Validate(10); err == nil {
+		t.Error("negative offset validated")
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	l, _ := Indexed([]int{2, 9, 5}, []int{3, 1, 2})
+	src := intsUpTo(12)
+	wire := make([]int, l.Size())
+	Gather(wire, src, l)
+	dst := make([]int, 12)
+	for i := range dst {
+		dst[i] = -1
+	}
+	if n := Scatter(dst, wire, l); n != l.Size() {
+		t.Fatalf("Scatter returned %d", n)
+	}
+	for _, b := range l.Blocks() {
+		for i := b.Off; i < b.Off+b.Count; i++ {
+			if dst[i] != src[i] {
+				t.Fatalf("dst[%d] = %d, want %d", i, dst[i], src[i])
+			}
+		}
+	}
+	// Untouched positions remain -1.
+	if dst[0] != -1 || dst[11] != -1 {
+		t.Error("scatter touched unselected elements")
+	}
+}
+
+func TestGatherScatterPropertyRandomLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		buflen := rng.Intn(100) + 10
+		var l Layout
+		// Random non-overlapping blocks in increasing offset order.
+		off := 0
+		for off < buflen {
+			gap := rng.Intn(4)
+			cnt := rng.Intn(5)
+			off += gap
+			if off+cnt > buflen {
+				break
+			}
+			l.Append(off, cnt)
+			off += cnt
+		}
+		src := make([]float64, buflen)
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+		wire := make([]float64, l.Size())
+		if n := Gather(wire, src, l); n != l.Size() {
+			t.Fatalf("gather count %d != %d", n, l.Size())
+		}
+		dst := make([]float64, buflen)
+		Scatter(dst, wire, l)
+		for _, b := range l.Blocks() {
+			for i := b.Off; i < b.Off+b.Count; i++ {
+				if dst[i] != src[i] {
+					t.Fatalf("round trip mismatch at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestLayoutAppendLayoutWithBase(t *testing.T) {
+	inner := Vector(2, 1, 3, 0) // blocks at 0 and 3
+	var outer Layout
+	outer.AppendLayout(inner, 10)
+	blocks := outer.Blocks()
+	if len(blocks) != 2 || blocks[0].Off != 10 || blocks[1].Off != 13 {
+		t.Fatalf("AppendLayout blocks = %v", blocks)
+	}
+}
+
+func TestCompositeGatherScatter(t *testing.T) {
+	bufA := intsUpTo(10)    // buffer 0
+	bufB := make([]int, 10) // buffer 1
+	for i := range bufB {
+		bufB[i] = 100 + i
+	}
+	var c Composite
+	c.AppendBlock(0, 2, 2) // 2,3
+	c.AppendBlock(1, 5, 3) // 105,106,107
+	c.AppendBlock(0, 8, 1) // 8
+	if c.Size() != 6 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	wire := make([]int, c.Size())
+	GatherComposite(wire, [][]int{bufA, bufB}, &c)
+	want := []int{2, 3, 105, 106, 107, 8}
+	if !reflect.DeepEqual(wire, want) {
+		t.Fatalf("composite gather = %v, want %v", wire, want)
+	}
+
+	dstA := make([]int, 10)
+	dstB := make([]int, 10)
+	ScatterComposite([][]int{dstA, dstB}, wire, &c)
+	if dstA[2] != 2 || dstA[3] != 3 || dstA[8] != 8 {
+		t.Errorf("dstA = %v", dstA)
+	}
+	if dstB[5] != 105 || dstB[7] != 107 {
+		t.Errorf("dstB = %v", dstB)
+	}
+}
+
+func TestCompositeMergesSameBufferParts(t *testing.T) {
+	var c Composite
+	c.AppendBlock(1, 0, 2)
+	c.AppendBlock(1, 5, 2)
+	c.AppendBlock(0, 0, 1)
+	if got := len(c.Parts()); got != 2 {
+		t.Errorf("parts = %d, want 2 (same-buffer merge)", got)
+	}
+	// Empty layout appends are dropped entirely.
+	c.Append(0, Layout{})
+	if got := len(c.Parts()); got != 2 {
+		t.Errorf("empty append changed parts to %d", got)
+	}
+}
+
+func TestCompositeValidate(t *testing.T) {
+	var c Composite
+	c.AppendBlock(0, 0, 4)
+	c.AppendBlock(1, 8, 4)
+	if err := c.Validate([]int{4, 12}); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := c.Validate([]int{4, 10}); err == nil {
+		t.Error("Validate accepted overflowing part")
+	}
+	if err := c.Validate([]int{4}); err == nil {
+		t.Error("Validate accepted missing buffer")
+	}
+}
+
+func TestGatherPreservesOrderProperty(t *testing.T) {
+	// Gathered wire data equals the naive element-by-element walk.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buflen := rng.Intn(60) + 5
+		var l Layout
+		for i := 0; i < rng.Intn(8); i++ {
+			off := rng.Intn(buflen)
+			cnt := rng.Intn(buflen - off)
+			l.Append(off, cnt)
+		}
+		buf := make([]int, buflen)
+		for i := range buf {
+			buf[i] = rng.Int()
+		}
+		wire := make([]int, l.Size())
+		Gather(wire, buf, l)
+		var naive []int
+		for _, b := range l.Blocks() {
+			naive = append(naive, buf[b.Off:b.Off+b.Count]...)
+		}
+		if len(naive) == 0 {
+			return len(wire) == 0
+		}
+		return reflect.DeepEqual(wire, naive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeDoesNotCorruptCallerLayouts(t *testing.T) {
+	// Regression: merging same-buffer parts used to coalesce blocks in
+	// place on storage shared with the caller's Layout values, silently
+	// growing them (found by the facade integration test).
+	a := Contiguous(0, 1)
+	b := Contiguous(1, 1)
+	var c Composite
+	c.Append(0, a)
+	c.Append(0, b) // merges and coalesces [0,1)+[1,2) -> [0,2)
+	if got := len(c.Parts()); got != 1 {
+		t.Fatalf("parts = %d", got)
+	}
+	if a.Size() != 1 || len(a.Blocks()) != 1 || a.Blocks()[0].Count != 1 {
+		t.Fatalf("caller layout mutated: %+v", a.Blocks())
+	}
+	wire := make([]int, 1)
+	if n := Gather(wire, []int{42, 43}, a); n != 1 || wire[0] != 42 {
+		t.Fatalf("gather through original layout broken: %d %v", n, wire)
+	}
+}
+
+func TestLayoutClone(t *testing.T) {
+	l := Contiguous(2, 3)
+	cp := l.Clone()
+	cp.Append(5, 1) // coalesces into the clone only
+	if len(l.Blocks()) != 1 || l.Blocks()[0].Count != 3 {
+		t.Fatalf("clone mutation leaked: %+v", l.Blocks())
+	}
+	if cp.Size() != 4 {
+		t.Fatalf("clone size %d", cp.Size())
+	}
+}

@@ -1,0 +1,94 @@
+package datatype
+
+import "testing"
+
+// FuzzGatherScatterRoundTrip builds a layout of non-overlapping blocks
+// from fuzzed (gap, count) pairs and checks the gather/scatter round trip
+// and size bookkeeping.
+func FuzzGatherScatterRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3, 2, 1})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var l Layout
+		off := 0
+		for i := 0; i+1 < len(raw) && off < 4096; i += 2 {
+			gap := int(raw[i]) % 7
+			cnt := int(raw[i+1]) % 9
+			off += gap
+			l.Append(off, cnt)
+			off += cnt
+		}
+		buflen := off + 1
+		src := make([]int32, buflen)
+		for i := range src {
+			src[i] = int32(i * 3)
+		}
+		wire := make([]int32, l.Size())
+		if n := Gather(wire, src, l); n != l.Size() {
+			t.Fatalf("gather %d != %d", n, l.Size())
+		}
+		dst := make([]int32, buflen)
+		if n := Scatter(dst, wire, l); n != l.Size() {
+			t.Fatalf("scatter %d != %d", n, l.Size())
+		}
+		total := 0
+		for _, b := range l.Blocks() {
+			total += b.Count
+			for i := b.Off; i < b.Off+b.Count; i++ {
+				if dst[i] != src[i] {
+					t.Fatalf("round trip mismatch at %d", i)
+				}
+			}
+		}
+		if total != l.Size() {
+			t.Fatalf("size %d != block sum %d", l.Size(), total)
+		}
+		if err := l.Validate(buflen); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+	})
+}
+
+// FuzzCompositeIsolation checks that composite construction never mutates
+// the source layouts (the aliasing regression found by the integration
+// tests).
+func FuzzCompositeIsolation(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var layouts []Layout
+		var bufs []int
+		for i := 0; i+1 < len(raw) && len(layouts) < 16; i += 2 {
+			buf := int(raw[i]) % 2
+			off := int(raw[i+1]) % 32
+			layouts = append(layouts, Contiguous(off, 2))
+			bufs = append(bufs, buf)
+		}
+		snapshot := make([][]Block, len(layouts))
+		for i, l := range layouts {
+			snapshot[i] = append([]Block(nil), l.Blocks()...)
+		}
+		var c Composite
+		for i, l := range layouts {
+			c.Append(bufs[i], l)
+		}
+		for i, l := range layouts {
+			blocks := l.Blocks()
+			if len(blocks) != len(snapshot[i]) {
+				t.Fatalf("layout %d block count changed", i)
+			}
+			for j := range blocks {
+				if blocks[j] != snapshot[i][j] {
+					t.Fatalf("layout %d block %d mutated: %+v -> %+v", i, j, snapshot[i][j], blocks[j])
+				}
+			}
+		}
+		want := 0
+		for _, l := range layouts {
+			want += l.Size()
+		}
+		if c.Size() != want {
+			t.Fatalf("composite size %d != %d", c.Size(), want)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"sync"
+
+	"cartcc/internal/netmodel"
+)
+
+// message is one in-flight point-to-point message. The payload is the
+// gathered wire slice (a typed []T boxed in an any); elems and bytes record
+// its extent for matching diagnostics and cost accounting.
+type message struct {
+	ctx     int64
+	src     int // communicator rank of the sender within ctx
+	tag     int
+	payload any
+	elems   int
+	bytes   int
+	arrive  netmodel.Time
+}
+
+// pendingRecv is a posted-but-unmatched receive. The matched message is
+// handed over through the ready channel (buffered, capacity 1).
+type pendingRecv struct {
+	ctx   int64
+	src   int // may be AnySource
+	tag   int // may be AnyTag
+	ready chan *message
+}
+
+// matches reports whether message m satisfies receive r. MPI matching:
+// contexts must be equal; source and tag match exactly or via wildcard.
+func (r *pendingRecv) matches(m *message) bool {
+	if r.ctx != m.ctx {
+		return false
+	}
+	if r.src != AnySource && r.src != m.src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != m.tag {
+		return false
+	}
+	return true
+}
+
+// mailbox holds a rank's unexpected-message queue and pending receives.
+// Both lists are kept in arrival/post order, which — together with each
+// sender delivering its messages sequentially from one goroutine — gives
+// MPI's non-overtaking guarantee per (source, tag, context).
+type mailbox struct {
+	mu      sync.Mutex
+	arrived []*message
+	recvs   []*pendingRecv
+}
+
+// deliver hands a message to the mailbox: the first matching pending
+// receive in post order gets it, otherwise it queues as unexpected.
+func (b *mailbox) deliver(m *message) {
+	b.mu.Lock()
+	for i, r := range b.recvs {
+		if r.matches(m) {
+			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
+			b.mu.Unlock()
+			r.ready <- m
+			return
+		}
+	}
+	b.arrived = append(b.arrived, m)
+	b.mu.Unlock()
+}
+
+// post registers a receive: the first matching unexpected message in
+// arrival order satisfies it immediately, otherwise the receive pends.
+func (b *mailbox) post(r *pendingRecv) {
+	b.mu.Lock()
+	for i, m := range b.arrived {
+		if r.matches(m) {
+			b.arrived = append(b.arrived[:i], b.arrived[i+1:]...)
+			b.mu.Unlock()
+			r.ready <- m
+			return
+		}
+	}
+	b.recvs = append(b.recvs, r)
+	b.mu.Unlock()
+}
+
+// probe reports whether a matching message has arrived, without removing
+// it, returning its envelope. Mirrors MPI_Iprobe.
+func (b *mailbox) probe(ctx int64, src, tag int) (found bool, msgSrc, msgTag, elems int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := pendingRecv{ctx: ctx, src: src, tag: tag}
+	for _, m := range b.arrived {
+		if r.matches(m) {
+			return true, m.src, m.tag, m.elems
+		}
+	}
+	return false, 0, 0, 0
+}

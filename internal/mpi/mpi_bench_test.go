@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cartcc/internal/datatype"
+)
+
+// Micro-benchmarks of the runtime substrate (wall-clock): point-to-point
+// latency, matching under load, collectives, and the datatype path.
+
+func BenchmarkPingPong(b *testing.B) {
+	for _, size := range []int{1, 64, 4096} {
+		size := size
+		b.Run(fmt.Sprintf("elems_%d", size), func(b *testing.B) {
+			err := Run(Config{Procs: 2, Timeout: time.Minute}, func(c *Comm) error {
+				buf := make([]int32, size)
+				whole := datatype.Contiguous(0, size)
+				for i := 0; i < b.N; i++ {
+					if c.Rank() == 0 {
+						if err := Send(c, buf, whole, 1, 0); err != nil {
+							return err
+						}
+						if _, err := Recv(c, buf, whole, 1, 0); err != nil {
+							return err
+						}
+					} else {
+						if _, err := Recv(c, buf, whole, 0, 0); err != nil {
+							return err
+						}
+						if err := Send(c, buf, whole, 0, 0); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			err := Run(Config{Procs: p, Timeout: time.Minute}, func(c *Comm) error {
+				for i := 0; i < b.N; i++ {
+					if err := Barrier(c); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	err := Run(Config{Procs: 8, Timeout: time.Minute}, func(c *Comm) error {
+		send := []float64{float64(c.Rank())}
+		recv := make([]float64, 1)
+		for i := 0; i < b.N; i++ {
+			if err := Allreduce(c, send, recv, SumOp[float64]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkNeighborAlltoallDirect(b *testing.B) {
+	// Direct-delivery baseline cost in this runtime (wall clock), ring of
+	// degree 8.
+	const p = 16
+	err := Run(Config{Procs: p, Timeout: time.Minute}, func(c *Comm) error {
+		var sources, targets []int
+		for k := 1; k <= 8; k++ {
+			targets = append(targets, (c.Rank()+k)%p)
+			sources = append(sources, (c.Rank()-k+p)%p)
+		}
+		g, err := DistGraphCreateAdjacent(c, sources, nil, targets, nil, false)
+		if err != nil {
+			return err
+		}
+		send := make([]int32, 8)
+		recv := make([]int32, 8)
+		for i := 0; i < b.N; i++ {
+			if err := NeighborAlltoall(g, send, recv); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

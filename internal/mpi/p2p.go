@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+
+	"cartcc/internal/datatype"
+	"cartcc/internal/trace"
+)
+
+// elemBytes returns the in-memory size of one element of type T.
+func elemBytes[T any]() int {
+	var z T
+	return int(reflect.TypeOf(&z).Elem().Size())
+}
+
+// isendRaw posts a buffered send of an already-gathered wire payload.
+// Virtual-time accounting: the sender's clock advances by the per-message
+// send overhead; the message arrives at the receiver at
+// clock + α + β·bytes (+ noise), with α omitted for self-messages (a local
+// memory copy has no wire latency).
+func (c *Comm) isendRaw(payload any, elems, nbytes, dst, tag int) (*Request, error) {
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return c.isendRawTag(payload, elems, nbytes, dst, int64(tag)), nil
+}
+
+// isendRawTag is the unchecked core used both for user tags and for the
+// runtime's internal (collective) tags.
+//
+// Virtual-time semantics follow a LogGP-style postal model: the sender's
+// clock serializes on the per-message overhead plus the injection time
+// β·bytes (consecutive sends share one NIC), and the message then spends
+// the wire latency α in flight. Self-messages skip the wire but still pay
+// the copy (injection) cost.
+func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64) *Request {
+	rs := c.rs
+	m := &message{ctx: c.ctx, src: c.rank, tag: int(tag), payload: payload, elems: elems, bytes: nbytes}
+	dstWorld := c.worldRank(dst)
+	if model := c.w.model; model != nil {
+		start := rs.clock
+		alpha, beta := model.PathParams(rs.rank, dstWorld)
+		rs.clock += model.SendOverhead + beta*float64(nbytes)
+		cost := alpha
+		if model.Noise != nil {
+			cost += model.Noise.Sample(rs.rng, model.Cost(nbytes))
+		}
+		m.arrive = rs.clock + cost
+		if rec := c.w.rec; rec != nil {
+			rec.Add(trace.Event{
+				Rank: rs.rank, Kind: trace.KindSend, Peer: dstWorld,
+				Bytes: nbytes, Tag: int(tag), Start: start, End: rs.clock,
+			})
+		}
+	}
+	c.w.ranks[dstWorld].box.deliver(m)
+	return &Request{kind: reqSend, c: c}
+}
+
+// irecvRaw posts a receive and returns its request; complete is invoked
+// with the matched message at Wait time to scatter the payload.
+func (c *Comm) irecvRaw(src, tag int, complete func(*message) error) (*Request, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return nil, err
+		}
+	}
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return c.irecvRawTag(src, int64(tag), complete), nil
+}
+
+func (c *Comm) irecvRawTag(src int, tag int64, complete func(*message) error) *Request {
+	p := &pendingRecv{ctx: c.ctx, src: src, tag: int(tag), ready: make(chan *message, 1)}
+	req := &Request{kind: reqRecv, c: c, pending: p, complete: complete}
+	c.rs.box.post(p)
+	return req
+}
+
+// scatterInto builds the receive-completion closure that type-checks the
+// payload and scatters it through the layout into buf. The message must
+// carry exactly l.Size() elements of type T (the runtime is deliberately
+// strict: a size or type mismatch is a schedule bug, not data to truncate).
+func scatterInto[T any](buf []T, l datatype.Layout) func(*message) error {
+	return func(m *message) error {
+		wire, ok := m.payload.([]T)
+		if !ok {
+			return fmt.Errorf("mpi: type mismatch: received %T, receiver expects []%T", m.payload, *new(T))
+		}
+		if len(wire) != l.Size() {
+			return fmt.Errorf("mpi: size mismatch: received %d elements, receive layout describes %d", len(wire), l.Size())
+		}
+		datatype.Scatter(buf, wire, l)
+		return nil
+	}
+}
+
+// scatterComposite is scatterInto for multi-buffer composites.
+func scatterComposite[T any](bufs [][]T, comp *datatype.Composite) func(*message) error {
+	return func(m *message) error {
+		wire, ok := m.payload.([]T)
+		if !ok {
+			return fmt.Errorf("mpi: type mismatch: received %T, receiver expects []%T", m.payload, *new(T))
+		}
+		if len(wire) != comp.Size() {
+			return fmt.Errorf("mpi: size mismatch: received %d elements, receive composite describes %d", len(wire), comp.Size())
+		}
+		datatype.ScatterComposite(bufs, wire, comp)
+		return nil
+	}
+}
+
+// Isend starts a nonblocking send of the elements of buf selected by l to
+// dst with the given tag. The data is gathered (copied out) at posting
+// time, so buf may be reused immediately — buffered-send semantics.
+func Isend[T any](c *Comm, buf []T, l datatype.Layout, dst, tag int) (*Request, error) {
+	if err := l.Validate(len(buf)); err != nil {
+		return nil, err
+	}
+	wire := make([]T, l.Size())
+	datatype.Gather(wire, buf, l)
+	return c.isendRaw(wire, len(wire), len(wire)*elemBytes[T](), dst, tag)
+}
+
+// IsendComposite starts a nonblocking send of the elements selected by comp
+// across the buffers bufs (indexed by the composite's buffer selectors).
+// This is the sender side of one schedule round (Listing 5 of the paper).
+func IsendComposite[T any](c *Comm, bufs [][]T, comp *datatype.Composite, dst, tag int) (*Request, error) {
+	wire := make([]T, comp.Size())
+	datatype.GatherComposite(wire, bufs, comp)
+	return c.isendRaw(wire, len(wire), len(wire)*elemBytes[T](), dst, tag)
+}
+
+// Irecv starts a nonblocking receive into the elements of buf selected by
+// l. src may be AnySource and tag AnyTag.
+func Irecv[T any](c *Comm, buf []T, l datatype.Layout, src, tag int) (*Request, error) {
+	if err := l.Validate(len(buf)); err != nil {
+		return nil, err
+	}
+	return c.irecvRaw(src, tag, scatterInto(buf, l))
+}
+
+// IrecvComposite starts a nonblocking receive scattered through comp across
+// the buffers bufs — the receiver side of one schedule round.
+func IrecvComposite[T any](c *Comm, bufs [][]T, comp *datatype.Composite, src, tag int) (*Request, error) {
+	return c.irecvRaw(src, tag, scatterComposite(bufs, comp))
+}
+
+// Send is the blocking form of Isend.
+func Send[T any](c *Comm, buf []T, l datatype.Layout, dst, tag int) error {
+	req, err := Isend(c, buf, l, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// Recv is the blocking form of Irecv.
+func Recv[T any](c *Comm, buf []T, l datatype.Layout, src, tag int) (Status, error) {
+	req, err := Irecv(c, buf, l, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// SendSlice sends all of buf contiguously.
+func SendSlice[T any](c *Comm, buf []T, dst, tag int) error {
+	return Send(c, buf, datatype.Contiguous(0, len(buf)), dst, tag)
+}
+
+// RecvSlice receives exactly len(buf) elements contiguously into buf.
+func RecvSlice[T any](c *Comm, buf []T, src, tag int) (Status, error) {
+	return Recv(c, buf, datatype.Contiguous(0, len(buf)), src, tag)
+}
+
+// Sendrecv performs a combined send and receive, the deadlock-free exchange
+// primitive of the trivial Cartesian algorithms (Listing 4 of the paper).
+// The receive is posted before the send; both complete before return.
+func Sendrecv[T any](c *Comm, sendBuf []T, sl datatype.Layout, dst, sendTag int,
+	recvBuf []T, rl datatype.Layout, src, recvTag int) (Status, error) {
+	rreq, err := Irecv(c, recvBuf, rl, src, recvTag)
+	if err != nil {
+		return Status{}, err
+	}
+	sreq, err := Isend(c, sendBuf, sl, dst, sendTag)
+	if err != nil {
+		return Status{}, err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return Status{}, err
+	}
+	return rreq.Wait()
+}
+
+// Iprobe checks nonblockingly for a matching incoming message and returns
+// its envelope if one has arrived.
+func Iprobe(c *Comm, src, tag int) (found bool, st Status, err error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return false, Status{}, err
+		}
+	}
+	found, msgSrc, msgTag, elems := c.rs.box.probe(c.ctx, src, tag)
+	if !found {
+		return false, Status{}, nil
+	}
+	return true, Status{Source: msgSrc, Tag: msgTag, Count: elems}, nil
+}

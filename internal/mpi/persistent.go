@@ -1,0 +1,87 @@
+package mpi
+
+import (
+	"fmt"
+
+	"cartcc/internal/datatype"
+)
+
+// Persistent point-to-point requests, mirroring MPI_Send_init /
+// MPI_Recv_init: the communication parameters (buffer, layout, peer, tag)
+// are bound once and the operation is then started any number of times —
+// the point-to-point counterpart of the paper's persistent collective
+// initialization (Cart_*_init).
+
+// PersistentSend is a reusable send operation.
+type PersistentSend struct {
+	// start is the element-type-bound starter installed by SendInit.
+	start func() (*Request, error)
+}
+
+// Start begins one send with the bound parameters; the returned request
+// completes as usual (buffered semantics: immediately).
+func (p *PersistentSend) Start() (*Request, error) { return p.start() }
+
+// SendInit binds a send operation for repeated starting. The buffer
+// contents are read at each Start.
+func SendInit[T any](c *Comm, buf []T, l datatype.Layout, dst, tag int) (*PersistentSend, error) {
+	if err := l.Validate(len(buf)); err != nil {
+		return nil, err
+	}
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return &PersistentSend{start: func() (*Request, error) {
+		return Isend(c, buf, l, dst, tag)
+	}}, nil
+}
+
+// PersistentRecv is a reusable receive operation.
+type PersistentRecv struct {
+	start func() (*Request, error)
+}
+
+// Start posts one receive with the bound parameters.
+func (p *PersistentRecv) Start() (*Request, error) { return p.start() }
+
+// RecvInit binds a receive operation for repeated starting; each Start
+// posts a fresh receive into the bound buffer.
+func RecvInit[T any](c *Comm, buf []T, l datatype.Layout, src, tag int) (*PersistentRecv, error) {
+	if err := l.Validate(len(buf)); err != nil {
+		return nil, err
+	}
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return nil, err
+		}
+	}
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return &PersistentRecv{start: func() (*Request, error) {
+		return Irecv(c, buf, l, src, tag)
+	}}, nil
+}
+
+// StartAll starts every persistent operation and returns the requests, in
+// order (sends and receives may be mixed via the Starter interface).
+func StartAll(ops ...Starter) ([]*Request, error) {
+	reqs := make([]*Request, 0, len(ops))
+	for _, op := range ops {
+		r, err := op.Start()
+		if err != nil {
+			return reqs, err
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs, nil
+}
+
+// Starter is anything that can start a bound operation (PersistentSend,
+// PersistentRecv).
+type Starter interface {
+	Start() (*Request, error)
+}

@@ -1,0 +1,211 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"cartcc/internal/trace"
+)
+
+// Status describes a completed receive, mirroring MPI_Status.
+type Status struct {
+	// Source is the communicator rank the message came from.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Count is the number of elements received.
+	Count int
+}
+
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+	reqAggregate
+)
+
+// Request is a handle for a nonblocking operation. Send requests complete
+// at posting time (the runtime buffers eagerly); receive requests complete
+// when a matching message has arrived and been scattered into the user
+// buffer; aggregate requests complete when all children have.
+type Request struct {
+	kind     reqKind
+	c        *Comm
+	pending  *pendingRecv
+	complete func(m *message) error
+	children []*Request
+	finished bool
+	status   Status
+	err      error
+}
+
+// Wait blocks until the operation completes and returns its status. Waiting
+// twice on the same request returns the recorded result. If the run was
+// aborted by another rank's failure, or the deadlock watchdog fires, Wait
+// returns an error.
+func (r *Request) Wait() (Status, error) {
+	if r == nil {
+		return Status{}, fmt.Errorf("mpi: Wait on nil request")
+	}
+	if r.finished {
+		return r.status, r.err
+	}
+	switch r.kind {
+	case reqSend:
+		// Sends are buffered: complete at post time.
+	case reqRecv:
+		m, err := r.awaitMessage()
+		if err != nil {
+			r.err = err
+			break
+		}
+		rs := r.c.rs
+		if model := r.c.w.model; model != nil {
+			start := rs.clock
+			if m.arrive > rs.clock {
+				rs.clock = m.arrive
+			}
+			rs.clock += model.RecvOverhead
+			if rec := r.c.w.rec; rec != nil {
+				rec.Add(trace.Event{
+					Rank: rs.rank, Kind: trace.KindRecv, Peer: r.c.worldRank(m.src),
+					Bytes: m.bytes, Tag: m.tag, Start: start, End: rs.clock,
+				})
+			}
+		}
+		r.status = Status{Source: m.src, Tag: m.tag, Count: m.elems}
+		if r.complete != nil {
+			r.err = r.complete(m)
+		}
+	case reqAggregate:
+		for _, ch := range r.children {
+			if _, err := ch.Wait(); err != nil && r.err == nil {
+				r.err = err
+			}
+		}
+	}
+	r.finished = true
+	return r.status, r.err
+}
+
+// awaitMessage blocks on the pending receive with abort and watchdog
+// handling.
+func (r *Request) awaitMessage() (*message, error) {
+	w := r.c.w
+	var timeoutCh <-chan time.Time
+	if w.timeout > 0 {
+		t := time.NewTimer(w.timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case m := <-r.pending.ready:
+		return m, nil
+	case <-w.abort:
+		return nil, fmt.Errorf("mpi: rank %d: run aborted while receiving (src=%d tag=%d)", r.c.rank, r.pending.src, r.pending.tag)
+	case <-timeoutCh:
+		err := fmt.Errorf("mpi: rank %d: deadlock suspected: receive (src=%d tag=%d ctx=%d) blocked for %v",
+			r.c.rank, r.pending.src, r.pending.tag, r.pending.ctx, w.timeout)
+		w.fail(err)
+		return nil, err
+	}
+}
+
+// Test reports whether the operation has completed, without blocking; when
+// it has, the status and error are as Wait would return them. Mirrors
+// MPI_Test for receive requests.
+func (r *Request) Test() (done bool, st Status, err error) {
+	if r.finished {
+		return true, r.status, r.err
+	}
+	switch r.kind {
+	case reqSend:
+		st, err = r.Wait()
+		return true, st, err
+	case reqRecv:
+		select {
+		case m := <-r.pending.ready:
+			// Hand the message back through the buffered channel and let
+			// Wait perform clock accounting and the scatter.
+			r.pending.ready <- m
+			st, err = r.Wait()
+			return true, st, err
+		default:
+			return false, Status{}, nil
+		}
+	case reqAggregate:
+		for _, ch := range r.children {
+			if done, _, _ := ch.Test(); !done {
+				return false, Status{}, nil
+			}
+		}
+		st, err = r.Wait()
+		return true, st, err
+	}
+	return false, Status{}, nil
+}
+
+// Waitany blocks until at least one of the requests completes and returns
+// its index and status, like MPI_Waitany. Completed (or nil) requests that
+// were already waited on are skipped; if every request is nil or finished,
+// it returns index -1. The poll loop yields between sweeps, so it is
+// intended for small request counts (as in schedule executors).
+func Waitany(reqs ...*Request) (int, Status, error) {
+	live := 0
+	for _, r := range reqs {
+		if r != nil && !r.finished {
+			live++
+		}
+	}
+	if live == 0 {
+		return -1, Status{}, nil
+	}
+	for {
+		for i, r := range reqs {
+			if r == nil || r.finished {
+				continue
+			}
+			done, st, err := r.Test()
+			if done {
+				return i, st, err
+			}
+		}
+		// Block on the first live request's channel briefly rather than
+		// spinning: fairness is preserved by the sweep above.
+		for _, r := range reqs {
+			if r == nil || r.finished {
+				continue
+			}
+			if r.kind != reqRecv {
+				continue
+			}
+			select {
+			case m := <-r.pending.ready:
+				r.pending.ready <- m
+			case <-time.After(50 * time.Microsecond):
+			}
+			break
+		}
+	}
+}
+
+// Waitall waits for every request and returns the first error encountered.
+func Waitall(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// aggregate bundles several requests into one, the handle returned by the
+// nonblocking (Ineighbor_*) collectives.
+func aggregate(c *Comm, reqs []*Request) *Request {
+	return &Request{kind: reqAggregate, c: c, children: reqs}
+}

@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cartcc/internal/netmodel"
+	"cartcc/internal/trace"
+)
+
+func TestRuntimeTracing(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	err := Run(Config{Procs: 2, Model: netmodel.Hydra(), Seed: 1, Recorder: rec, Timeout: 10 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return SendSlice(c, make([]int32, 100), 1, 3)
+		}
+		buf := make([]int32, 100)
+		_, err := RecvSlice(c, buf, 0, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) != 2 {
+		t.Fatalf("%d events, want send+recv", len(events))
+	}
+	var send, recv *trace.Event
+	for i := range events {
+		switch events[i].Kind {
+		case trace.KindSend:
+			send = &events[i]
+		case trace.KindRecv:
+			recv = &events[i]
+		}
+	}
+	if send == nil || recv == nil {
+		t.Fatalf("missing kinds: %+v", events)
+	}
+	if send.Rank != 0 || send.Peer != 1 || send.Bytes != 400 || send.Tag != 3 {
+		t.Errorf("send event %+v", send)
+	}
+	if recv.Rank != 1 || recv.Peer != 0 || recv.Bytes != 400 {
+		t.Errorf("recv event %+v", recv)
+	}
+	if send.End <= send.Start {
+		t.Errorf("send has no duration: %+v", send)
+	}
+	if recv.End <= recv.Start {
+		t.Errorf("recv has no duration: %+v", recv)
+	}
+	if recv.End <= send.End {
+		t.Errorf("recv completed before send finished injecting")
+	}
+}
+
+func TestTracingRequiresModel(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	err := Run(Config{Procs: 2, Recorder: rec}, func(c *Comm) error { return nil })
+	if err == nil {
+		t.Fatal("tracing without a model accepted")
+	}
+}
+
+func TestTracingRecorderTooSmall(t *testing.T) {
+	rec := trace.NewRecorder(1)
+	err := Run(Config{Procs: 2, Model: netmodel.Hydra(), Recorder: rec}, func(c *Comm) error { return nil })
+	if err == nil {
+		t.Fatal("undersized recorder accepted")
+	}
+}
+
+func TestTracingCollective(t *testing.T) {
+	const p = 4
+	rec := trace.NewRecorder(p)
+	err := Run(Config{Procs: p, Model: netmodel.Hydra(), Seed: 1, Recorder: rec, Timeout: 10 * time.Second}, func(c *Comm) error {
+		vals := []float64{1}
+		if err := Allreduce(c, vals, vals, SumOp[float64]); err != nil {
+			return err
+		}
+		if vals[0] != p {
+			return fmt.Errorf("allreduce %v", vals[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("collective produced no events")
+	}
+	out := rec.Render(60)
+	for r := 0; r < p; r++ {
+		if want := fmt.Sprintf("rank %3d", r); !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

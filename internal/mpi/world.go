@@ -1,0 +1,349 @@
+// Package mpi implements an in-process message-passing runtime with the
+// semantics the Cartesian Collective Communication library needs from MPI:
+// ranks with private address spaces (one goroutine per rank), tagged
+// two-sided point-to-point communication with non-overtaking matching,
+// nonblocking operations with requests and Waitall, communicators with
+// isolated contexts, standard collectives, Cartesian and distributed-graph
+// process topologies, and the MPI neighborhood collectives (the baselines
+// of the paper's evaluation).
+//
+// The runtime supports an optional virtual-time cost model (package
+// netmodel): each rank carries a virtual clock, posted sends serialize on a
+// per-message overhead, and messages arrive at send time + α + β·bytes.
+// This substitutes for the paper's clusters — see DESIGN.md.
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cartcc/internal/netmodel"
+	"cartcc/internal/trace"
+)
+
+// Wildcards and limits mirroring the MPI constants.
+const (
+	// AnySource matches a message from any source rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// DefaultTimeout is the watchdog limit for a blocked receive before the
+// runtime declares a deadlock. Zero disables the watchdog.
+const DefaultTimeout = 60 * time.Second
+
+// World owns the ranks of one parallel run. All communicators of a run are
+// derived from the world communicator passed to each rank's function.
+type World struct {
+	size    int
+	model   *netmodel.Model
+	rec     *trace.Recorder
+	seed    int64
+	timeout time.Duration
+
+	ranks   []*rankState
+	ctxSeq  atomic.Int64
+	abort   chan struct{}
+	failed  atomic.Bool
+	failMu  sync.Mutex
+	failErr error
+}
+
+// Config controls a parallel run.
+type Config struct {
+	// Procs is the number of ranks (goroutines) to spawn. Must be >= 1.
+	Procs int
+	// Model, if non-nil, enables virtual-time accounting under the given
+	// cost model.
+	Model *netmodel.Model
+	// Seed seeds the per-rank noise generators; runs with the same seed,
+	// model and program are deterministic in virtual time.
+	Seed int64
+	// Timeout is the blocked-receive watchdog; 0 means DefaultTimeout,
+	// negative disables it.
+	Timeout time.Duration
+	// Recorder, if non-nil, collects per-rank communication events in
+	// virtual time (requires Model; see package trace). It must have been
+	// created for at least Procs ranks.
+	Recorder *trace.Recorder
+}
+
+// rankState is the per-rank runtime state. The clock, rng and eventSeq
+// fields are owned by the rank's goroutine; the mailbox has its own lock.
+type rankState struct {
+	world *World
+	rank  int
+	clock netmodel.Time
+	rng   *rand.Rand
+	box   mailbox
+}
+
+// Run spawns cfg.Procs ranks, calls f on each with its world communicator,
+// and waits for all to finish. The first error or panic aborts the run and
+// is returned; remaining blocked ranks are released through the abort
+// channel.
+func Run(cfg Config, f func(c *Comm) error) error {
+	if cfg.Procs < 1 {
+		return fmt.Errorf("mpi: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	if cfg.Model != nil {
+		if err := cfg.Model.Validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Recorder != nil {
+		if cfg.Model == nil {
+			return fmt.Errorf("mpi: tracing requires a cost model")
+		}
+		if cfg.Recorder.Ranks() < cfg.Procs {
+			return fmt.Errorf("mpi: recorder sized for %d ranks, run has %d", cfg.Recorder.Ranks(), cfg.Procs)
+		}
+	}
+	w := &World{
+		size:    cfg.Procs,
+		model:   cfg.Model,
+		rec:     cfg.Recorder,
+		seed:    cfg.Seed,
+		timeout: cfg.Timeout,
+		abort:   make(chan struct{}),
+	}
+	if w.timeout == 0 {
+		w.timeout = DefaultTimeout
+	}
+	w.ranks = make([]*rankState, cfg.Procs)
+	for r := range w.ranks {
+		w.ranks[r] = &rankState{
+			world: w,
+			rank:  r,
+			rng:   rand.New(rand.NewSource(cfg.Seed ^ (int64(r+1) * 0x9e3779b97f4a7c))),
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.Procs)
+	for r := 0; r < cfg.Procs; r++ {
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					w.fail(fmt.Errorf("mpi: rank %d panicked: %v\n%s", r, p, debug.Stack()))
+				}
+			}()
+			comm := &Comm{w: w, rs: w.ranks[r], rank: r, size: cfg.Procs, ctx: 0}
+			if err := f(comm); err != nil {
+				w.fail(fmt.Errorf("mpi: rank %d: %w", r, err))
+			}
+		}(r)
+	}
+	wg.Wait()
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failErr
+}
+
+// fail records the first error and releases all blocked ranks.
+func (w *World) fail(err error) {
+	w.failMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.failMu.Unlock()
+	if w.failed.CompareAndSwap(false, true) {
+		close(w.abort)
+	}
+}
+
+// nextCtxBase atomically allocates n fresh context identifiers and returns
+// the first. Context agreement across the ranks of a communicator is
+// reached by broadcasting the allocated base from rank 0 (see commAllocCtx).
+func (w *World) nextCtxBase(n int64) int64 {
+	return w.ctxSeq.Add(n) - n + 1
+}
+
+// Comm is a communicator: an ordered group of ranks with an isolated
+// message context. The zero value is not usable; communicators are obtained
+// from Run and the communicator constructors.
+type Comm struct {
+	w    *World
+	rs   *rankState
+	rank int
+	size int
+	ctx  int64
+	// group maps communicator rank to world rank; nil for the world
+	// communicator (identity).
+	group []int
+
+	cart  *CartInfo
+	graph *GraphInfo
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of processes in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// worldRank translates a communicator rank to a world rank.
+func (c *Comm) worldRank(r int) int {
+	if c.group == nil {
+		return r
+	}
+	return c.group[r]
+}
+
+// VTime returns the rank's current virtual clock in seconds. It is zero
+// unless the run was configured with a cost model.
+func (c *Comm) VTime() netmodel.Time { return c.rs.clock }
+
+// AdvanceVTime adds dt seconds of local computation to the rank's virtual
+// clock, modeling compute phases between communication operations.
+func (c *Comm) AdvanceVTime(dt netmodel.Time) { c.rs.clock += dt }
+
+// Model returns the cost model of the run, or nil in wall-clock mode.
+func (c *Comm) Model() *netmodel.Model { return c.w.model }
+
+// checkRank validates a peer rank argument.
+func (c *Comm) checkRank(r int, what string) error {
+	if r < 0 || r >= c.size {
+		return fmt.Errorf("mpi: %s rank %d out of range [0,%d)", what, r, c.size)
+	}
+	return nil
+}
+
+// Dup returns a new communicator with the same group but a fresh context.
+// Collective over the communicator.
+func (c *Comm) Dup() (*Comm, error) {
+	ctx, err := c.allocCtx(1)
+	if err != nil {
+		return nil, err
+	}
+	dup := *c
+	dup.ctx = ctx
+	dup.cart, dup.graph = nil, nil
+	return &dup, nil
+}
+
+// allocCtx collectively agrees on n fresh context ids and returns the
+// first: rank 0 allocates from the world counter and broadcasts.
+func (c *Comm) allocCtx(n int64) (int64, error) {
+	base := make([]int64, 1)
+	if c.rank == 0 {
+		base[0] = c.w.nextCtxBase(n)
+	}
+	if err := Bcast(c, base, 0); err != nil {
+		return 0, err
+	}
+	return base[0], nil
+}
+
+// Remap returns a communicator with the same members renumbered: new rank
+// r is the process that had old rank newToOld[r]. Every process must pass
+// the same permutation of 0..size-1. Collective. This is the primitive
+// behind topology-aware rank reordering (the reorder flag of the Cartesian
+// constructors).
+func (c *Comm) Remap(newToOld []int) (*Comm, error) {
+	if len(newToOld) != c.size {
+		return nil, fmt.Errorf("mpi: Remap permutation has %d entries for %d ranks", len(newToOld), c.size)
+	}
+	seen := make([]bool, c.size)
+	myNew := -1
+	group := make([]int, c.size)
+	for newRank, old := range newToOld {
+		if old < 0 || old >= c.size || seen[old] {
+			return nil, fmt.Errorf("mpi: Remap argument is not a permutation at index %d", newRank)
+		}
+		seen[old] = true
+		group[newRank] = c.worldRank(old)
+		if old == c.rank {
+			myNew = newRank
+		}
+	}
+	ctx, err := c.allocCtx(1)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{
+		w:     c.w,
+		rs:    c.rs,
+		rank:  myNew,
+		size:  c.size,
+		ctx:   ctx,
+		group: group,
+	}, nil
+}
+
+// Split partitions the communicator by color, ordering each part by key
+// (ties broken by old rank), like MPI_Comm_split. Processes passing a
+// negative color receive a nil communicator. Collective.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	type ck struct{ Color, Key, Rank int64 }
+	mine := []int64{int64(color), int64(key), int64(c.rank)}
+	all := make([]int64, 3*c.size)
+	if err := Allgather(c, mine, all); err != nil {
+		return nil, err
+	}
+	var entries []ck
+	colors := map[int64]struct{}{}
+	var colorOrder []int64
+	for r := 0; r < c.size; r++ {
+		e := ck{all[3*r], all[3*r+1], all[3*r+2]}
+		entries = append(entries, e)
+		if e.Color >= 0 {
+			if _, ok := colors[e.Color]; !ok {
+				colors[e.Color] = struct{}{}
+				colorOrder = append(colorOrder, e.Color)
+			}
+		}
+	}
+	ctxBase, err := c.allocCtx(int64(len(colorOrder)))
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	// Stable selection of my color's members sorted by (key, old rank).
+	var members []ck
+	for _, e := range entries {
+		if e.Color == int64(color) {
+			members = append(members, e)
+		}
+	}
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0; j-- {
+			a, b := members[j-1], members[j]
+			if b.Key < a.Key || (b.Key == a.Key && b.Rank < a.Rank) {
+				members[j-1], members[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	group := make([]int, len(members))
+	newRank := -1
+	for i, e := range members {
+		group[i] = c.worldRank(int(e.Rank))
+		if int(e.Rank) == c.rank {
+			newRank = i
+		}
+	}
+	ctxOff := int64(0)
+	for i, col := range colorOrder {
+		if col == int64(color) {
+			ctxOff = int64(i)
+		}
+	}
+	return &Comm{
+		w:     c.w,
+		rs:    c.rs,
+		rank:  newRank,
+		size:  len(group),
+		ctx:   ctxBase + ctxOff,
+		group: group,
+	}, nil
+}

@@ -1,0 +1,194 @@
+// Package stats implements the measurement processing of the paper's
+// Appendix A: means with 95% confidence intervals, and the robust subset
+// selections the authors adopted after observing heavy outliers and
+// bimodal distributions — the lower two quartiles on Hydra, the smallest
+// third on Titan — plus simple histograms for Figure 7.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile of xs by linear interpolation between
+// order statistics, q in [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := sortedCopy(xs)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// MeanCI returns the mean of xs and the half-width of its 95% confidence
+// interval under the normal approximation (1.96·s/√n). With fewer than two
+// samples the half-width is 0.
+func MeanCI(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	halfWidth = 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, halfWidth
+}
+
+// LowerQuartiles returns the samples at or below the median — the paper's
+// Hydra selection ("data only for both the first and the second
+// quartile").
+func LowerQuartiles(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := sortedCopy(xs)
+	n := (len(s) + 1) / 2
+	return s[:n]
+}
+
+// SmallestThird returns the smallest third of the samples — the paper's
+// Titan selection ("averages only on the smallest third of all
+// measurements"). At least one sample is always kept.
+func SmallestThird(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := sortedCopy(xs)
+	n := len(s) / 3
+	if n == 0 {
+		n = 1
+	}
+	return s[:n]
+}
+
+// Filter selects the Appendix A subset for a named system profile:
+// "hydra" → lower two quartiles, "titan"/"titan-noisy" → smallest third,
+// anything else → all samples.
+func Filter(profile string, xs []float64) []float64 {
+	switch profile {
+	case "hydra":
+		return LowerQuartiles(xs)
+	case "titan", "titan-noisy":
+		return SmallestThird(xs)
+	default:
+		return append([]float64(nil), xs...)
+	}
+}
+
+func sortedCopy(xs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s
+}
+
+// Histogram is a fixed-width-bin histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	// Overflow counts samples outside [Min, Max).
+	Overflow int
+}
+
+// NewHistogram bins xs into the given number of equal-width bins spanning
+// the data range (expanded slightly so the maximum lands inside).
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: need at least one bin, got %d", bins)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: empty sample for histogram")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	hi += (hi - lo) * 1e-9
+	h := &Histogram{Min: lo, Max: hi, Counts: make([]int, bins)}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 || i >= bins {
+			h.Overflow++
+			continue
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// Render draws the histogram as rows of "lo..hi | count ####" text, the
+// form used by the Figure 7 reproduction. scale is the count represented
+// by one '#' (at least 1).
+func (h *Histogram) Render(scale int) string {
+	if scale < 1 {
+		scale = 1
+	}
+	var b strings.Builder
+	w := h.BinWidth()
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*w
+		hi := lo + w
+		fmt.Fprintf(&b, "%12.2f ..%12.2f | %5d %s\n", lo, hi, c, strings.Repeat("#", c/scale))
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v", v)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs")
+	}
+}
+
+func TestMedianAndQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %v", m)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("Q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("Q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("Q.25 = %v", q)
+	}
+	even := []float64{1, 2, 3, 4}
+	if m := Median(even); m != 2.5 {
+		t.Errorf("even Median = %v", m)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 10, 10, 10}
+	m, hw := MeanCI(xs)
+	if m != 10 || hw != 0 {
+		t.Errorf("constant CI = %v ± %v", m, hw)
+	}
+	m, hw = MeanCI([]float64{9, 11})
+	want := 1.96 * math.Sqrt(2) / math.Sqrt(2)
+	if m != 10 || math.Abs(hw-want) > 1e-12 {
+		t.Errorf("CI = %v ± %v, want ± %v", m, hw, want)
+	}
+	if _, hw := MeanCI([]float64{3}); hw != 0 {
+		t.Error("single-sample CI nonzero")
+	}
+}
+
+func TestLowerQuartiles(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7, 2, 8, 4}
+	lo := LowerQuartiles(xs)
+	if len(lo) != 4 {
+		t.Fatalf("kept %d of 8", len(lo))
+	}
+	for _, x := range lo {
+		if x > 4 {
+			t.Errorf("lower quartiles contain %v", x)
+		}
+	}
+	odd := LowerQuartiles([]float64{3, 1, 2})
+	if len(odd) != 2 || odd[1] != 2 {
+		t.Errorf("odd input: %v", odd)
+	}
+	if LowerQuartiles(nil) != nil {
+		t.Error("empty input")
+	}
+}
+
+func TestSmallestThird(t *testing.T) {
+	xs := []float64{6, 5, 4, 3, 2, 1}
+	s := SmallestThird(xs)
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("SmallestThird = %v", s)
+	}
+	if got := SmallestThird([]float64{5, 4}); len(got) != 1 || got[0] != 4 {
+		t.Errorf("tiny input = %v", got)
+	}
+}
+
+func TestFilterProfiles(t *testing.T) {
+	xs := []float64{4, 1, 2, 3, 6, 5}
+	if got := Filter("hydra", xs); len(got) != 3 {
+		t.Errorf("hydra filter: %v", got)
+	}
+	if got := Filter("titan", xs); len(got) != 2 {
+		t.Errorf("titan filter: %v", got)
+	}
+	if got := Filter("titan-noisy", xs); len(got) != 2 {
+		t.Errorf("titan-noisy filter: %v", got)
+	}
+	if got := Filter("", xs); len(got) != len(xs) {
+		t.Errorf("default filter: %v", got)
+	}
+	// Default filter must copy, not alias.
+	cp := Filter("", xs)
+	cp[0] = -99
+	if xs[0] == -99 {
+		t.Error("Filter aliases its input")
+	}
+}
+
+func TestFilterReducesMeanUnderOutliers(t *testing.T) {
+	// The motivating property from Appendix A: with occasional huge
+	// outliers, the filtered mean stays near the true mode.
+	rng := rand.New(rand.NewSource(1))
+	var xs []float64
+	for i := 0; i < 300; i++ {
+		x := 100 + rng.NormFloat64()
+		if rng.Float64() < 0.05 {
+			x *= 1000 // outlier
+		}
+		xs = append(xs, x)
+	}
+	raw := Mean(xs)
+	filtered := Mean(Filter("titan", xs))
+	if raw < 1000 {
+		t.Skip("rng produced no outliers")
+	}
+	if filtered > 110 || filtered < 90 {
+		t.Errorf("filtered mean %v strayed from mode 100", filtered)
+	}
+}
+
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.99}
+	h, err := NewHistogram(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h.Overflow
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram lost samples: %d of %d", total, len(xs))
+	}
+	if h.Overflow != 0 {
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("first bin = %d", h.Counts[0])
+	}
+	if h.BinWidth() <= 0 {
+		t.Error("non-positive bin width")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if _, err := NewHistogram(nil, 4); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	h, err := NewHistogram([]float64{5, 5, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total+h.Overflow != 3 {
+		t.Errorf("constant data histogram: %+v", h)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 1, 1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(1)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("render has %d lines", lines)
+	}
+	// Scale below 1 is clamped.
+	_ = h.Render(0)
+}
+
+func TestHistogramCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 100
+		}
+		bins := rng.Intn(20) + 1
+		h, err := NewHistogram(xs, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := h.Overflow
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("trial %d: %d samples binned of %d", trial, total, n)
+		}
+	}
+}

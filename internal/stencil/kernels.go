@@ -1,0 +1,108 @@
+package stencil
+
+// Stencil update kernels used by the examples. All kernels read src and
+// write dst (same shape), touching only the interior; halos must have been
+// exchanged beforehand.
+
+// Jacobi5 applies the 5-point Jacobi relaxation
+// dst = (N + S + E + W) / 4 on the interior of a 2-D grid.
+func Jacobi5(dst, src *Grid2D[float64]) {
+	for i := 0; i < src.NX; i++ {
+		for j := 0; j < src.NY; j++ {
+			dst.Set(i, j, 0.25*(src.At(i-1, j)+src.At(i+1, j)+src.At(i, j-1)+src.At(i, j+1)))
+		}
+	}
+}
+
+// Jacobi9 applies the 9-point relaxation with the classic weights
+// (4·edge + corner)/20 — the computation motivating the paper's Figure 1
+// communication pattern (diagonal neighbors included).
+func Jacobi9(dst, src *Grid2D[float64]) {
+	for i := 0; i < src.NX; i++ {
+		for j := 0; j < src.NY; j++ {
+			edge := src.At(i-1, j) + src.At(i+1, j) + src.At(i, j-1) + src.At(i, j+1)
+			corner := src.At(i-1, j-1) + src.At(i-1, j+1) + src.At(i+1, j-1) + src.At(i+1, j+1)
+			dst.Set(i, j, (4*edge+corner)/20)
+		}
+	}
+}
+
+// Heat7 applies one explicit Euler step of the 3-D heat equation with the
+// 7-point Laplacian: dst = src + r·(Σ faces − 6·src).
+func Heat7(dst, src *Grid3D[float64], r float64) {
+	for i := 0; i < src.NX; i++ {
+		for j := 0; j < src.NY; j++ {
+			for k := 0; k < src.NZ; k++ {
+				lap := src.At(i-1, j, k) + src.At(i+1, j, k) +
+					src.At(i, j-1, k) + src.At(i, j+1, k) +
+					src.At(i, j, k-1) + src.At(i, j, k+1) - 6*src.At(i, j, k)
+				dst.Set(i, j, k, src.At(i, j, k)+r*lap)
+			}
+		}
+	}
+}
+
+// Heat27 applies one step with the 27-point Laplacian (weights 1 for
+// faces, 1/2 edges, 1/3 corners, normalized) — a 3-D stencil that needs
+// the full Moore halo exchange.
+func Heat27(dst, src *Grid3D[float64], r float64) {
+	for i := 0; i < src.NX; i++ {
+		for j := 0; j < src.NY; j++ {
+			for k := 0; k < src.NZ; k++ {
+				var faces, edges, corners float64
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							nz := abs(dx) + abs(dy) + abs(dz)
+							v := src.At(i+dx, j+dy, k+dz)
+							switch nz {
+							case 1:
+								faces += v
+							case 2:
+								edges += v
+							case 3:
+								corners += v
+							}
+						}
+					}
+				}
+				lap := faces + edges/2 + corners/3 - (6+12.0/2+8.0/3)*src.At(i, j, k)
+				dst.Set(i, j, k, src.At(i, j, k)+r*lap)
+			}
+		}
+	}
+}
+
+// Life applies one Game of Life step (Moore neighborhood, standard B3/S23
+// rules) to the interior of a 2-D byte grid with 0 = dead, 1 = alive.
+func Life(dst, src *Grid2D[uint8]) {
+	for i := 0; i < src.NX; i++ {
+		for j := 0; j < src.NY; j++ {
+			alive := 0
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					alive += int(src.At(i+di, j+dj))
+				}
+			}
+			var next uint8
+			if src.At(i, j) == 1 {
+				if alive == 2 || alive == 3 {
+					next = 1
+				}
+			} else if alive == 3 {
+				next = 1
+			}
+			dst.Set(i, j, next)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

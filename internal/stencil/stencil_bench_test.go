@@ -1,0 +1,97 @@
+package stencil
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+)
+
+// BenchmarkHaloExchange2D is the Section 3.4 ablation at application
+// level: the plain Moore exchange (corners as separate two-hop blocks)
+// against the two-phase combined schedule (corners forwarded inside
+// widened strips), under the Hydra model, for growing halo depths — the
+// larger the halo, the more corner bytes the combined schedule saves.
+func BenchmarkHaloExchange2D(b *testing.B) {
+	for _, halo := range []int{1, 4} {
+		for _, style := range []string{"moore", "twophase"} {
+			halo, style := halo, style
+			b.Run(fmt.Sprintf("halo%d_%s", halo, style), func(b *testing.B) {
+				var vt float64
+				err := mpi.Run(mpi.Config{Procs: 16, Model: netmodel.Hydra(), Seed: 1, Timeout: time.Minute}, func(w *mpi.Comm) error {
+					g, err := NewGrid2D[float64](16, 16, halo)
+					if err != nil {
+						return err
+					}
+					var exchange func() error
+					switch style {
+					case "moore":
+						ex, err := NewExchanger2D(w, []int{4, 4}, g, true, cart.Combining)
+						if err != nil {
+							return err
+						}
+						exchange = func() error { return ExchangeGrid2D(ex, g) }
+					case "twophase":
+						ex, err := NewTwoPhaseExchanger2D(w, []int{4, 4}, g, cart.Combining)
+						if err != nil {
+							return err
+						}
+						exchange = func() error { return ExchangeTwoPhase2D(ex, g) }
+					}
+					if err := mpi.Barrier(w); err != nil {
+						return err
+					}
+					t0 := w.VTime()
+					for i := 0; i < b.N; i++ {
+						if err := exchange(); err != nil {
+							return err
+						}
+					}
+					el := []float64{w.VTime() - t0}
+					if err := mpi.Allreduce(w, el, el, mpi.MaxOp[float64]); err != nil {
+						return err
+					}
+					if w.Rank() == 0 {
+						vt = el[0] / float64(b.N)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(vt*1e6, "vus/op")
+			})
+		}
+	}
+}
+
+// BenchmarkJacobi9Iteration measures one full distributed iteration
+// (exchange + kernel) in wall time — the end-to-end cost an application
+// sees.
+func BenchmarkJacobi9Iteration(b *testing.B) {
+	err := mpi.Run(mpi.Config{Procs: 4, Timeout: time.Minute}, func(w *mpi.Comm) error {
+		src, err := NewGrid2D[float64](32, 32, 1)
+		if err != nil {
+			return err
+		}
+		dst, _ := NewGrid2D[float64](32, 32, 1)
+		ex, err := NewExchanger2D(w, []int{2, 2}, src, true, cart.Combining)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < b.N; i++ {
+			if err := ExchangeGrid2D(ex, src); err != nil {
+				return err
+			}
+			Jacobi9(dst, src)
+			src, dst = dst, src
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package trace records per-rank communication events under the
+// virtual-time cost model and renders them as ASCII timelines — a Gantt
+// view of a schedule execution that makes the difference between the
+// t-round direct exchange and the d-phase combining schedule visible at a
+// glance (`cartbench timeline`).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes event types.
+type Kind uint8
+
+const (
+	// KindSend covers the sender-side injection of one message.
+	KindSend Kind = iota
+	// KindRecv covers the receiver-side completion of one message (from
+	// when the receiver started waiting to when the message was consumed).
+	KindRecv
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k == KindRecv {
+		return "recv"
+	}
+	return "send"
+}
+
+// Event is one communication event in virtual time.
+type Event struct {
+	Rank  int
+	Kind  Kind
+	Peer  int
+	Bytes int
+	Tag   int
+	// Start and End are virtual times in seconds.
+	Start, End float64
+}
+
+// Recorder collects events. Each rank appends only to its own slice from
+// its own goroutine, so recording needs no locks; read the events only
+// after the run has completed.
+type Recorder struct {
+	perRank [][]Event
+}
+
+// NewRecorder prepares a recorder for p ranks.
+func NewRecorder(p int) *Recorder {
+	return &Recorder{perRank: make([][]Event, p)}
+}
+
+// Ranks returns the number of ranks the recorder was created for.
+func (r *Recorder) Ranks() int { return len(r.perRank) }
+
+// Add appends an event for its rank. Must only be called from the rank's
+// own goroutine (the runtime guarantees this).
+func (r *Recorder) Add(e Event) {
+	r.perRank[e.Rank] = append(r.perRank[e.Rank], e)
+}
+
+// Events returns all recorded events sorted by start time, then rank.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for _, es := range r.perRank {
+		out = append(out, es...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].Rank < out[b].Rank
+	})
+	return out
+}
+
+// RankEvents returns one rank's events in recording order.
+func (r *Recorder) RankEvents(rank int) []Event { return r.perRank[rank] }
+
+// ResetRank discards a rank's events so far. Like Add it must be called
+// from the rank's own goroutine (typically right after a barrier, to trim
+// setup traffic from the recording).
+func (r *Recorder) ResetRank(rank int) { r.perRank[rank] = nil }
+
+// Render draws the timeline: one row per rank, the horizontal axis spanning
+// [0, maxEnd] in width character cells. Cells show 's' where the rank was
+// injecting sends, 'r' where it was completing receives, '*' where both
+// overlapped, and '.' where it was idle. A µs axis line is appended.
+func (r *Recorder) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	events := r.Events()
+	if len(events) == 0 {
+		return "(no events recorded)\n"
+	}
+	minStart, maxEnd := events[0].Start, 0.0
+	for _, e := range events {
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+		if e.End > maxEnd {
+			maxEnd = e.End
+		}
+	}
+	if maxEnd == 0 {
+		return "(no virtual time elapsed — tracing requires a cost model)\n"
+	}
+	span := maxEnd - minStart
+	if span <= 0 {
+		span = maxEnd
+		minStart = 0
+	}
+	cell := span / float64(width)
+	rows := make([][]byte, r.Ranks())
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	mark := func(rank int, start, end float64, ch byte) {
+		lo := int((start - minStart) / cell)
+		hi := int((end - minStart) / cell)
+		if hi >= width {
+			hi = width - 1
+		}
+		if lo > hi {
+			lo = hi
+		}
+		for x := lo; x <= hi; x++ {
+			switch {
+			case rows[rank][x] == '.':
+				rows[rank][x] = ch
+			case rows[rank][x] != ch:
+				rows[rank][x] = '*'
+			}
+		}
+	}
+	for _, e := range events {
+		ch := byte('s')
+		if e.Kind == KindRecv {
+			ch = 'r'
+		}
+		mark(e.Rank, e.Start, e.End, ch)
+	}
+	var b strings.Builder
+	for rank, row := range rows {
+		fmt.Fprintf(&b, "rank %3d |%s|\n", rank, row)
+	}
+	label := fmt.Sprintf("+%.1f µs", span*1e6)
+	pad := width - len(label)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(&b, "%9s0%s%s\n", "", strings.Repeat(" ", pad), label)
+	return b.String()
+}
+
+// Summary aggregates the recording: messages and bytes per rank plus the
+// global span.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	total, bytes := 0, 0
+	minStart, maxEnd := 0.0, 0.0
+	first := true
+	for rank := range r.perRank {
+		for _, e := range r.perRank[rank] {
+			if e.Kind == KindSend {
+				bytes += e.Bytes
+				total++
+			}
+			if first || e.Start < minStart {
+				minStart = e.Start
+			}
+			if e.End > maxEnd {
+				maxEnd = e.End
+			}
+			first = false
+		}
+	}
+	fmt.Fprintf(&b, "%d messages, %d bytes total, span %.2f µs\n", total, bytes, (maxEnd-minStart)*1e6)
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderOrderingAndAccess(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(Event{Rank: 1, Kind: KindSend, Peer: 0, Bytes: 8, Start: 2, End: 3})
+	r.Add(Event{Rank: 0, Kind: KindRecv, Peer: 1, Bytes: 8, Start: 1, End: 4})
+	r.Add(Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 4, Start: 0, End: 1})
+	es := r.Events()
+	if len(es) != 3 {
+		t.Fatalf("%d events", len(es))
+	}
+	if es[0].Start != 0 || es[1].Start != 1 || es[2].Start != 2 {
+		t.Fatalf("not sorted: %+v", es)
+	}
+	if r.Ranks() != 2 {
+		t.Errorf("Ranks = %d", r.Ranks())
+	}
+	if len(r.RankEvents(0)) != 2 || len(r.RankEvents(1)) != 1 {
+		t.Errorf("per-rank counts wrong")
+	}
+	if KindSend.String() != "send" || KindRecv.String() != "recv" {
+		t.Error("kind names")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(Event{Rank: 0, Kind: KindSend, Peer: 1, Start: 0, End: 1e-6})
+	r.Add(Event{Rank: 1, Kind: KindRecv, Peer: 0, Start: 0.5e-6, End: 2e-6})
+	r.Add(Event{Rank: 1, Kind: KindSend, Peer: 0, Start: 1.5e-6, End: 1.8e-6})
+	out := r.Render(40)
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "s") || !strings.Contains(out, "r") {
+		t.Fatalf("activity marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("overlap mark missing (send inside recv window):\n%s", out)
+	}
+	if !strings.Contains(out, "µs") {
+		t.Fatalf("axis missing:\n%s", out)
+	}
+	// Tiny width is clamped, empty recorder handled.
+	_ = r.Render(1)
+	empty := NewRecorder(1)
+	if !strings.Contains(empty.Render(20), "no events") {
+		t.Error("empty render")
+	}
+	zero := NewRecorder(1)
+	zero.Add(Event{Rank: 0, Kind: KindSend})
+	if !strings.Contains(zero.Render(20), "cost model") {
+		t.Error("zero-time render")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(Event{Rank: 0, Kind: KindSend, Bytes: 100, Start: 0, End: 1e-6})
+	r.Add(Event{Rank: 1, Kind: KindRecv, Bytes: 100, Start: 0, End: 2e-6})
+	r.Add(Event{Rank: 1, Kind: KindSend, Bytes: 50, Start: 0, End: 1e-6})
+	s := r.Summary()
+	if !strings.Contains(s, "2 messages") || !strings.Contains(s, "150 bytes") {
+		t.Fatalf("summary: %s", s)
+	}
+}

@@ -1,0 +1,83 @@
+package vec
+
+import (
+	"testing"
+)
+
+// FuzzBucketSortByCoord checks, for arbitrary encoded neighborhoods, that
+// the returned order is a stable sorted permutation. Run with
+// `go test -fuzz FuzzBucketSortByCoord ./internal/vec/` for a real fuzzing
+// session; the seed corpus runs as part of the normal tests.
+func FuzzBucketSortByCoord(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(0), uint8(2))
+	f.Add([]byte{255, 0, 255, 0}, uint8(1), uint8(2))
+	f.Add([]byte{7}, uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, dRaw uint8) {
+		d := int(dRaw)%4 + 1
+		if len(raw) < d {
+			return
+		}
+		k := int(kRaw) % d
+		tCount := len(raw) / d
+		if tCount == 0 || tCount > 200 {
+			return
+		}
+		ns := make([]Vec, tCount)
+		for i := range ns {
+			ns[i] = make(Vec, d)
+			for j := 0; j < d; j++ {
+				ns[i][j] = int(int8(raw[i*d+j]))
+			}
+		}
+		order := BucketSortByCoord(ns, k)
+		if len(order) != tCount {
+			t.Fatalf("order length %d != %d", len(order), tCount)
+		}
+		seen := make([]bool, tCount)
+		for pos, idx := range order {
+			if idx < 0 || idx >= tCount || seen[idx] {
+				t.Fatalf("not a permutation: %v", order)
+			}
+			seen[idx] = true
+			if pos > 0 {
+				a, b := order[pos-1], idx
+				if ns[a][k] > ns[b][k] {
+					t.Fatalf("not sorted at %d", pos)
+				}
+				if ns[a][k] == ns[b][k] && a > b {
+					t.Fatalf("not stable at %d", pos)
+				}
+			}
+		}
+	})
+}
+
+// FuzzGridRankCoordRoundTrip checks rank/coordinate round trips and the
+// shift identity on arbitrary small grids.
+func FuzzGridRankCoordRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(7), int8(-2), int8(5))
+	f.Add(uint8(1), uint8(1), uint8(0), int8(0), int8(0))
+	f.Fuzz(func(t *testing.T, aRaw, bRaw, rankRaw uint8, dx, dy int8) {
+		a := int(aRaw)%6 + 1
+		b := int(bRaw)%6 + 1
+		g, err := NewGrid([]int{a, b}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := int(rankRaw) % g.Size()
+		c := g.CoordOf(rank)
+		back, err := g.RankOf(c)
+		if err != nil || back != rank {
+			t.Fatalf("round trip %d -> %v -> %d (%v)", rank, c, back, err)
+		}
+		rel := Vec{int(dx), int(dy)}
+		tgt, ok := g.RankDisplace(rank, rel)
+		if !ok {
+			t.Fatal("torus displacement failed")
+		}
+		orig, ok := g.RankDisplace(tgt, rel.Neg())
+		if !ok || orig != rank {
+			t.Fatalf("shift identity: %d -> %d -> %d", rank, tgt, orig)
+		}
+	})
+}
