@@ -1,0 +1,303 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"cartcc/internal/bench"
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// The chaos experiment sweeps injected-fault scenarios over the Cartesian
+// collectives and reports how the runtime reacts: how fast a failure is
+// detected, how many ranks survive, and whether the survivors manage an
+// ULFM-style recovery (Revoke -> Shrink -> Barrier -> Agree). It doubles
+// as an end-to-end demonstration of the wait-for-graph deadlock monitor on
+// a mismatched schedule.
+
+// chaosResult is one scenario row of the report.
+type chaosResult struct {
+	scenario  string
+	variant   string
+	outcome   string
+	detect    time.Duration // max over survivors; 0 when nothing failed
+	survivors int
+	recovery  bool // survivors attempted Revoke -> Shrink -> Agree
+	recovered bool
+	elapsed   time.Duration
+}
+
+const (
+	chaosProcs = 9 // 3x3 torus
+	chaosM     = 4 // block elements
+)
+
+// chaosStencil returns the 8-neighbor (Moore) stencil on a 2-d torus.
+func chaosStencil() (vec.Neighborhood, error) {
+	return vec.Stencil(2, 3, -1)
+}
+
+// chaosBody runs iters executions of one Cartesian collective on a 3x3
+// torus and, on failure, attempts survivor recovery. Per-rank observations
+// land in the shared slices (one slot per rank, no locking needed).
+func chaosBody(op cart.OpKind, algo cart.Algorithm, iters int,
+	detect []time.Duration, alive, recovered []bool,
+	calibrate func(c *cart.Comm, loopStartOp func() int)) func(w *mpi.Comm) error {
+	return func(w *mpi.Comm) error {
+		nbh, err := chaosStencil()
+		if err != nil {
+			return err
+		}
+		c, err := cart.NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		t := len(nbh)
+		var plan *cart.Plan
+		if op == cart.OpAllgather {
+			plan, err = cart.AllgatherInit(c, chaosM, algo)
+		} else {
+			plan, err = cart.AlltoallInit(c, chaosM, algo)
+		}
+		if err != nil {
+			return err
+		}
+		sendLen := t * chaosM
+		if op == cart.OpAllgather {
+			sendLen = chaosM
+		}
+		send := make([]int32, sendLen)
+		recv := make([]int32, t*chaosM)
+		if calibrate != nil {
+			calibrate(c, w.OpCount)
+		}
+		rank := w.Rank()
+		for i := 0; i < iters; i++ {
+			iterStart := time.Now()
+			if err := cart.Run(plan, send, recv); err != nil {
+				// A peer died (or the communicator was revoked by another
+				// survivor's recovery): record the detection latency and try
+				// to rebuild on the survivors.
+				detect[rank] = time.Since(iterStart)
+				if !mpi.IsRankFailed(err) && !errors.Is(err, mpi.ErrRevoked) {
+					return err
+				}
+				alive[rank] = true
+				// Unblock survivors still waiting inside the broken exchange,
+				// then rebuild: the classic ULFM sequence.
+				c.Base().Revoke()
+				shrunk, serr := w.Shrink()
+				if serr != nil {
+					return fmt.Errorf("shrink after %v: %w", err, serr)
+				}
+				if berr := mpi.Barrier(shrunk); berr != nil {
+					return fmt.Errorf("barrier on shrunk comm: %w", berr)
+				}
+				flag, aerr := shrunk.Agree(1)
+				if aerr != nil {
+					return fmt.Errorf("agree on shrunk comm: %w", aerr)
+				}
+				recovered[rank] = flag == 1
+				return nil
+			}
+		}
+		alive[rank] = true
+		return nil
+	}
+}
+
+// chaosCrash runs one crash scenario: calibrate the victim's operation
+// counter against a clean run, then crash it at the requested fraction of
+// the exchange loop and let the survivors recover.
+func chaosCrash(op cart.OpKind, algo cart.Algorithm, iters int, frac float64) (chaosResult, error) {
+	const victim = 4 // torus center: neighbor of every rank in the Moore stencil
+	res := chaosResult{
+		scenario: fmt.Sprintf("crash rank %d at %d%%", victim, int(frac*100)),
+		variant:  fmt.Sprintf("%s/%s", op, algo),
+	}
+	// Calibration pass: a clean run recording the victim's op count at loop
+	// start and end, so the crash can be placed inside the exchange loop
+	// rather than inside communicator creation.
+	var startOp, endOp int
+	err := mpi.Run(mpi.Config{Procs: chaosProcs, Seed: 7}, func(w *mpi.Comm) error {
+		inner := chaosBody(op, algo, iters, make([]time.Duration, chaosProcs),
+			make([]bool, chaosProcs), make([]bool, chaosProcs),
+			func(c *cart.Comm, opCount func() int) {
+				if c.Base().Rank() == victim {
+					startOp = opCount()
+				}
+			})
+		if err := inner(w); err != nil {
+			return err
+		}
+		if w.Rank() == victim {
+			endOp = w.OpCount()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("calibration run: %w", err)
+	}
+	atOp := startOp + int(frac*float64(endOp-startOp))
+	if atOp <= startOp {
+		atOp = startOp + 1
+	}
+
+	detect := make([]time.Duration, chaosProcs)
+	alive := make([]bool, chaosProcs)
+	recovered := make([]bool, chaosProcs)
+	t0 := time.Now()
+	err = mpi.Run(mpi.Config{
+		Procs:  chaosProcs,
+		Seed:   7,
+		Faults: &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: atOp}}},
+	}, chaosBody(op, algo, iters, detect, alive, recovered, nil))
+	res.elapsed = time.Since(t0)
+	switch {
+	case err == nil:
+		res.outcome = "no failure observed"
+	case mpi.IsRankFailed(err):
+		res.outcome = "typed rank-failure"
+	default:
+		res.outcome = fmt.Sprintf("error: %.60v", err)
+	}
+	for r := 0; r < chaosProcs; r++ {
+		if r == victim {
+			continue
+		}
+		if alive[r] {
+			res.survivors++
+		}
+		if detect[r] > res.detect {
+			res.detect = detect[r]
+		}
+	}
+	res.recovery = true
+	res.recovered = true
+	for r := 0; r < chaosProcs; r++ {
+		if r != victim && !recovered[r] {
+			res.recovered = false
+		}
+	}
+	return res, nil
+}
+
+// chaosStraggler measures how one slow rank stretches the exchange loop:
+// the run must still complete — a straggler is not a failure.
+func chaosStraggler(op cart.OpKind, algo cart.Algorithm, iters int, perOp time.Duration) (chaosResult, error) {
+	res := chaosResult{
+		scenario: fmt.Sprintf("straggler rank 4 (+%v/op)", perOp),
+		variant:  fmt.Sprintf("%s/%s", op, algo),
+	}
+	run := func(fp *mpi.FaultPlan) (time.Duration, error) {
+		alive := make([]bool, chaosProcs)
+		t0 := time.Now()
+		err := mpi.Run(mpi.Config{Procs: chaosProcs, Seed: 7, Faults: fp},
+			chaosBody(op, algo, iters, make([]time.Duration, chaosProcs), alive, make([]bool, chaosProcs), nil))
+		return time.Since(t0), err
+	}
+	clean, err := run(nil)
+	if err != nil {
+		return res, err
+	}
+	slow, err := run(&mpi.FaultPlan{Stragglers: []mpi.Straggler{{Rank: 4, PerOp: perOp}}})
+	if err != nil {
+		res.outcome = fmt.Sprintf("error: %.60v", err)
+		return res, nil
+	}
+	res.outcome = fmt.Sprintf("completed (%.1fx slower)", float64(slow)/float64(clean))
+	res.survivors = chaosProcs
+	res.elapsed = slow
+	return res, nil
+}
+
+// chaosDeadlock runs the mismatched-schedule demo: rank 0 posts a receive
+// with a tag nobody sends, every other rank finishes its ring exchange.
+// The wait-for-graph monitor must diagnose the orphaned receive in well
+// under a second and name the blocked operation.
+func chaosDeadlock() (chaosResult, error) {
+	res := chaosResult{scenario: "mismatched schedule (wrong tag)", variant: "ring exchange"}
+	detect := make([]time.Duration, chaosProcs)
+	t0 := time.Now()
+	err := mpi.Run(mpi.Config{Procs: chaosProcs, Seed: 7}, func(w *mpi.Comm) error {
+		rank, p := w.Rank(), w.Size()
+		next, prev := (rank+1)%p, (rank-1+p)%p
+		if err := mpi.SendSlice(w, []int32{int32(rank)}, next, 0); err != nil {
+			return err
+		}
+		tag := 0
+		if rank == 0 {
+			tag = 99 // schedule bug: nobody sends tag 99
+		}
+		buf := make([]int32, 1)
+		start := time.Now()
+		_, err := mpi.RecvSlice(w, buf, prev, tag)
+		detect[rank] = time.Since(start)
+		return err
+	})
+	res.elapsed = time.Since(t0)
+	var dle *mpi.DeadlockError
+	switch {
+	case errors.As(err, &dle):
+		res.outcome = fmt.Sprintf("deadlock diagnosed (%s)", dle.Kind)
+	case err == nil:
+		res.outcome = "no deadlock detected"
+	default:
+		res.outcome = fmt.Sprintf("error: %.60v", err)
+	}
+	res.detect = detect[0]
+	res.survivors = chaosProcs - 1
+	return res, nil
+}
+
+// chaosExperiment sweeps the scenarios and prints the report table.
+func chaosExperiment(sc bench.Scale) error {
+	iters := 40
+	if sc.Reps > 0 && sc.Reps < 10 {
+		iters = 10
+	}
+	fmt.Println("Chaos sweep — injected faults vs the Cartesian collectives (3x3 torus, Moore stencil, m=4)")
+	fmt.Println(strings.Repeat("=", 96))
+	var rows []chaosResult
+	for _, op := range []cart.OpKind{cart.OpAlltoall, cart.OpAllgather} {
+		for _, algo := range []cart.Algorithm{cart.Trivial, cart.Combining} {
+			for _, frac := range []float64{0.1, 0.5} {
+				row, err := chaosCrash(op, algo, iters, frac)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	row, err := chaosStraggler(cart.OpAlltoall, cart.Combining, iters, 200*time.Microsecond)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, row)
+	if row, err = chaosDeadlock(); err != nil {
+		return err
+	}
+	rows = append(rows, row)
+
+	fmt.Printf("%-28s %-22s %-28s %9s %10s %9s\n",
+		"scenario", "variant", "outcome", "detect", "survivors", "recovered")
+	fmt.Println(strings.Repeat("-", 96))
+	for _, r := range rows {
+		detect := "-"
+		if r.detect > 0 {
+			detect = fmt.Sprintf("%.1fms", float64(r.detect.Microseconds())/1000)
+		}
+		recovered := "-"
+		if r.recovery {
+			recovered = fmt.Sprintf("%v", r.recovered)
+		}
+		fmt.Printf("%-28s %-22s %-28s %9s %10d %9s\n",
+			r.scenario, r.variant, r.outcome, detect, r.survivors, recovered)
+	}
+	return nil
+}

@@ -10,7 +10,8 @@
 // evaluation), plus crossover (cut-off sweep), timeline (per-rank Gantt
 // charts of one exchange), scaling (p-independence check), mesh
 // (non-periodic pruned schedules), reduce and reorder (the implemented
-// extensions), predict (analytic model), and all.
+// extensions), predict (analytic model), chaos (injected-fault sweep with
+// survivor recovery and deadlock diagnosis), and all.
 //
 // Flags:
 //
@@ -69,7 +70,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict all")
+		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos all")
 		os.Exit(2)
 	}
 	mode := renderText
@@ -142,6 +143,8 @@ func run(name string, sc bench.Scale, mode renderMode) error {
 		return reorderExperiment(sc)
 	case "predict":
 		return predict()
+	case "chaos":
+		return chaosExperiment(sc)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"cartcc/internal/bench"
+	"cartcc/internal/cart"
 )
 
 // The cheap experiments run end to end (the heavy ones are exercised by
@@ -25,6 +28,31 @@ func TestRunSmallFigureAllModes(t *testing.T) {
 		if err := figure(mode, "test", "t", panels); err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}
+	}
+}
+
+// TestChaosScenarios runs a slice of the chaos sweep directly: one crash
+// scenario with survivor recovery and the deadlock-diagnosis demo.
+func TestChaosScenarios(t *testing.T) {
+	res, err := chaosCrash(cart.OpAlltoall, cart.Combining, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.outcome != "typed rank-failure" {
+		t.Fatalf("crash outcome = %q (%+v)", res.outcome, res)
+	}
+	if res.survivors != chaosProcs-1 || !res.recovered {
+		t.Fatalf("survivors = %d recovered = %v", res.survivors, res.recovered)
+	}
+	dres, err := chaosDeadlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.detect <= 0 || dres.detect > time.Second {
+		t.Fatalf("deadlock detect latency = %v, want (0, 1s]", dres.detect)
+	}
+	if !strings.HasPrefix(dres.outcome, "deadlock diagnosed") {
+		t.Fatalf("deadlock outcome = %q", dres.outcome)
 	}
 }
 

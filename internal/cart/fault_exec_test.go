@@ -1,0 +1,199 @@
+package cart
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// faultLoopBody builds a rank body that runs iters combining-alltoall
+// exchanges on a 3x3 torus with the Moore stencil and reports each rank's
+// observation of a failure through obs.
+func faultLoopBody(t *testing.T, algo Algorithm, iters int, obs *sync.Map,
+	recover func(w *mpi.Comm, c *Comm, cause error) error) func(w *mpi.Comm) error {
+	return func(w *mpi.Comm) error {
+		nbh, err := vec.Stencil(2, 3, -1)
+		if err != nil {
+			return err
+		}
+		c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		plan, err := AlltoallInit(c, 2, algo)
+		if err != nil {
+			return err
+		}
+		send := make([]int64, len(nbh)*2)
+		recv := make([]int64, len(nbh)*2)
+		for i := range send {
+			send[i] = int64(w.Rank()*100 + i)
+		}
+		for i := 0; i < iters; i++ {
+			if err := Run(plan, send, recv); err != nil {
+				obs.Store(w.Rank(), err)
+				if recover != nil {
+					return recover(w, c, err)
+				}
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestCrashDuringCombiningAlltoall is the PR's acceptance scenario: a
+// seeded rank crash in the middle of a combining alltoall on a 3x3 torus
+// must terminate every rank with a typed RankFailedError — no hang — and
+// the survivors' errors must attribute the failure to a schedule phase
+// and peer.
+func TestCrashDuringCombiningAlltoall(t *testing.T) {
+	// Calibrate: count the victim's ops in a clean run so the crash lands
+	// inside the exchange loop rather than in communicator creation.
+	const victim = 4
+	var startOp, endOp int
+	var obs sync.Map
+	err := mpi.Run(mpi.Config{Procs: 9, Timeout: 20 * time.Second}, func(w *mpi.Comm) error {
+		body := faultLoopBody(t, Combining, 20, &obs, nil)
+		if err := body(w); err != nil {
+			return err
+		}
+		if w.Rank() == victim {
+			endOp = w.OpCount()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("calibration run: %v", err)
+	}
+	// NeighborhoodCreate's share of the ops: measure with zero iterations.
+	err = mpi.Run(mpi.Config{Procs: 9, Timeout: 20 * time.Second}, func(w *mpi.Comm) error {
+		body := faultLoopBody(t, Combining, 0, &obs, nil)
+		if err := body(w); err != nil {
+			return err
+		}
+		if w.Rank() == victim {
+			startOp = w.OpCount()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("calibration run: %v", err)
+	}
+	if endOp <= startOp {
+		t.Fatalf("calibration found no exchange ops (start %d, end %d)", startOp, endOp)
+	}
+	atOp := startOp + (endOp-startOp)/2
+
+	obs = sync.Map{}
+	done := make(chan error, 1)
+	go func() {
+		done <- mpi.Run(mpi.Config{
+			Procs:   9,
+			Timeout: 20 * time.Second,
+			Faults:  &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: atOp}}},
+		}, faultLoopBody(t, Combining, 20, &obs, nil))
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("run hung after injected crash")
+	}
+	if !mpi.IsRankFailed(err) {
+		t.Fatalf("run error = %v, want a RankFailedError", err)
+	}
+	var rfe *mpi.RankFailedError
+	if !errors.As(err, &rfe) || rfe.Rank != victim {
+		t.Fatalf("failed rank = %+v, want %d", rfe, victim)
+	}
+	// Every survivor observed the failure, wrapped with schedule context.
+	sawPhase := false
+	for r := 0; r < 9; r++ {
+		if r == victim {
+			continue
+		}
+		v, ok := obs.Load(r)
+		if !ok {
+			t.Fatalf("rank %d never observed the crash", r)
+		}
+		oerr := v.(error)
+		if !mpi.IsRankFailed(oerr) && !errors.Is(oerr, mpi.ErrAborted) {
+			t.Fatalf("rank %d observed %v", r, oerr)
+		}
+		if strings.Contains(oerr.Error(), "phase") && strings.Contains(oerr.Error(), "cart: alltoall(combining)") {
+			sawPhase = true
+		}
+	}
+	if !sawPhase {
+		t.Fatal("no survivor error carried phase/round/peer context")
+	}
+}
+
+// TestSurvivorsShrinkAndRerun: after the crash the survivors revoke the
+// broken communicator, shrink the world, and run a fresh collective on a
+// 4x2 torus built from the 8 survivors — full ULFM-style recovery on top
+// of the Cartesian layer.
+func TestSurvivorsShrinkAndRerun(t *testing.T) {
+	const victim = 4
+	var obs sync.Map
+	var recovered sync.Map
+	err := mpi.Run(mpi.Config{
+		Procs:   9,
+		Timeout: 20 * time.Second,
+		Faults:  &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: 400}}},
+	}, faultLoopBody(t, Combining, 50, &obs, func(w *mpi.Comm, c *Comm, cause error) error {
+		if !mpi.IsRankFailed(cause) && !errors.Is(cause, mpi.ErrRevoked) {
+			return cause
+		}
+		// Release peers still blocked in the broken exchange, then rebuild.
+		c.Base().Revoke()
+		shrunk, err := w.Shrink()
+		if err != nil {
+			return fmt.Errorf("shrink: %w", err)
+		}
+		if err := mpi.Barrier(shrunk); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+		nbh, err := vec.Stencil(2, 3, -1)
+		if err != nil {
+			return err
+		}
+		c2, err := NeighborhoodCreate(shrunk, []int{4, 2}, nil, nbh, nil)
+		if err != nil {
+			return fmt.Errorf("recreate: %w", err)
+		}
+		plan, err := AlltoallInit(c2, 1, Combining)
+		if err != nil {
+			return err
+		}
+		send := make([]int32, len(nbh))
+		recv := make([]int32, len(nbh))
+		if err := Run(plan, send, recv); err != nil {
+			return fmt.Errorf("alltoall on shrunk torus: %w", err)
+		}
+		flag, err := shrunk.Agree(1)
+		if err != nil {
+			return fmt.Errorf("agree: %w", err)
+		}
+		recovered.Store(w.Rank(), flag == 1)
+		return nil
+	}))
+	if !mpi.IsRankFailed(err) {
+		t.Fatalf("run error = %v, want only the injected RankFailedError", err)
+	}
+	for r := 0; r < 9; r++ {
+		if r == victim {
+			continue
+		}
+		v, ok := recovered.Load(r)
+		if !ok || v != true {
+			t.Fatalf("rank %d did not recover (recovered=%v, ok=%v)", r, v, ok)
+		}
+	}
+}

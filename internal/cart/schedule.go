@@ -443,40 +443,61 @@ func Run[T any](p *Plan, send, recv []T) error {
 	bufs := [][]T{send, recv, temp}
 	comm := p.comm.comm
 
-	for _, rounds := range p.phases {
+	for pi, rounds := range p.phases {
 		if p.blocking {
-			for i := range rounds {
-				if err := runRoundBlocking(comm, &rounds[i], bufs); err != nil {
-					return err
+			for ri := range rounds {
+				if err := runRoundBlocking(comm, &rounds[ri], bufs); err != nil {
+					return p.roundError(pi, ri, &rounds[ri], err)
 				}
 			}
 			continue
 		}
-		reqs := make([]*mpi.Request, 0, 2*len(rounds))
-		for i := range rounds {
-			r := &rounds[i]
+		// Post every round of the phase nonblockingly, remembering what each
+		// request is so a failure can be attributed to its round and peer.
+		type pendReq struct {
+			req   *mpi.Request
+			what  string
+			round int
+		}
+		pends := make([]pendReq, 0, 2*len(rounds))
+		for ri := range rounds {
+			r := &rounds[ri]
 			if r.recvFrom == ProcNull {
 				continue
 			}
 			req, err := mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag)
 			if err != nil {
-				return err
+				return p.phaseError(pi, ri, fmt.Sprintf("recv from rank %d", r.recvFrom), err)
 			}
-			reqs = append(reqs, req)
+			pends = append(pends, pendReq{req, fmt.Sprintf("recv from rank %d", r.recvFrom), ri})
 		}
-		for i := range rounds {
-			r := &rounds[i]
+		for ri := range rounds {
+			r := &rounds[ri]
 			if r.sendTo == ProcNull {
 				continue
 			}
 			req, err := mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, cartTag)
 			if err != nil {
-				return err
+				return p.phaseError(pi, ri, fmt.Sprintf("send to rank %d", r.sendTo), err)
 			}
-			reqs = append(reqs, req)
+			pends = append(pends, pendReq{req, fmt.Sprintf("send to rank %d", r.sendTo), ri})
 		}
-		if err := mpi.Waitall(reqs...); err != nil {
-			return err
+		// Drain the phase. After the first failure the remaining unmatched
+		// receives are cancelled rather than waited on — their messages may
+		// never come (a dead peer, a revoked context) and the schedule is
+		// abandoned anyway; receives that already hold a message (or poison)
+		// are not cancellable and complete immediately.
+		var firstErr error
+		for _, q := range pends {
+			if firstErr != nil && q.req.Cancel() {
+				continue
+			}
+			if _, err := q.req.Wait(); err != nil && firstErr == nil {
+				firstErr = p.phaseError(pi, q.round, q.what, err)
+			}
+		}
+		if firstErr != nil {
+			return firstErr
 		}
 	}
 	for _, cp := range p.copies {
@@ -485,6 +506,21 @@ func Run[T any](p *Plan, send, recv []T) error {
 		datatype.Scatter(recv, wire, cp.to)
 	}
 	return nil
+}
+
+// phaseError attributes a failed schedule operation to its phase, round,
+// and peer, so an injected fault or deadlock report points into the
+// schedule rather than at an anonymous request.
+func (p *Plan) phaseError(phase, round int, what string, err error) error {
+	return fmt.Errorf("cart: %s(%s): phase %d/%d round %d: %s: %w",
+		p.op, p.algo, phase+1, len(p.phases), round, what, err)
+}
+
+// roundError is phaseError for the trivial blocking executor, where a
+// round is one send-receive pair.
+func (p *Plan) roundError(phase, round int, r *execRound, err error) error {
+	return fmt.Errorf("cart: %s(%s): phase %d/%d round %d (send to %d, recv from %d): %w",
+		p.op, p.algo, phase+1, len(p.phases), round, r.sendTo, r.recvFrom, err)
 }
 
 // Handle is an in-flight nonblocking plan execution started with Start —

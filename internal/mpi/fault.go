@@ -1,0 +1,331 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cartcc/internal/netmodel"
+)
+
+// This file implements the runtime's fault layer: deterministic fault
+// injection (rank crashes, stragglers, message delays) and the typed
+// errors through which failures propagate ULFM-style — an operation that
+// involves a failed rank errors out instead of hanging its peer.
+
+// ErrAborted marks errors caused by the run being torn down after another
+// rank's failure (the secondary, cascade errors). Match with errors.Is.
+var ErrAborted = errors.New("run aborted")
+
+// ErrRevoked marks errors on a communicator that has been revoked with
+// Comm.Revoke. Match with errors.Is.
+var ErrRevoked = errors.New("communicator revoked")
+
+// ErrCancelled marks a receive request that was cancelled with
+// Request.Cancel before a message matched it.
+var ErrCancelled = errors.New("request cancelled")
+
+// RankFailedError reports that an operation involved a rank that has
+// failed (crashed by fault injection). It is the runtime's
+// MPI_ERR_PROC_FAILED: pending receives from the failed rank, and future
+// sends and receives naming it, complete with this error rather than
+// blocking forever. Match with errors.As or errors.Is(err, &RankFailedError{}).
+type RankFailedError struct {
+	// Rank is the world rank that failed.
+	Rank int
+	// Op describes the operation that observed the failure.
+	Op string
+}
+
+// Error implements the error interface.
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("rank %d failed (%s)", e.Rank, e.Op)
+}
+
+// Is reports a match against any other *RankFailedError, so
+// errors.Is(err, &RankFailedError{}) tests for the failure class without
+// naming a rank.
+func (e *RankFailedError) Is(target error) bool {
+	_, ok := target.(*RankFailedError)
+	return ok
+}
+
+// IsRankFailed reports whether err wraps a RankFailedError.
+func IsRankFailed(err error) bool {
+	var rfe *RankFailedError
+	return errors.As(err, &rfe)
+}
+
+// FaultPlan injects deterministic failures into a run. All triggers are
+// expressed in operation counts, virtual time, or seeded probabilities, so
+// a plan replays identically for a given Config.Seed — a failing schedule
+// can be re-run and diagnosed.
+type FaultPlan struct {
+	// Crashes kills ranks at chosen points.
+	Crashes []Crash
+	// Stragglers slows ranks down by a fixed delay per operation.
+	Stragglers []Straggler
+	// Delays holds back individual message deliveries.
+	Delays []MsgDelay
+}
+
+// Crash kills one rank: the rank's goroutine stops at the trigger point
+// as if the process had died, and the world marks it failed.
+type Crash struct {
+	// Rank is the world rank to crash.
+	Rank int
+	// AtOp crashes the rank when it is about to post its AtOp-th
+	// point-to-point operation (1-based; collectives count through their
+	// constituent sends and receives). Zero disables the operation trigger.
+	AtOp int
+	// AtVTime crashes the rank at the first operation at or after this
+	// virtual clock value (requires a cost model). Zero disables.
+	AtVTime netmodel.Time
+}
+
+// Straggler adds a fixed delay to every operation a rank posts, modeling a
+// slow or overloaded process.
+type Straggler struct {
+	// Rank is the world rank to slow down.
+	Rank int
+	// PerOp is wall-clock delay added before each operation.
+	PerOp time.Duration
+	// PerOpV is virtual-time delay (seconds) added to the rank's clock
+	// before each operation in cost-model runs.
+	PerOpV netmodel.Time
+}
+
+// MsgDelay holds back matching message deliveries. In virtual-time runs
+// the delay is added to the message's arrival time; in wall-clock runs the
+// sender stalls before delivering (per-sender delivery stays sequential,
+// preserving the non-overtaking guarantee).
+type MsgDelay struct {
+	// From and To select messages by sender and receiver world rank;
+	// -1 matches any rank.
+	From, To int
+	// Every applies the delay to every Every-th matching message of each
+	// sender (0 or 1 = all matching messages).
+	Every int
+	// Prob, if in (0,1], applies the delay to each matching message with
+	// this probability, drawn from the sender's seeded generator
+	// (deterministic under Config.Seed). Zero means unconditional.
+	Prob float64
+	// Delay is the wall-clock hold-back.
+	Delay time.Duration
+	// DelayV is the virtual-time hold-back in seconds.
+	DelayV netmodel.Time
+}
+
+// validate checks the plan's rank references against the run size.
+func (fp *FaultPlan) validate(procs int) error {
+	for _, c := range fp.Crashes {
+		if c.Rank < 0 || c.Rank >= procs {
+			return fmt.Errorf("mpi: fault plan crashes rank %d, run has %d", c.Rank, procs)
+		}
+		if c.AtOp == 0 && c.AtVTime == 0 {
+			return fmt.Errorf("mpi: fault plan crash of rank %d has no trigger", c.Rank)
+		}
+	}
+	for _, s := range fp.Stragglers {
+		if s.Rank < 0 || s.Rank >= procs {
+			return fmt.Errorf("mpi: fault plan delays rank %d, run has %d", s.Rank, procs)
+		}
+	}
+	for _, d := range fp.Delays {
+		if d.From < -1 || d.From >= procs || d.To < -1 || d.To >= procs {
+			return fmt.Errorf("mpi: fault plan delay names rank outside [-1,%d)", procs)
+		}
+	}
+	return nil
+}
+
+// crashSignal unwinds a crashed rank's goroutine through panic/recover;
+// Run recognizes it and records the failure without a stack trace.
+type crashSignal struct{ err error }
+
+// opTick runs the rank's fault-plan actions at a point-to-point operation
+// boundary: straggler delay first, then the crash check. Called from the
+// rank's own goroutine before each posted send or receive.
+func (rs *rankState) opTick() {
+	rs.ops++
+	w := rs.world
+	fp := w.faults
+	if fp == nil {
+		return
+	}
+	for _, s := range fp.Stragglers {
+		if s.Rank != rs.rank {
+			continue
+		}
+		if w.model != nil {
+			rs.clock += s.PerOpV
+		}
+		if s.PerOp > 0 {
+			time.Sleep(s.PerOp)
+		}
+	}
+	for _, c := range fp.Crashes {
+		if c.Rank != rs.rank {
+			continue
+		}
+		if (c.AtOp > 0 && rs.ops >= c.AtOp) || (c.AtVTime > 0 && w.model != nil && rs.clock >= c.AtVTime) {
+			err := &RankFailedError{Rank: rs.rank, Op: fmt.Sprintf("injected crash at op %d", rs.ops)}
+			w.markDead(rs.rank, err)
+			panic(crashSignal{err})
+		}
+	}
+}
+
+// OpCount returns how many point-to-point operations this rank has posted
+// so far — the unit in which Crash.AtOp counts. Chaos harnesses use it to
+// calibrate crash points against a fault-free run of the same program.
+func (c *Comm) OpCount() int { return c.rs.ops }
+
+// delayFor returns the injected hold-back for a message from this rank to
+// dstWorld, consuming per-spec counters and seeded randomness.
+func (rs *rankState) delayFor(dstWorld int) (time.Duration, netmodel.Time) {
+	fp := rs.world.faults
+	if fp == nil || len(fp.Delays) == 0 {
+		return 0, 0
+	}
+	var wall time.Duration
+	var virt netmodel.Time
+	if rs.delayCount == nil {
+		rs.delayCount = make([]int, len(fp.Delays))
+	}
+	for i, d := range fp.Delays {
+		if (d.From != -1 && d.From != rs.rank) || (d.To != -1 && d.To != dstWorld) {
+			continue
+		}
+		rs.delayCount[i]++
+		if d.Every > 1 && rs.delayCount[i]%d.Every != 0 {
+			continue
+		}
+		if d.Prob > 0 && d.Prob < 1 && rs.rng.Float64() >= d.Prob {
+			continue
+		}
+		wall += d.Delay
+		virt += d.DelayV
+	}
+	return wall, virt
+}
+
+// markDead records a rank's failure and poisons every pending receive
+// that the failure leaves unsatisfiable: receives naming the dead rank as
+// their exact source, and — ULFM's pending-failure semantics — wildcard
+// receives that were blocked when the failure happened (a message from the
+// dead rank can no longer be ruled out as their match).
+func (w *World) markDead(rank int, cause *RankFailedError) {
+	w.deadMu.Lock()
+	if w.dead == nil {
+		w.dead = make(map[int]*RankFailedError)
+	}
+	if _, already := w.dead[rank]; already {
+		w.deadMu.Unlock()
+		return
+	}
+	w.dead[rank] = cause
+	w.deadN.Add(1)
+	w.deadMu.Unlock()
+	for _, rs := range w.ranks {
+		rs.box.poisonMatching(func(p *pendingRecv) error {
+			if p.srcWorld == rank || p.srcWorld == AnySource {
+				return &RankFailedError{Rank: rank, Op: fmt.Sprintf("receive src=%d tag=%d", p.src, p.tag)}
+			}
+			return nil
+		})
+	}
+}
+
+// isDead reports whether world rank r has been marked failed. The check is
+// free until the first failure.
+func (w *World) isDead(r int) bool {
+	if w.deadN.Load() == 0 {
+		return false
+	}
+	w.deadMu.Lock()
+	_, dead := w.dead[r]
+	w.deadMu.Unlock()
+	return dead
+}
+
+// deadRanks returns the sorted world ranks marked failed.
+func (w *World) deadRanks() []int {
+	if w.deadN.Load() == 0 {
+		return nil
+	}
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	out := make([]int, 0, len(w.dead))
+	for r := 0; r < w.size; r++ {
+		if _, dead := w.dead[r]; dead {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// revokeCtxs marks contexts revoked and poisons their pending receives.
+func (w *World) revokeCtxs(ctxs ...int64) {
+	w.deadMu.Lock()
+	if w.revoked == nil {
+		w.revoked = make(map[int64]bool)
+	}
+	fresh := false
+	for _, ctx := range ctxs {
+		if !w.revoked[ctx] {
+			w.revoked[ctx] = true
+			fresh = true
+		}
+	}
+	if fresh {
+		w.revokedN.Add(1)
+	}
+	w.deadMu.Unlock()
+	if !fresh {
+		return
+	}
+	for _, rs := range w.ranks {
+		rs.box.poisonMatching(func(p *pendingRecv) error {
+			for _, ctx := range ctxs {
+				if p.ctx == ctx {
+					return fmt.Errorf("mpi: %w (ctx=%d)", ErrRevoked, ctx)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// isRevoked reports whether a context has been revoked. Free until the
+// first revocation.
+func (w *World) isRevoked(ctx int64) bool {
+	if w.revokedN.Load() == 0 {
+		return false
+	}
+	w.deadMu.Lock()
+	revoked := w.revoked[ctx]
+	w.deadMu.Unlock()
+	return revoked
+}
+
+// opError returns the pre-completion error an operation on this
+// communicator naming peerWorld must fail with, or nil: a revoked context
+// or a failed peer. peerWorld may be AnySource (no dead-peer check — a
+// wildcard receive posted after a failure may still be matched by the
+// living).
+func (c *Comm) opError(peerWorld int, what string) error {
+	w := c.w
+	if w.isRevoked(c.ctx) {
+		return fmt.Errorf("mpi: rank %d: %s: %w (ctx=%d)", c.rank, what, ErrRevoked, c.ctx)
+	}
+	if peerWorld != AnySource && w.isDead(peerWorld) {
+		return &RankFailedError{Rank: peerWorld, Op: what}
+	}
+	return nil
+}
+
+// failedRequest returns an already-completed request carrying err.
+func failedRequest(c *Comm, kind reqKind, err error) *Request {
+	return &Request{kind: kind, c: c, finished: true, err: err}
+}

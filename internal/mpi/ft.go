@@ -1,0 +1,148 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Fault-tolerance primitives in the style of ULFM (User-Level Failure
+// Mitigation, the MPI Forum's fault-tolerance proposal): Revoke poisons a
+// communicator whose collective failed so every member learns of the
+// failure, Agree reaches agreement among the survivors, and Shrink
+// rebuilds a smaller communicator without the failed ranks. The runtime's
+// in-process failure detector is perfect (markDead is globally visible
+// the instant a rank crashes), which the protocols exploit: they assume
+// failures do not occur concurrently with the recovery step itself and
+// report — rather than mask — ones that do.
+
+// ftCtxBit separates recovery-protocol traffic from user and collective
+// traffic. The shadow context is never revoked, so Agree and Shrink keep
+// working on a revoked communicator (as ULFM requires).
+const ftCtxBit = int64(1) << 61
+
+// Internal tags of the recovery protocols.
+const (
+	agreeTag  = 40
+	shrinkTag = 41
+)
+
+// ft returns the shadow communicator in the recovery context.
+func (c *Comm) ft() *Comm {
+	cc := *c
+	cc.ctx ^= ftCtxBit
+	return &cc
+}
+
+// FailedRanks returns the sorted world ranks that have failed so far —
+// the runtime's (perfect) failure detector.
+func (c *Comm) FailedRanks() []int { return c.w.deadRanks() }
+
+// liveMembers returns the communicator ranks whose process is alive, in
+// rank order.
+func (c *Comm) liveMembers() []int {
+	live := make([]int, 0, c.size)
+	for r := 0; r < c.size; r++ {
+		if !c.w.isDead(c.worldRank(r)) {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// Revoke marks the communicator revoked world-wide, like ULFM's
+// MPI_Comm_revoke: every pending and future point-to-point or collective
+// operation on it — on every member — fails with ErrRevoked. A member
+// that observed a RankFailedError from a collective calls Revoke so the
+// members that did not talk to the failed rank stop waiting too; all
+// members can then rebuild with Shrink. Idempotent, non-collective.
+func (c *Comm) Revoke() {
+	c.w.revokeCtxs(c.ctx, c.ctx^collCtxBit)
+}
+
+// Agree reaches agreement on the bitwise AND of flag across the
+// communicator's live members, excluding ranks that failed before the
+// call — ULFM's MPIX_Comm_agree, the decision primitive applications use
+// after a failure ("did everyone finish the checkpoint?"). A failure
+// concurrent with the agreement is reported as an error instead of
+// hanging; the caller can Shrink and retry.
+func (c *Comm) Agree(flag int) (int, error) {
+	live := c.liveMembers()
+	if len(live) == 0 {
+		return 0, fmt.Errorf("mpi: Agree: no live members")
+	}
+	cc := c.ft()
+	coord := live[0]
+	if c.rank != coord {
+		if err := SendSlice(cc, []int64{int64(flag)}, coord, agreeTag); err != nil {
+			return 0, fmt.Errorf("mpi: Agree: coordinator %d unreachable: %w", coord, err)
+		}
+		buf := make([]int64, 1)
+		if _, err := RecvSlice(cc, buf, coord, agreeTag); err != nil {
+			return 0, fmt.Errorf("mpi: Agree: lost coordinator %d: %w", coord, err)
+		}
+		return int(buf[0]), nil
+	}
+	acc := flag
+	for _, r := range live[1:] {
+		buf := make([]int64, 1)
+		if _, err := RecvSlice(cc, buf, r, agreeTag); err != nil {
+			if IsRankFailed(err) {
+				// The member died mid-agreement: exclude its contribution.
+				continue
+			}
+			return 0, err
+		}
+		acc &= int(buf[0])
+	}
+	for _, r := range live[1:] {
+		if err := SendSlice(cc, []int64{int64(acc)}, r, agreeTag); err != nil && !IsRankFailed(err) {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// Shrink returns a new communicator containing the surviving members of
+// c, renumbered contiguously in old rank order — ULFM's
+// MPI_Comm_shrink, the rebuild step after a failure. Collective over the
+// live members. The lowest live rank coordinates: it allocates the new
+// context and distributes it with the authoritative member list, so all
+// survivors agree on the membership even if their failure views raced.
+func (c *Comm) Shrink() (*Comm, error) {
+	live := c.liveMembers()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("mpi: Shrink: no live members")
+	}
+	cc := c.ft()
+	coord := live[0]
+	msg := make([]int64, 2+c.size)
+	if c.rank == coord {
+		msg[0] = c.w.nextCtxBase(1)
+		msg[1] = int64(len(live))
+		for i, r := range live {
+			msg[2+i] = int64(c.worldRank(r))
+		}
+		for _, r := range live[1:] {
+			if err := SendSlice(cc, msg, r, shrinkTag); err != nil && !IsRankFailed(err) {
+				return nil, err
+			}
+		}
+	} else {
+		if _, err := RecvSlice(cc, msg, coord, shrinkTag); err != nil {
+			return nil, fmt.Errorf("mpi: Shrink: lost coordinator %d: %w", coord, err)
+		}
+	}
+	n := int(msg[1])
+	group := make([]int, n)
+	myNew := -1
+	myWorld := c.worldRank(c.rank)
+	for i := 0; i < n; i++ {
+		group[i] = int(msg[2+i])
+		if group[i] == myWorld {
+			myNew = i
+		}
+	}
+	if myNew < 0 {
+		return nil, fmt.Errorf("mpi: Shrink: coordinator %d's member list excludes this rank", coord)
+	}
+	return &Comm{w: c.w, rs: c.rs, rank: myNew, size: n, ctx: msg[0], group: group}, nil
+}

@@ -1,14 +1,19 @@
 package mpi
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cartcc/internal/netmodel"
 )
 
 // message is one in-flight point-to-point message. The payload is the
 // gathered wire slice (a typed []T boxed in an any); elems and bytes record
-// its extent for matching diagnostics and cost accounting.
+// its extent for matching diagnostics and cost accounting. A message with
+// fail set is a poison pill: the fault layer hands it to a pending receive
+// that can no longer be satisfied (failed peer, revoked context) and Wait
+// surfaces the error instead of a payload.
 type message struct {
 	ctx     int64
 	src     int // communicator rank of the sender within ctx
@@ -17,15 +22,26 @@ type message struct {
 	elems   int
 	bytes   int
 	arrive  netmodel.Time
+	fail    error
 }
 
 // pendingRecv is a posted-but-unmatched receive. The matched message is
-// handed over through the ready channel (buffered, capacity 1).
+// handed over through the ready channel (buffered, capacity 1). srcWorld
+// is the exact source's world rank (AnySource for wildcard receives); the
+// fault layer and the deadlock monitor key on it.
 type pendingRecv struct {
-	ctx   int64
-	src   int // may be AnySource
-	tag   int // may be AnyTag
-	ready chan *message
+	ctx      int64
+	src      int // may be AnySource
+	tag      int // may be AnyTag
+	srcWorld int // world rank of src; AnySource for wildcard
+	ready    chan *message
+	// delivered is set (inside the mailbox lock) the moment a message or
+	// poison is matched to this receive, before the channel handoff. The
+	// deadlock monitor reads it to tell "never matched" apart from "matched
+	// but the receiver hasn't been scheduled yet" — the channel length
+	// alone cannot, because the receiver may have consumed the message and
+	// then been preempted before deregistering its blocked state.
+	delivered atomic.Bool
 }
 
 // matches reports whether message m satisfies receive r. MPI matching:
@@ -60,6 +76,7 @@ func (b *mailbox) deliver(m *message) {
 	for i, r := range b.recvs {
 		if r.matches(m) {
 			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
+			r.delivered.Store(true)
 			b.mu.Unlock()
 			r.ready <- m
 			return
@@ -76,6 +93,7 @@ func (b *mailbox) post(r *pendingRecv) {
 	for i, m := range b.arrived {
 		if r.matches(m) {
 			b.arrived = append(b.arrived[:i], b.arrived[i+1:]...)
+			r.delivered.Store(true)
 			b.mu.Unlock()
 			r.ready <- m
 			return
@@ -97,4 +115,56 @@ func (b *mailbox) probe(ctx int64, src, tag int) (found bool, msgSrc, msgTag, el
 		}
 	}
 	return false, 0, 0, 0
+}
+
+// poisonMatching fails every pending receive for which cond returns a
+// non-nil error: the receive is removed and handed a poison message, so
+// its Wait returns the error instead of blocking forever. Used by the
+// fault layer when a rank dies or a context is revoked.
+func (b *mailbox) poisonMatching(cond func(*pendingRecv) error) {
+	b.mu.Lock()
+	var hit []*pendingRecv
+	var errs []error
+	kept := b.recvs[:0]
+	for _, r := range b.recvs {
+		if err := cond(r); err != nil {
+			r.delivered.Store(true)
+			hit = append(hit, r)
+			errs = append(errs, err)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	b.recvs = kept
+	b.mu.Unlock()
+	for i, r := range hit {
+		r.ready <- &message{ctx: r.ctx, src: r.src, tag: r.tag, fail: errs[i]}
+	}
+}
+
+// cancel removes a still-unmatched pending receive and reports whether it
+// was removed; false means a message (or poison) has already been handed
+// over and the receive must still be waited on.
+func (b *mailbox) cancel(p *pendingRecv) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, r := range b.recvs {
+		if r == p {
+			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// snapshotArrived renders the envelopes of the unexpected-message queue
+// for diagnostic reports.
+func (b *mailbox) snapshotArrived() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.arrived))
+	for _, m := range b.arrived {
+		out = append(out, fmt.Sprintf("[src=%d tag=%d ctx=%d elems=%d]", m.src, m.tag, m.ctx, m.elems))
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"reflect"
+	"time"
 
 	"cartcc/internal/datatype"
 	"cartcc/internal/trace"
@@ -39,13 +40,25 @@ func (c *Comm) isendRaw(payload any, elems, nbytes, dst, tag int) (*Request, err
 // the copy (injection) cost.
 func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64) *Request {
 	rs := c.rs
+	rs.opTick()
 	m := &message{ctx: c.ctx, src: c.rank, tag: int(tag), payload: payload, elems: elems, bytes: nbytes}
 	dstWorld := c.worldRank(dst)
+	if err := c.opError(dstWorld, fmt.Sprintf("send dst=%d tag=%d", dst, tag)); err != nil {
+		// The peer has failed or the context is revoked: the send completes
+		// with the typed error instead of silently dropping data.
+		return failedRequest(c, reqSend, err)
+	}
+	delayWall, delayV := rs.delayFor(dstWorld)
+	if delayWall > 0 && c.w.model == nil {
+		// Stalling the sender before delivery keeps per-sender delivery
+		// sequential, preserving the non-overtaking guarantee.
+		time.Sleep(delayWall)
+	}
 	if model := c.w.model; model != nil {
 		start := rs.clock
 		alpha, beta := model.PathParams(rs.rank, dstWorld)
 		rs.clock += model.SendOverhead + beta*float64(nbytes)
-		cost := alpha
+		cost := alpha + delayV
 		if model.Noise != nil {
 			cost += model.Noise.Sample(rs.rng, model.Cost(nbytes))
 		}
@@ -76,9 +89,26 @@ func (c *Comm) irecvRaw(src, tag int, complete func(*message) error) (*Request, 
 }
 
 func (c *Comm) irecvRawTag(src int, tag int64, complete func(*message) error) *Request {
-	p := &pendingRecv{ctx: c.ctx, src: src, tag: int(tag), ready: make(chan *message, 1)}
+	c.rs.opTick()
+	srcWorld := AnySource
+	if src != AnySource {
+		srcWorld = c.worldRank(src)
+	}
+	if err := c.opError(srcWorld, fmt.Sprintf("recv src=%d tag=%d", src, tag)); err != nil {
+		return failedRequest(c, reqRecv, err)
+	}
+	p := &pendingRecv{ctx: c.ctx, src: src, tag: int(tag), srcWorld: srcWorld, ready: make(chan *message, 1)}
 	req := &Request{kind: reqRecv, c: c, pending: p, complete: complete}
 	c.rs.box.post(p)
+	// Close the race with a concurrent failure or revocation: the fault
+	// layer poisons pending receives it finds in the mailbox, so re-check
+	// after posting and poison our own receive if it slipped past.
+	if err := c.opError(srcWorld, fmt.Sprintf("recv src=%d tag=%d", src, tag)); err != nil {
+		if c.rs.box.cancel(p) {
+			p.delivered.Store(true)
+			p.ready <- &message{ctx: p.ctx, src: p.src, tag: p.tag, fail: err}
+		}
+	}
 	return req
 }
 

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"cartcc/internal/trace"
@@ -89,10 +90,22 @@ func (r *Request) Wait() (Status, error) {
 	return r.status, r.err
 }
 
-// awaitMessage blocks on the pending receive with abort and watchdog
-// handling.
+// awaitMessage blocks on the pending receive with abort and fallback-timer
+// handling. The wait is registered with the deadlock monitor (watchdog.go)
+// so a run that can no longer progress is diagnosed in milliseconds.
 func (r *Request) awaitMessage() (*message, error) {
 	w := r.c.w
+	rs := r.c.rs
+	w.setBlocked(rs.rank, &blockedOp{
+		kind:      "recv",
+		src:       r.pending.src,
+		tag:       r.pending.tag,
+		ctx:       r.pending.ctx,
+		since:     time.Now(),
+		pendings:  []*pendingRecv{r.pending},
+		srcWorlds: []int{r.pending.srcWorld},
+	})
+	defer w.clearBlocked(rs.rank)
 	var timeoutCh <-chan time.Time
 	if w.timeout > 0 {
 		t := time.NewTimer(w.timeout)
@@ -101,15 +114,46 @@ func (r *Request) awaitMessage() (*message, error) {
 	}
 	select {
 	case m := <-r.pending.ready:
+		if m.fail != nil {
+			return nil, m.fail
+		}
 		return m, nil
 	case <-w.abort:
-		return nil, fmt.Errorf("mpi: rank %d: run aborted while receiving (src=%d tag=%d)", r.c.rank, r.pending.src, r.pending.tag)
+		// Prefer a message (or typed poison) that raced with the abort over
+		// the generic cascade error.
+		select {
+		case m := <-r.pending.ready:
+			if m.fail != nil {
+				return nil, m.fail
+			}
+			return m, nil
+		default:
+		}
+		return nil, fmt.Errorf("mpi: rank %d: %w while receiving (src=%d tag=%d)", r.c.rank, ErrAborted, r.pending.src, r.pending.tag)
 	case <-timeoutCh:
 		err := fmt.Errorf("mpi: rank %d: deadlock suspected: receive (src=%d tag=%d ctx=%d) blocked for %v",
 			r.c.rank, r.pending.src, r.pending.tag, r.pending.ctx, w.timeout)
 		w.fail(err)
 		return nil, err
 	}
+}
+
+// Cancel removes a still-unmatched receive request from its rank's
+// mailbox, completing it with ErrCancelled, and reports whether it was
+// cancelled. A request whose message has already been handed over (or a
+// non-receive request) is not cancellable — complete it with Wait.
+// Mirrors MPI_Cancel for receives; schedule executors use it to abandon a
+// failed phase without leaking matchable receives.
+func (r *Request) Cancel() bool {
+	if r == nil || r.finished || r.kind != reqRecv {
+		return false
+	}
+	if !r.c.rs.box.cancel(r.pending) {
+		return false
+	}
+	r.finished = true
+	r.err = fmt.Errorf("mpi: %w (src=%d tag=%d)", ErrCancelled, r.pending.src, r.pending.tag)
+	return true
 }
 
 // Test reports whether the operation has completed, without blocking; when
@@ -146,21 +190,42 @@ func (r *Request) Test() (done bool, st Status, err error) {
 	return false, Status{}, nil
 }
 
+// waitanyIdleSweeps counts Waitany's backoff sweeps (a test hook: the
+// regression test for the former send/aggregate-only busy-poll asserts the
+// sweep rate is bounded by the backoff, not a hot spin).
+var waitanyIdleSweeps atomic.Int64
+
+// waitanyBackoff is the poll backoff between Waitany sweeps.
+const waitanyBackoff = 50 * time.Microsecond
+
 // Waitany blocks until at least one of the requests completes and returns
 // its index and status, like MPI_Waitany. Completed (or nil) requests that
 // were already waited on are skipped; if every request is nil or finished,
-// it returns index -1. The poll loop yields between sweeps, so it is
-// intended for small request counts (as in schedule executors).
+// it returns index -1. The poll loop backs off between sweeps, so it is
+// intended for small request counts (as in schedule executors). The wait
+// is registered with the deadlock monitor, and an aborted run completes
+// the first live request with the abort error instead of spinning.
 func Waitany(reqs ...*Request) (int, Status, error) {
 	live := 0
+	var c *Comm
 	for _, r := range reqs {
 		if r != nil && !r.finished {
 			live++
+			if c == nil {
+				c = r.c
+			}
 		}
 	}
 	if live == 0 {
 		return -1, Status{}, nil
 	}
+	var since time.Time
+	registered := false
+	defer func() {
+		if registered {
+			c.w.clearBlocked(c.rs.rank)
+		}
+	}()
 	for {
 		for i, r := range reqs {
 			if r == nil || r.finished {
@@ -171,23 +236,65 @@ func Waitany(reqs ...*Request) (int, Status, error) {
 				return i, st, err
 			}
 		}
-		// Block on the first live request's channel briefly rather than
-		// spinning: fairness is preserved by the sweep above.
-		for _, r := range reqs {
-			if r == nil || r.finished {
-				continue
+		if c.w.failed.Load() {
+			// The run is being torn down: complete the first live request
+			// so the caller observes the abort rather than polling forever.
+			for i, r := range reqs {
+				if r != nil && !r.finished {
+					st, err := r.Wait()
+					return i, st, err
+				}
 			}
-			if r.kind != reqRecv {
-				continue
-			}
+		}
+		waitanyIdleSweeps.Add(1)
+		if since.IsZero() {
+			since = time.Now()
+		}
+		pends, srcs := pendingRecvs(reqs)
+		if len(pends) > 0 {
+			c.w.setBlocked(c.rs.rank, &blockedOp{kind: "waitany", since: since, pendings: pends, srcWorlds: srcs})
+			registered = true
+			// Block briefly on one pending receive rather than spinning:
+			// fairness is preserved by the sweep above.
 			select {
-			case m := <-r.pending.ready:
-				r.pending.ready <- m
-			case <-time.After(50 * time.Microsecond):
+			case m := <-pends[0].ready:
+				pends[0].ready <- m
+			case <-time.After(waitanyBackoff):
 			}
-			break
+		} else {
+			// No live request has a receive channel (send/aggregate-only
+			// sets): back off with a plain sleep. This path used to
+			// busy-poll at 100% CPU.
+			time.Sleep(waitanyBackoff)
 		}
 	}
+}
+
+// pendingRecvs collects the posted receives (and exact source world ranks)
+// of every unfinished receive reachable from the requests, descending into
+// aggregates.
+func pendingRecvs(reqs []*Request) ([]*pendingRecv, []int) {
+	var pends []*pendingRecv
+	var srcs []int
+	var walk func(r *Request)
+	walk = func(r *Request) {
+		if r == nil || r.finished {
+			return
+		}
+		switch r.kind {
+		case reqRecv:
+			pends = append(pends, r.pending)
+			srcs = append(srcs, r.pending.srcWorld)
+		case reqAggregate:
+			for _, ch := range r.children {
+				walk(ch)
+			}
+		}
+	}
+	for _, r := range reqs {
+		walk(r)
+	}
+	return pends, srcs
 }
 
 // Waitall waits for every request and returns the first error encountered.

@@ -1,0 +1,359 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWFGDetectsMismatchedTag is the acceptance scenario for the
+// wait-for-graph monitor: a schedule bug (one rank receives on a tag
+// nobody sends) must be diagnosed in well under a second — not after a
+// 60-second timer — with a report naming every blocked rank's operation
+// and the mismatched traffic sitting in the unexpected queues.
+func TestWFGDetectsMismatchedTag(t *testing.T) {
+	t0 := time.Now()
+	err := Run(Config{Procs: 4, Timeout: 30 * time.Second}, func(c *Comm) error {
+		// Everyone sends tag 0 to the next rank, then receives from the
+		// previous — but rank 0 receives tag 99 by mistake. The sends are
+		// buffered, so every rank ends up blocked in a receive: ranks 1-3
+		// starve because 0 never progresses; rank 0 waits forever.
+		p := c.Size()
+		next, prev := (c.Rank()+1)%p, (c.Rank()-1+p)%p
+		for i := 0; i < 3; i++ {
+			if err := SendSlice(c, []int{c.Rank()}, next, 0); err != nil {
+				return err
+			}
+			tag := 0
+			if c.Rank() == 0 && i == 1 {
+				tag = 99 // the schedule bug
+			}
+			buf := make([]int, 1)
+			if _, err := RecvSlice(c, buf, prev, tag); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("mismatched schedule completed")
+	}
+	if elapsed > time.Second {
+		t.Fatalf("detection took %v, want < 1s", elapsed)
+	}
+	var dle *DeadlockError
+	if !errors.As(err, &dle) {
+		t.Fatalf("err = %v, want a DeadlockError", err)
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("report does not say deadlock: %v", err)
+	}
+	// The report must name every blocked rank's pending operation, and
+	// rank 0's entry must expose both the bad tag and the queued messages
+	// that explain the mismatch.
+	if len(dle.Blocked) == 0 {
+		t.Fatalf("report names no blocked ranks: %v", err)
+	}
+	msg := err.Error()
+	for _, br := range dle.Blocked {
+		if !strings.Contains(msg, fmt.Sprintf("rank %d:", br.Rank)) {
+			t.Fatalf("report misses rank %d: %v", br.Rank, msg)
+		}
+		if br.Op == "" {
+			t.Fatalf("rank %d has no op description", br.Rank)
+		}
+	}
+	if !strings.Contains(msg, "tag=99") {
+		t.Fatalf("report does not show the mismatched tag: %v", msg)
+	}
+	for _, br := range dle.Blocked {
+		if br.Rank == 0 && len(br.Queued) == 0 {
+			t.Fatalf("rank 0's unexpected queue not reported: %+v", br)
+		}
+	}
+}
+
+// TestWFGDetectsCycle: a wait-for cycle among three ranks is diagnosed as
+// such even while a fourth rank is still alive and busy (so the
+// all-blocked proof cannot fire).
+func TestWFGDetectsCycle(t *testing.T) {
+	errCh := make(chan error, 1)
+	err := Run(Config{Procs: 4, Timeout: 30 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 3 {
+			// Busy bystander: alive during detection, never blocked.
+			time.Sleep(400 * time.Millisecond)
+			return nil
+		}
+		// Ranks 0,1,2 each receive from the next before sending: a classic
+		// head-to-head cycle 0 <- 1 <- 2 <- 0.
+		buf := make([]int, 1)
+		start := time.Now()
+		_, err := RecvSlice(c, buf, (c.Rank()+1)%3, 4)
+		if c.Rank() == 0 {
+			select {
+			case errCh <- fmt.Errorf("detected after %v: %w", time.Since(start), err):
+			default:
+			}
+		}
+		return err
+	})
+	var dle *DeadlockError
+	if !errors.As(err, &dle) {
+		t.Fatalf("err = %v, want a DeadlockError", err)
+	}
+	if dle.Kind != "cycle" {
+		t.Fatalf("proof kind = %q, want cycle (err: %v)", dle.Kind, err)
+	}
+	if len(dle.Cycle) != 3 {
+		t.Fatalf("cycle = %v, want the 3 ring members", dle.Cycle)
+	}
+	select {
+	case got := <-errCh:
+		t.Logf("rank 0 observed: %v", got)
+	default:
+		t.Fatal("rank 0 never unblocked")
+	}
+}
+
+// TestWFGDetectsOrphan: a receive from a rank that already finished can
+// never match; the monitor proves this even though other ranks are alive.
+func TestWFGDetectsOrphan(t *testing.T) {
+	err := Run(Config{Procs: 3, Timeout: 30 * time.Second}, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			return nil // finishes immediately, sends nothing
+		case 2:
+			time.Sleep(400 * time.Millisecond) // alive bystander
+			return nil
+		default:
+			buf := make([]int, 1)
+			_, err := RecvSlice(c, buf, 1, 0)
+			return err
+		}
+	})
+	var dle *DeadlockError
+	if !errors.As(err, &dle) {
+		t.Fatalf("err = %v, want a DeadlockError", err)
+	}
+	if dle.Kind != "orphan" {
+		t.Fatalf("proof kind = %q, want orphan (err: %v)", dle.Kind, err)
+	}
+	found := false
+	for _, r := range dle.Finished {
+		if r == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report does not list rank 1 as finished: %v", err)
+	}
+}
+
+// TestWFGNoFalsePositive: slow but progressing runs — ranks alternating
+// sleeps and exchanges — must not trip the monitor.
+func TestWFGNoFalsePositive(t *testing.T) {
+	err := Run(Config{Procs: 4, Timeout: 30 * time.Second}, func(c *Comm) error {
+		p := c.Size()
+		next, prev := (c.Rank()+1)%p, (c.Rank()-1+p)%p
+		for i := 0; i < 10; i++ {
+			if c.Rank()%2 == 0 {
+				// Even ranks dawdle before sending: odd ranks sit blocked in
+				// their receives for many monitor intervals.
+				time.Sleep(10 * time.Millisecond)
+			}
+			out, in := []int{i}, make([]int, 1)
+			if _, err := Sendrecv(c, out, contiguousN(1), next, 0, in, contiguousN(1), prev, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("monitor fired on a live run: %v", err)
+	}
+}
+
+// TestWFGDisabled: DeadlockPoll < 0 turns the monitor off; the fallback
+// timer (Config.Timeout) still catches the hang.
+func TestWFGDisabled(t *testing.T) {
+	t0 := time.Now()
+	err := Run(Config{Procs: 2, Timeout: 150 * time.Millisecond, DeadlockPoll: -1}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]int, 1)
+			_, err := RecvSlice(c, buf, 1, 9)
+			return err
+		}
+		<-time.After(400 * time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("hang not detected")
+	}
+	var dle *DeadlockError
+	if errors.As(err, &dle) {
+		t.Fatalf("disabled monitor still produced a DeadlockError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "deadlock suspected") {
+		t.Fatalf("fallback timer did not fire: %v", err)
+	}
+	if time.Since(t0) > 2*time.Second {
+		t.Fatalf("fallback took %v", time.Since(t0))
+	}
+}
+
+// TestTimeoutNegativeDisables: Timeout < 0 disables the fallback timer
+// entirely — a receive that is merely slow (300ms) completes instead of
+// being killed by an over-eager timer.
+func TestTimeoutNegativeDisables(t *testing.T) {
+	err := Run(Config{Procs: 2, Timeout: -1}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]int, 1)
+			if _, err := RecvSlice(c, buf, 1, 9); err != nil {
+				return err
+			}
+			if buf[0] != 42 {
+				return fmt.Errorf("got %d", buf[0])
+			}
+			return nil
+		}
+		time.Sleep(300 * time.Millisecond)
+		return SendSlice(c, []int{42}, 0, 9)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortMidSendrecv: a rank failing while its partner sits inside
+// Sendrecv must release the partner with a cascade (ErrAborted) error,
+// and the run error must carry only the root cause.
+func TestAbortMidSendrecv(t *testing.T) {
+	observed := make([]error, 3)
+	err := Run(Config{Procs: 3, Timeout: 30 * time.Second}, func(c *Comm) error {
+		switch c.Rank() {
+		case 2:
+			time.Sleep(30 * time.Millisecond)
+			return fmt.Errorf("rank 2 exploded")
+		default:
+			// 0 and 1 exchange with each other but also wait on rank 2's
+			// round, which never comes.
+			buf := make([]int, 1)
+			_, err := Sendrecv(c, []int{c.Rank()}, contiguousN(1), 1-c.Rank(), 0,
+				buf, contiguousN(1), 2, 0)
+			observed[c.Rank()] = err
+			return err
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 2 exploded") {
+		t.Fatalf("err = %v", err)
+	}
+	if strings.Contains(err.Error(), "ranks failed") {
+		t.Fatalf("cascade errors promoted to primary: %v", err)
+	}
+	for _, r := range []int{0, 1} {
+		if observed[r] == nil {
+			t.Fatalf("rank %d was not released", r)
+		}
+		if !errors.Is(observed[r], ErrAborted) && !errors.As(observed[r], new(*DeadlockError)) {
+			t.Fatalf("rank %d observed %v, want ErrAborted", r, observed[r])
+		}
+	}
+}
+
+// TestDoubleWaitAfterAbort: waiting twice on a request that completed
+// with an abort error returns the recorded error both times.
+func TestDoubleWaitAfterAbort(t *testing.T) {
+	errs := make([]error, 2)
+	_ = Run(Config{Procs: 2, Timeout: 30 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(20 * time.Millisecond)
+			return fmt.Errorf("bang")
+		}
+		buf := make([]int, 1)
+		req, err := Irecv(c, buf, contiguousN(1), 1, 0)
+		if err != nil {
+			return err
+		}
+		_, errs[0] = req.Wait()
+		_, errs[1] = req.Wait()
+		return errs[0]
+	})
+	if errs[0] == nil {
+		t.Fatal("first Wait returned nil")
+	}
+	if errs[1] == nil || errs[1].Error() != errs[0].Error() {
+		t.Fatalf("second Wait = %v, first = %v", errs[1], errs[0])
+	}
+}
+
+// TestCancelReceive: Cancel removes an unmatched receive (completing it
+// with ErrCancelled) and refuses once a message has been handed over.
+func TestCancelReceive(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return SendSlice(c, []int{5}, 0, 1)
+		}
+		buf := make([]int, 1)
+		// A receive nobody matches: cancellable.
+		req, err := Irecv(c, buf, contiguousN(1), 1, 99)
+		if err != nil {
+			return err
+		}
+		if !req.Cancel() {
+			return fmt.Errorf("unmatched receive not cancelled")
+		}
+		if _, err := req.Wait(); !errors.Is(err, ErrCancelled) {
+			return fmt.Errorf("cancelled Wait = %v, want ErrCancelled", err)
+		}
+		// A matched receive: not cancellable.
+		req2, err := Irecv(c, buf, contiguousN(1), 1, 1)
+		if err != nil {
+			return err
+		}
+		if _, err := req2.Wait(); err != nil {
+			return err
+		}
+		if req2.Cancel() {
+			return fmt.Errorf("completed receive reported cancelled")
+		}
+		return nil
+	})
+}
+
+// TestWaitanyNoHotSpin is the regression test for the former busy-poll:
+// a Waitany blocked on a receive for 150ms must sweep at the backoff
+// rate, not at CPU speed.
+func TestWaitanyNoHotSpin(t *testing.T) {
+	before := waitanyIdleSweeps.Load()
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(150 * time.Millisecond)
+			return SendSlice(c, []int{1}, 0, 0)
+		}
+		buf := make([]int, 1)
+		req, err := Irecv(c, buf, contiguousN(1), 1, 0)
+		if err != nil {
+			return err
+		}
+		idx, _, err := Waitany(req)
+		if err != nil {
+			return err
+		}
+		if idx != 0 {
+			return fmt.Errorf("Waitany index = %d", idx)
+		}
+		return nil
+	})
+	sweeps := waitanyIdleSweeps.Load() - before
+	// 150ms at the 50µs backoff is ~3000 sweeps; a hot spin would log
+	// millions. Allow a generous 10x margin for scheduling noise.
+	if sweeps > 30000 {
+		t.Fatalf("Waitany swept %d times in ~150ms: busy-polling", sweeps)
+	}
+	if sweeps == 0 {
+		t.Fatal("test exercised no idle sweeps")
+	}
+}

@@ -14,6 +14,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -33,8 +34,10 @@ const (
 	AnyTag = -1
 )
 
-// DefaultTimeout is the watchdog limit for a blocked receive before the
-// runtime declares a deadlock. Zero disables the watchdog.
+// DefaultTimeout is the hard fallback limit for a blocked receive before
+// the runtime declares a deadlock. Zero disables the fallback timer. The
+// wait-for-graph monitor (watchdog.go) normally diagnoses deadlocks long
+// before this timer fires.
 const DefaultTimeout = 60 * time.Second
 
 // World owns the ranks of one parallel run. All communicators of a run are
@@ -45,13 +48,31 @@ type World struct {
 	rec     *trace.Recorder
 	seed    int64
 	timeout time.Duration
+	faults  *FaultPlan
 
-	ranks   []*rankState
-	ctxSeq  atomic.Int64
-	abort   chan struct{}
-	failed  atomic.Bool
+	ranks  []*rankState
+	ctxSeq atomic.Int64
+	abort  chan struct{}
+	failed atomic.Bool
+
+	// Error aggregation: primary holds every rank's own failure, cascade
+	// the secondary errors caused by the abort tearing down the rest.
 	failMu  sync.Mutex
-	failErr error
+	primary []error
+	cascade []error
+	errRank map[int]bool // ranks that contributed a primary error
+
+	// Fault layer: failed ranks and revoked contexts, with atomic counters
+	// keeping the hot-path checks free until a first fault.
+	deadMu   sync.Mutex
+	dead     map[int]*RankFailedError
+	deadN    atomic.Int32
+	revoked  map[int64]bool
+	revokedN atomic.Int32
+
+	// Deadlock monitor registry: per-rank blocked state and completion.
+	blocked []atomic.Pointer[blockedOp]
+	done    []atomic.Bool
 }
 
 // Config controls a parallel run.
@@ -64,23 +85,33 @@ type Config struct {
 	// Seed seeds the per-rank noise generators; runs with the same seed,
 	// model and program are deterministic in virtual time.
 	Seed int64
-	// Timeout is the blocked-receive watchdog; 0 means DefaultTimeout,
-	// negative disables it.
+	// Timeout is the blocked-receive fallback watchdog; 0 means
+	// DefaultTimeout, negative disables it. The wait-for-graph monitor
+	// (see DeadlockPoll) is the primary deadlock defense.
 	Timeout time.Duration
 	// Recorder, if non-nil, collects per-rank communication events in
 	// virtual time (requires Model; see package trace). It must have been
 	// created for at least Procs ranks.
 	Recorder *trace.Recorder
+	// Faults, if non-nil, injects deterministic failures — rank crashes,
+	// stragglers, message delays — into the run; see FaultPlan.
+	Faults *FaultPlan
+	// DeadlockPoll is the sampling interval of the wait-for-graph deadlock
+	// monitor; 0 means DefaultDeadlockPoll, negative disables the monitor.
+	DeadlockPoll time.Duration
 }
 
-// rankState is the per-rank runtime state. The clock, rng and eventSeq
-// fields are owned by the rank's goroutine; the mailbox has its own lock.
+// rankState is the per-rank runtime state. The clock, rng, ops and
+// delayCount fields are owned by the rank's goroutine; the mailbox has its
+// own lock.
 type rankState struct {
-	world *World
-	rank  int
-	clock netmodel.Time
-	rng   *rand.Rand
-	box   mailbox
+	world      *World
+	rank       int
+	clock      netmodel.Time
+	rng        *rand.Rand
+	box        mailbox
+	ops        int   // point-to-point operations posted (fault triggers)
+	delayCount []int // per-MsgDelay matching-message counters
 }
 
 // Run spawns cfg.Procs ranks, calls f on each with its world communicator,
@@ -104,18 +135,27 @@ func Run(cfg Config, f func(c *Comm) error) error {
 			return fmt.Errorf("mpi: recorder sized for %d ranks, run has %d", cfg.Recorder.Ranks(), cfg.Procs)
 		}
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(cfg.Procs); err != nil {
+			return err
+		}
+	}
 	w := &World{
 		size:    cfg.Procs,
 		model:   cfg.Model,
 		rec:     cfg.Recorder,
 		seed:    cfg.Seed,
 		timeout: cfg.Timeout,
+		faults:  cfg.Faults,
 		abort:   make(chan struct{}),
+		errRank: make(map[int]bool),
 	}
 	if w.timeout == 0 {
 		w.timeout = DefaultTimeout
 	}
 	w.ranks = make([]*rankState, cfg.Procs)
+	w.blocked = make([]atomic.Pointer[blockedOp], cfg.Procs)
+	w.done = make([]atomic.Bool, cfg.Procs)
 	for r := range w.ranks {
 		w.ranks[r] = &rankState{
 			world: w,
@@ -124,38 +164,93 @@ func Run(cfg Config, f func(c *Comm) error) error {
 		}
 	}
 
+	if cfg.DeadlockPoll >= 0 {
+		poll := cfg.DeadlockPoll
+		if poll == 0 {
+			poll = DefaultDeadlockPoll
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		go w.runMonitor(poll, stop)
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(cfg.Procs)
 	for r := 0; r < cfg.Procs; r++ {
 		go func(r int) {
 			defer wg.Done()
 			defer func() {
+				w.done[r].Store(true)
+				w.clearBlocked(r)
 				if p := recover(); p != nil {
+					if cs, ok := p.(crashSignal); ok {
+						// Injected crash: record it without aborting the
+						// world — peers observe the failure ULFM-style
+						// through RankFailedError and may recover.
+						w.record(r, cs.err)
+						return
+					}
 					w.fail(fmt.Errorf("mpi: rank %d panicked: %v\n%s", r, p, debug.Stack()))
 				}
 			}()
 			comm := &Comm{w: w, rs: w.ranks[r], rank: r, size: cfg.Procs, ctx: 0}
 			if err := f(comm); err != nil {
-				w.fail(fmt.Errorf("mpi: rank %d: %w", r, err))
+				w.failFrom(r, fmt.Errorf("mpi: rank %d: %w", r, err))
 			}
 		}(r)
 	}
 	wg.Wait()
-	w.failMu.Lock()
-	defer w.failMu.Unlock()
-	return w.failErr
+	return w.runError()
 }
 
-// fail records the first error and releases all blocked ranks.
-func (w *World) fail(err error) {
-	w.failMu.Lock()
-	if w.failErr == nil {
-		w.failErr = err
-	}
-	w.failMu.Unlock()
+// fail records an error and releases all blocked ranks through the abort
+// channel.
+func (w *World) fail(err error) { w.failFrom(-1, err) }
+
+// failFrom is fail with rank attribution for the failing-rank count.
+func (w *World) failFrom(rank int, err error) {
+	w.record(rank, err)
 	if w.failed.CompareAndSwap(false, true) {
 		close(w.abort)
 	}
+}
+
+// record aggregates an error without aborting the run (injected crashes
+// use it directly, so peers can survive ULFM-style). Cascade errors —
+// those caused by the abort itself — are kept separately so they never
+// mask the primary failures.
+func (w *World) record(rank int, err error) {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	if errors.Is(err, ErrAborted) {
+		w.cascade = append(w.cascade, err)
+		return
+	}
+	w.primary = append(w.primary, err)
+	if rank >= 0 {
+		w.errRank[rank] = true
+	}
+}
+
+// runError assembles the run's return value: every primary error joined
+// (one rank's panic no longer masks concurrent failures on others), with
+// the failing-rank count, falling back to the cascade errors if — against
+// expectation — only those exist.
+func (w *World) runError() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	if len(w.primary) == 0 {
+		if len(w.cascade) == 0 {
+			return nil
+		}
+		return errors.Join(w.cascade...)
+	}
+	joined := errors.Join(w.primary...)
+	n := len(w.errRank)
+	if n > 1 {
+		return fmt.Errorf("mpi: %d ranks failed: %w", n, joined)
+	}
+	return joined
 }
 
 // nextCtxBase atomically allocates n fresh context identifiers and returns
