@@ -145,9 +145,45 @@ func run(name string, sc bench.Scale, mode renderMode) error {
 		return predict()
 	case "chaos":
 		return chaosExperiment(sc)
+	case "allocs":
+		return allocsExperiment(sc)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+}
+
+// allocsExperiment measures the runtime's per-operation software overhead
+// (ns/op, B/op, allocs/op across the world) for the trivial and combining
+// Cart_alltoall and the direct neighbor baseline, and records the sweep in
+// BENCH_P2.json so the perf trajectory is tracked across PRs.
+func allocsExperiment(sc bench.Scale) error {
+	cfg := bench.AllocConfig{D: 2, N: 3, Procs: 16, BlockSizes: []int{1, 16, 256}}
+	if sc.Reps > 0 && sc.Reps < bench.DefaultScale.Reps {
+		cfg.Iters = 50 // quick scale
+	}
+	rep, err := bench.RunAllocBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatAllocReport(rep))
+	rec := &bench.BenchP2{
+		Description: "Allocation profile of one Cart_alltoall across the world (2-d 9-point stencil, p=16, int32 blocks); totals per operation over all ranks.",
+		After:       rep,
+	}
+	// Track the trajectory: the previous sweep (its baseline if it had one,
+	// else its result) becomes the "before" of this record.
+	if prev, err := bench.ReadBenchP2("BENCH_P2.json"); err == nil && prev != nil {
+		if prev.Before != nil {
+			rec.Before = prev.Before
+		} else {
+			rec.Before = prev.After
+		}
+	}
+	if err := bench.WriteBenchP2("BENCH_P2.json", rec); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_P2.json")
+	return nil
 }
 
 func figure(mode renderMode, title, id string, panels []bench.Panel) error {

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// This file implements the allocation-profile benchmark behind the
+// `cartbench allocs` experiment and BENCH_P2.json: wall-clock ns/op,
+// B/op and allocs/op of one collective operation across the whole world,
+// for the trivial and message-combining Cartesian algorithms and the
+// direct MPI_Neighbor baseline. Unlike the virtual-time figures, this
+// measures the runtime's own software overhead — the per-message α the
+// zero-copy fast path and the pooled wire buffers exist to minimize.
+
+// AllocConfig parameterizes one allocation sweep.
+type AllocConfig struct {
+	// D, N pick the stencil family (full F = -1 neighborhood).
+	D, N int
+	// Procs is the number of ranks; zero derives a default from D.
+	Procs int
+	// BlockSizes are the per-block element counts to sweep.
+	BlockSizes []int
+	// Iters is the number of timed operations per measurement; zero
+	// means 200.
+	Iters int
+}
+
+// AllocSample is one measured (series, block size) cell. The counters are
+// totals across every rank of the world per collective operation — the
+// per-operation cost of the whole exchange, not of one process.
+type AllocSample struct {
+	Series      string  `json:"series"`
+	BlockSize   int     `json:"block_elems"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// AllocReport is the serialized form of one full sweep (the content of
+// BENCH_P2.json's "before"/"after" sections).
+type AllocReport struct {
+	D, N    int           `json:"-"`
+	Procs   int           `json:"procs"`
+	Stencil string        `json:"stencil"`
+	Iters   int           `json:"iters"`
+	Samples []AllocSample `json:"samples"`
+}
+
+// allocSeries are the measured variants of the allocation sweep.
+var allocSeries = []struct {
+	name string
+	algo cart.Algorithm
+}{
+	{"neighbor", -1},
+	{"trivial", cart.Trivial},
+	{"combining", cart.Combining},
+}
+
+// RunAllocBench measures ns/op, B/op and allocs/op of a Cart_alltoall
+// round for every series and block size of cfg. The run is wall-clock
+// (no cost model) with the deadlock monitor disabled, so the memory
+// counters see only the collective's own allocations.
+func RunAllocBench(cfg AllocConfig) (*AllocReport, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = 16
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 200
+	}
+	if len(cfg.BlockSizes) == 0 {
+		cfg.BlockSizes = []int{1, 16, 256}
+	}
+	nbh, err := vec.Stencil(cfg.D, cfg.N, -1)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := vec.DimsCreate(cfg.Procs, cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	rep := &AllocReport{
+		D: cfg.D, N: cfg.N, Procs: cfg.Procs, Iters: cfg.Iters,
+		Stencil: fmt.Sprintf("d=%d n=%d", cfg.D, cfg.N),
+	}
+	for _, m := range cfg.BlockSizes {
+		for _, series := range allocSeries {
+			sample, err := measureAlloc(cfg, dims, nbh, m, series.name, series.algo)
+			if err != nil {
+				return nil, err
+			}
+			rep.Samples = append(rep.Samples, sample)
+		}
+	}
+	return rep, nil
+}
+
+// measureAlloc times cfg.Iters back-to-back operations of one variant and
+// reads the world-wide allocation deltas on rank 0, fenced by barriers so
+// every rank's operations — and nothing else — fall inside the window.
+func measureAlloc(cfg AllocConfig, dims []int, nbh vec.Neighborhood, m int, name string, algo cart.Algorithm) (AllocSample, error) {
+	sample := AllocSample{Series: name, BlockSize: m}
+	iters := cfg.Iters
+	err := mpi.Run(mpi.Config{Procs: cfg.Procs, DeadlockPoll: -1, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		t := len(nbh)
+		send := make([]int32, t*m)
+		recv := make([]int32, t*m)
+		for i := range send {
+			send[i] = int32(w.Rank()*len(send) + i)
+		}
+		var op func() error
+		if algo < 0 {
+			graph, err := c.DistGraph()
+			if err != nil {
+				return err
+			}
+			op = func() error { return mpi.NeighborAlltoall(graph, send, recv) }
+		} else {
+			plan, err := cart.AlltoallInit(c, m, algo)
+			if err != nil {
+				return err
+			}
+			op = func() error { return cart.Run(plan, send, recv) }
+		}
+		// Warm up plan-owned scratch and pools before the counters start.
+		for i := 0; i < 3; i++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		var before, after runtime.MemStats
+		var t0 time.Time
+		if w.Rank() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			t0 = time.Now()
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		for i := 0; i < iters; i++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			sample.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+			sample.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+			sample.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+		}
+		return nil
+	})
+	if err != nil {
+		return AllocSample{}, err
+	}
+	return sample, nil
+}
+
+// BenchP2 is the persisted perf-trajectory record (BENCH_P2.json): the
+// allocation profile of the runtime before and after the zero-copy /
+// pooled-buffer work of PR 2.
+type BenchP2 struct {
+	Description string       `json:"description"`
+	Before      *AllocReport `json:"before,omitempty"`
+	After       *AllocReport `json:"after"`
+}
+
+// ReadBenchP2 loads a persisted record; a missing file is (nil, error).
+func ReadBenchP2(path string) (*BenchP2, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchP2
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// WriteBenchP2 serializes the record to path with stable formatting.
+func WriteBenchP2(path string, rec *BenchP2) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatAllocReport renders the sweep as a text table.
+func FormatAllocReport(rep *AllocReport) string {
+	out := fmt.Sprintf("Allocation profile — Cart_alltoall, %s, p=%d, %d iters (totals across all ranks per op)\n",
+		rep.Stencil, rep.Procs, rep.Iters)
+	out += fmt.Sprintf("%-12s %10s %14s %14s %14s\n", "series", "m (elems)", "ns/op", "B/op", "allocs/op")
+	for _, s := range rep.Samples {
+		out += fmt.Sprintf("%-12s %10d %14.0f %14.0f %14.1f\n", s.Series, s.BlockSize, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp)
+	}
+	return out
+}

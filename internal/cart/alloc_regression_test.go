@@ -1,0 +1,95 @@
+package cart
+
+import (
+	"testing"
+	"time"
+
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// measureAlltoallAllocs benchmarks repeated alltoall executions of a
+// compiled plan on a 3x3 torus with the Moore neighborhood and returns
+// the allocation profile. All nine ranks execute b.N collectives, so the
+// per-op numbers aggregate the whole world.
+func measureAlltoallAllocs(t *testing.T, algo Algorithm, m int) testing.BenchmarkResult {
+	t.Helper()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		err := mpi.Run(mpi.Config{Procs: 9, Timeout: 60 * time.Second}, func(w *mpi.Comm) error {
+			nbh, err := vec.Stencil(2, 3, -1)
+			if err != nil {
+				return err
+			}
+			c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil, WithAlgorithm(algo))
+			if err != nil {
+				return err
+			}
+			plan, err := AlltoallInit(c, m, algo)
+			if err != nil {
+				return err
+			}
+			send := make([]int64, len(nbh)*m)
+			recv := make([]int64, len(nbh)*m)
+			for i := range send {
+				send[i] = int64(w.Rank()*1000 + i)
+			}
+			for i := 0; i < b.N; i++ {
+				if err := Run(plan, send, recv); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// TestAlltoallAllocsSizeIndependent is the PR's allocation regression
+// gate: with the zero-copy fast path and pooled wire buffers, the number
+// of heap allocations per collective must not scale with the block size —
+// growing m 32-fold may not even double the allocs/op. Before pooling,
+// every message gathered into a fresh wire and every receive staged
+// through another, so allocs/op grew with message count x size class and
+// B/op grew linearly in m.
+func TestAlltoallAllocsSizeIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmark in -short mode")
+	}
+	for _, algo := range []Algorithm{Trivial, Combining} {
+		algo := algo
+		t.Run(algoName(algo), func(t *testing.T) {
+			small := measureAlltoallAllocs(t, algo, 16)
+			large := measureAlltoallAllocs(t, algo, 512)
+			sa, la := small.AllocsPerOp(), large.AllocsPerOp()
+			t.Logf("m=16: %d allocs/op %d B/op; m=512: %d allocs/op %d B/op",
+				sa, small.AllocedBytesPerOp(), la, large.AllocedBytesPerOp())
+			if sa == 0 {
+				t.Fatal("benchmark measured zero allocations; harness broken")
+			}
+			if la > sa*2 {
+				t.Errorf("allocs/op scaled with block size: m=16 -> %d, m=512 -> %d (> 2x)", sa, la)
+			}
+			// Payload bytes grow 32x; pooled wires and zero-copy payloads
+			// must keep allocated bytes far below proportional growth.
+			sb, lb := small.AllocedBytesPerOp(), large.AllocedBytesPerOp()
+			if sb > 0 && lb > sb*16 {
+				t.Errorf("B/op scaled near-linearly with block size: m=16 -> %d, m=512 -> %d", sb, lb)
+			}
+		})
+	}
+}
+
+// algoName renders the algorithm for subtest names.
+func algoName(a Algorithm) string {
+	switch a {
+	case Trivial:
+		return "trivial"
+	case Combining:
+		return "combining"
+	default:
+		return "unknown"
+	}
+}

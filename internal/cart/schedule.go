@@ -246,11 +246,15 @@ func bufIndex(b BufKind) int {
 
 // execRound is one compiled communication round: concrete peer ranks and
 // the gathered send/recv composites over (send, recv, temp) buffers.
+// sendWhat/recvWhat are the failure-attribution strings, formatted once at
+// compile time so Run never calls fmt on the hot path.
 type execRound struct {
 	sendTo   int
 	recvFrom int
 	send     datatype.Composite
 	recv     datatype.Composite
+	sendWhat string
+	recvWhat string
 }
 
 // execCopy is a compiled local copy.
@@ -277,6 +281,15 @@ type Plan struct {
 	sendLen  int // required send buffer length in elements (0 = unchecked)
 	recvLen  int // required recv buffer length in elements
 	temp     any // cached temporary buffer ([]T of the last element type)
+
+	// deferScatter, per phase, requests Wait-time (receiver-side) scatter
+	// from the runtime: set when a phase's receive-target extents overlap
+	// its send-source extents, where the match-time single-copy fast path
+	// could race the sender-side gathers. Computed once at compile.
+	deferScatter []bool
+	// pends is the in-flight request scratch of Run, hoisted onto the plan
+	// so repeated executions post a whole phase without allocating.
+	pends []pendReq
 
 	// Auto plans carry the trivial alternative and the mean block size in
 	// elements; Run applies the paper's analytic cut-off once the element
@@ -365,9 +378,16 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 					}
 				}
 			}
+			if er.sendTo != ProcNull {
+				er.sendWhat = fmt.Sprintf("send to rank %d", er.sendTo)
+			}
+			if er.recvFrom != ProcNull {
+				er.recvWhat = fmt.Sprintf("recv from rank %d", er.recvFrom)
+			}
 			rounds = append(rounds, er)
 		}
 		p.phases = append(p.phases, rounds)
+		p.deferScatter = append(p.deferScatter, phaseConflicts(rounds))
 	}
 	for _, cp := range s.Copies {
 		ec := execCopy{
@@ -381,6 +401,38 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 		p.copies = append(p.copies, ec)
 	}
 	return p, nil
+}
+
+// phaseConflicts reports whether any receive-target extent of the phase
+// overlaps any send-source extent in the same buffer. A conflict-free
+// phase lets the runtime scatter incoming payloads into the user buffers
+// at match time — possibly from the sender's goroutine, concurrent with
+// this process's own send-side gathers — for single-copy delivery. A
+// conflicting phase (mesh boundaries can fold a block's in- and out-slots
+// together) must keep the classic semantics: sends read the pre-phase
+// state, receives land at Wait. Quadratic in the phase's block count,
+// which is O(t) — compile-time only.
+func phaseConflicts(rounds []execRound) bool {
+	for i := range rounds {
+		recv := rounds[i].recv.Parts()
+		for _, rp := range recv {
+			for _, rb := range rp.L.Blocks() {
+				for j := range rounds {
+					for _, sp := range rounds[j].send.Parts() {
+						if sp.Buf != rp.Buf {
+							continue
+						}
+						for _, sb := range sp.L.Blocks() {
+							if rb.Off < sb.Off+sb.Count && sb.Off < rb.Off+rb.Count {
+								return true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
 }
 
 // layoutFor resolves a (buffer, slot) pair through the geometry.
@@ -446,7 +498,7 @@ func Run[T any](p *Plan, send, recv []T) error {
 	for pi, rounds := range p.phases {
 		if p.blocking {
 			for ri := range rounds {
-				if err := runRoundBlocking(comm, &rounds[ri], bufs); err != nil {
+				if err := runRoundBlocking(comm, &rounds[ri], bufs, p.deferScatter[pi]); err != nil {
 					return p.roundError(pi, ri, &rounds[ri], err)
 				}
 			}
@@ -454,22 +506,17 @@ func Run[T any](p *Plan, send, recv []T) error {
 		}
 		// Post every round of the phase nonblockingly, remembering what each
 		// request is so a failure can be attributed to its round and peer.
-		type pendReq struct {
-			req   *mpi.Request
-			what  string
-			round int
-		}
-		pends := make([]pendReq, 0, 2*len(rounds))
+		pends := p.pends[:0]
 		for ri := range rounds {
 			r := &rounds[ri]
 			if r.recvFrom == ProcNull {
 				continue
 			}
-			req, err := mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag)
+			req, err := mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag, p.deferScatter[pi])
 			if err != nil {
-				return p.phaseError(pi, ri, fmt.Sprintf("recv from rank %d", r.recvFrom), err)
+				return p.phaseError(pi, ri, r.recvWhat, err)
 			}
-			pends = append(pends, pendReq{req, fmt.Sprintf("recv from rank %d", r.recvFrom), ri})
+			pends = append(pends, pendReq{req, r.recvWhat, ri})
 		}
 		for ri := range rounds {
 			r := &rounds[ri]
@@ -478,9 +525,9 @@ func Run[T any](p *Plan, send, recv []T) error {
 			}
 			req, err := mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, cartTag)
 			if err != nil {
-				return p.phaseError(pi, ri, fmt.Sprintf("send to rank %d", r.sendTo), err)
+				return p.phaseError(pi, ri, r.sendWhat, err)
 			}
-			pends = append(pends, pendReq{req, fmt.Sprintf("send to rank %d", r.sendTo), ri})
+			pends = append(pends, pendReq{req, r.sendWhat, ri})
 		}
 		// Drain the phase. After the first failure the remaining unmatched
 		// receives are cancelled rather than waited on — their messages may
@@ -496,16 +543,28 @@ func Run[T any](p *Plan, send, recv []T) error {
 				firstErr = p.phaseError(pi, q.round, q.what, err)
 			}
 		}
+		// Return the scratch with dropped request pointers so a plan kept
+		// across executions does not pin the previous run's requests.
+		for i := range pends {
+			pends[i].req = nil
+		}
+		p.pends = pends[:0]
 		if firstErr != nil {
 			return firstErr
 		}
 	}
 	for _, cp := range p.copies {
-		wire := make([]T, cp.from.Size())
-		datatype.Gather(wire, bufs[cp.fromBuf], cp.from)
-		datatype.Scatter(recv, wire, cp.to)
+		datatype.Copy(recv, cp.to, bufs[cp.fromBuf], cp.from)
 	}
 	return nil
+}
+
+// pendReq tracks one posted request of a phase with its round and
+// attribution string for failure reporting.
+type pendReq struct {
+	req   *mpi.Request
+	what  string
+	round int
 }
 
 // phaseError attributes a failed schedule operation to its phase, round,
@@ -569,11 +628,11 @@ func Start[T any](p *Plan, send, recv []T) (*Handle, error) {
 
 // runRoundBlocking performs one round as a blocking exchange, handling
 // ProcNull on either side (mesh boundaries).
-func runRoundBlocking[T any](comm *mpi.Comm, r *execRound, bufs [][]T) error {
+func runRoundBlocking[T any](comm *mpi.Comm, r *execRound, bufs [][]T, deferScatter bool) error {
 	var rreq, sreq *mpi.Request
 	var err error
 	if r.recvFrom != ProcNull {
-		rreq, err = mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag)
+		rreq, err = mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag, deferScatter)
 		if err != nil {
 			return err
 		}

@@ -102,6 +102,22 @@ func (l *Layout) AppendLayout(m Layout, base int) {
 // Size returns the total number of elements the layout describes.
 func (l Layout) Size() int { return l.size }
 
+// Contiguous reports whether the layout describes a single contiguous run
+// of elements, returning its extent. Because Append coalesces adjacent
+// blocks, any layout built from touching appends collapses to one block
+// and is recognized here. The empty layout is contiguous with count 0.
+// Callers use this to detect that Gather/Scatter would be a pure copy and
+// take a zero-copy fast path instead.
+func (l Layout) Contiguous() (off, count int, ok bool) {
+	switch len(l.blocks) {
+	case 0:
+		return 0, 0, true
+	case 1:
+		return l.blocks[0].Off, l.blocks[0].Count, true
+	}
+	return 0, 0, false
+}
+
 // Clone returns a layout with its own block storage. Layout values share
 // their block slice when copied by assignment; Clone is required before
 // mutating a layout whose origin you do not own (Composite.Append uses it
@@ -163,6 +179,38 @@ func Scatter[T any](buf []T, wire []T, l Layout) int {
 	return n
 }
 
+// Copy moves the elements selected by sl in src directly into the
+// positions selected by dl in dst, without staging through a wire buffer,
+// and returns the number of elements moved. The layouts must describe the
+// same number of elements. It is the fused Gather+Scatter used by the
+// schedule executors' local copies; src and dst may be distinct slices or
+// the same slice with non-overlapping selections (overlapping selections
+// of one slice need the staged two-step instead).
+func Copy[T any](dst []T, dl Layout, src []T, sl Layout) int {
+	n := 0
+	si, so := 0, 0 // source block index, offset consumed within it
+	for _, db := range dl.blocks {
+		need := db.Count
+		at := db.Off
+		for need > 0 && si < len(sl.blocks) {
+			sb := sl.blocks[si]
+			run := sb.Count - so
+			if run > need {
+				run = need
+			}
+			n += copy(dst[at:at+run], src[sb.Off+so:sb.Off+so+run])
+			at += run
+			need -= run
+			so += run
+			if so == sb.Count {
+				si++
+				so = 0
+			}
+		}
+	}
+	return n
+}
+
 // Placed is a layout bound to one of several buffers, identified by an
 // integer buffer selector (the schedule executor uses 0 = send buffer,
 // 1 = receive buffer, 2 = temporary buffer).
@@ -205,6 +253,23 @@ func (c *Composite) AppendBlock(buf, off, count int) {
 
 // Size returns the total number of elements described by the composite.
 func (c *Composite) Size() int { return c.size }
+
+// Contiguous reports whether the composite describes a single contiguous
+// run within a single buffer, returning the buffer selector and extent.
+// Composite.Append merges consecutive parts over one buffer, so a
+// composite built from touching blocks of the same buffer is recognized.
+// The empty composite is contiguous in buffer 0 with count 0.
+func (c *Composite) Contiguous() (buf, off, count int, ok bool) {
+	switch len(c.parts) {
+	case 0:
+		return 0, 0, 0, true
+	case 1:
+		if off, count, ok = c.parts[0].L.Contiguous(); ok {
+			return c.parts[0].Buf, off, count, true
+		}
+	}
+	return 0, 0, 0, false
+}
 
 // Parts returns the placed layouts. The returned slice must not be
 // modified.

@@ -50,6 +50,138 @@ func FuzzGatherScatterRoundTrip(f *testing.F) {
 	})
 }
 
+// TestContiguousAnalysis pins the contiguity analysis cases the zero-copy
+// send path keys on.
+func TestContiguousAnalysis(t *testing.T) {
+	if off, n, ok := (Layout{}).Contiguous(); !ok || off != 0 || n != 0 {
+		t.Fatalf("empty layout: (%d,%d,%v); want (0,0,true)", off, n, ok)
+	}
+	if off, n, ok := Contiguous(3, 4).Contiguous(); !ok || off != 3 || n != 4 {
+		t.Fatalf("single block: (%d,%d,%v); want (3,4,true)", off, n, ok)
+	}
+	var two Layout
+	two.Append(0, 2)
+	two.Append(5, 2)
+	if _, _, ok := two.Contiguous(); ok {
+		t.Fatal("two separated blocks reported contiguous")
+	}
+	if _, _, ok := Vector(3, 1, 2, 0).Contiguous(); ok {
+		t.Fatal("strided vector reported contiguous")
+	}
+	if off, n, ok := Vector(3, 2, 2, 4).Contiguous(); !ok || off != 4 || n != 6 {
+		// blocklen == stride coalesces into one run.
+		t.Fatalf("dense vector: (%d,%d,%v); want (4,6,true)", off, n, ok)
+	}
+
+	var c Composite
+	c.Append(1, Contiguous(8, 3))
+	if buf, off, n, ok := c.Contiguous(); !ok || buf != 1 || off != 8 || n != 3 {
+		t.Fatalf("single-part composite: (%d,%d,%d,%v); want (1,8,3,true)", buf, off, n, ok)
+	}
+	c.Append(0, Contiguous(0, 2))
+	if _, _, _, ok := c.Contiguous(); ok {
+		t.Fatal("two-buffer composite reported contiguous")
+	}
+}
+
+// FuzzContiguousFastPath checks the contiguity analysis behind the
+// zero-copy send path: whenever Contiguous reports a single extent, the
+// subslice it names must be byte-identical to what the slow path (Gather)
+// would have put on the wire, and scattering that subslice back must be a
+// no-op round trip.
+func FuzzContiguousFastPath(f *testing.F) {
+	f.Add([]byte{0, 8})
+	f.Add([]byte{3, 5})
+	f.Add([]byte{1, 2, 0, 3})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var l Layout
+		off := 0
+		for i := 0; i+1 < len(raw) && off < 4096; i += 2 {
+			off += int(raw[i]) % 7
+			cnt := int(raw[i+1]) % 9
+			l.Append(off, cnt)
+			off += cnt
+		}
+		src := make([]int32, off+1)
+		for i := range src {
+			src[i] = int32(i*7 + 1)
+		}
+		wire := make([]int32, l.Size())
+		Gather(wire, src, l)
+		co, cn, ok := l.Contiguous()
+		if !ok {
+			return
+		}
+		if cn != l.Size() {
+			t.Fatalf("Contiguous count %d != Size %d", cn, l.Size())
+		}
+		fast := src[co : co+cn]
+		for i := range wire {
+			if wire[i] != fast[i] {
+				t.Fatalf("fast path diverges from gathered wire at %d: %d != %d", i, fast[i], wire[i])
+			}
+		}
+		dst := make([]int32, len(src))
+		Scatter(dst, fast, l)
+		for i := co; i < co+cn; i++ {
+			if dst[i] != src[i] {
+				t.Fatalf("scatter of fast-path wire mismatch at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzCopyEquivalence checks the fused local copy (Copy) against the
+// staged wire path (Gather then Scatter) it replaced in the schedule
+// executor: identical destination contents for any matching layout pair.
+func FuzzCopyEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3}, []byte{0, 2, 5, 1})
+	f.Add([]byte{0, 4}, []byte{2, 4})
+	f.Fuzz(func(t *testing.T, rawS, rawD []byte) {
+		build := func(raw []byte) Layout {
+			var l Layout
+			off := 0
+			for i := 0; i+1 < len(raw) && off < 2048; i += 2 {
+				off += int(raw[i]) % 5
+				cnt := int(raw[i+1]) % 7
+				l.Append(off, cnt)
+				off += cnt
+			}
+			return l
+		}
+		sl, dl := build(rawS), build(rawD)
+		if sl.Size() != dl.Size() {
+			// Copy requires matching signatures; trim the larger layout's
+			// input instead of discarding the case.
+			return
+		}
+		_, shi := sl.Bounds()
+		_, dhi := dl.Bounds()
+		src := make([]int32, shi+1)
+		for i := range src {
+			src[i] = int32(i*3 + 11)
+		}
+		base := make([]int32, dhi+1)
+		for i := range base {
+			base[i] = -int32(i)
+		}
+		fused := append([]int32(nil), base...)
+		if n := Copy(fused, dl, src, sl); n != sl.Size() {
+			t.Fatalf("Copy moved %d elements; want %d", n, sl.Size())
+		}
+		staged := append([]int32(nil), base...)
+		wire := make([]int32, sl.Size())
+		Gather(wire, src, sl)
+		Scatter(staged, wire, dl)
+		for i := range staged {
+			if fused[i] != staged[i] {
+				t.Fatalf("Copy diverges from Gather+Scatter at %d: %d != %d", i, fused[i], staged[i])
+			}
+		}
+	})
+}
+
 // FuzzCompositeIsolation checks that composite construction never mutates
 // the source layouts (the aliasing regression found by the integration
 // tests).

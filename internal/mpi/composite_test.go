@@ -31,7 +31,7 @@ func TestIsendIrecvComposite(t *testing.T) {
 		var comp datatype.Composite
 		comp.AppendBlock(1, 0, 1) // first wire element into dstB[0]
 		comp.AppendBlock(0, 2, 2) // rest into dstA[2:4]
-		req, err := IrecvComposite(c, [][]int{dstA, dstB}, &comp, 0, 5)
+		req, err := IrecvComposite(c, [][]int{dstA, dstB}, &comp, 0, 5, false)
 		if err != nil {
 			return err
 		}
@@ -60,7 +60,7 @@ func TestCompositeSizeMismatch(t *testing.T) {
 		var comp datatype.Composite
 		comp.AppendBlock(0, 0, 2) // expects 2, gets 3
 		dst := make([]int, 2)
-		req, err := IrecvComposite(c, [][]int{dst}, &comp, 0, 0)
+		req, err := IrecvComposite(c, [][]int{dst}, &comp, 0, 0, false)
 		if err != nil {
 			return err
 		}

@@ -313,14 +313,19 @@ func (w *World) isRevoked(ctx int64) bool {
 // communicator naming peerWorld must fail with, or nil: a revoked context
 // or a failed peer. peerWorld may be AnySource (no dead-peer check — a
 // wildcard receive posted after a failure may still be matched by the
-// living).
-func (c *Comm) opError(peerWorld int, what string) error {
+// living). The operation description ("send dst"/"recv src" plus peer and
+// tag) is formatted only on the failure paths, keeping the per-operation
+// fast path allocation-free.
+func (c *Comm) opError(peerWorld int, op string, peer int, tag int64) error {
 	w := c.w
+	if w.revokedN.Load() == 0 && w.deadN.Load() == 0 {
+		return nil
+	}
 	if w.isRevoked(c.ctx) {
-		return fmt.Errorf("mpi: rank %d: %s: %w (ctx=%d)", c.rank, what, ErrRevoked, c.ctx)
+		return fmt.Errorf("mpi: rank %d: %s=%d tag=%d: %w (ctx=%d)", c.rank, op, peer, tag, ErrRevoked, c.ctx)
 	}
 	if peerWorld != AnySource && w.isDead(peerWorld) {
-		return &RankFailedError{Rank: peerWorld, Op: what}
+		return &RankFailedError{Rank: peerWorld, Op: fmt.Sprintf("%s=%d tag=%d", op, peer, tag)}
 	}
 	return nil
 }

@@ -8,8 +8,9 @@ import (
 	"cartcc/internal/netmodel"
 )
 
-// message is one in-flight point-to-point message. The payload is the
-// gathered wire slice (a typed []T boxed in an any); elems and bytes record
+// message is one in-flight point-to-point message. The payload is either a
+// gathered wire slice (a typed []T boxed in an any) or, on the zero-copy
+// fast path, a subslice of the sender's user buffer; elems and bytes record
 // its extent for matching diagnostics and cost accounting. A message with
 // fail set is a poison pill: the fault layer hands it to a pending receive
 // that can no longer be satisfied (failed peer, revoked context) and Wait
@@ -23,6 +24,24 @@ type message struct {
 	bytes   int
 	arrive  netmodel.Time
 	fail    error
+	// consumeErr is the result of the receiver's consume callback (the
+	// scatter into the user buffer), recorded at match time and surfaced
+	// by the receiver's Wait.
+	consumeErr error
+	// detach, when set, copies a payload aliasing the sender's user buffer
+	// into a pooled wire (zero-copy sends). The mailbox invokes it before
+	// queueing the message as unexpected, so the alias never outlives the
+	// send call; it is cleared after the copy.
+	detach func(*World, *message)
+	// release, when set, returns a pooled wire payload to the world's pool.
+	// It is invoked exactly once, at the single point the message is
+	// consumed (mailbox.finish), and cleared before the call, so a payload
+	// can never be pooled twice — fault poisons travel as fresh messages
+	// and never carry a release.
+	release func(*World, *message)
+	// taken marks an arrived-list entry already matched through the
+	// (ctx, src, tag) index; the ordered list drops it lazily.
+	taken bool
 }
 
 // pendingRecv is a posted-but-unmatched receive. The matched message is
@@ -34,7 +53,21 @@ type pendingRecv struct {
 	src      int // may be AnySource
 	tag      int // may be AnyTag
 	srcWorld int // world rank of src; AnySource for wildcard
-	ready    chan *message
+	// seq is the mailbox post sequence number, ordering exact receives
+	// against wildcard receives for non-overtaking matching.
+	seq uint64
+	// consume scatters the matched payload into the receiver's buffer. It
+	// normally runs at match time — in the sender's goroutine for a
+	// pre-posted receive, in the receiver's for an unexpected message —
+	// before the ready handoff, so a zero-copy payload is read exactly
+	// once, inside the send call that delivered it. With deferConsume set
+	// it runs at Wait time instead, in the receiver's goroutine: schedule
+	// executors request this for phases whose receive-target extents
+	// overlap their send-source extents, where a match-time scatter could
+	// race the receiver's own gathers.
+	consume      func(*message) error
+	deferConsume bool
+	ready        chan *message
 	// delivered is set (inside the mailbox lock) the moment a message or
 	// poison is matched to this receive, before the channel handoff. The
 	// deadlock monitor reads it to tell "never matched" apart from "matched
@@ -43,6 +76,10 @@ type pendingRecv struct {
 	// then been preempted before deregistering its blocked state.
 	delivered atomic.Bool
 }
+
+// wildcard reports whether the receive needs envelope-order scanning (any
+// wildcard in source or tag) rather than exact-key lookup.
+func (r *pendingRecv) wildcard() bool { return r.src == AnySource || r.tag == AnyTag }
 
 // matches reports whether message m satisfies receive r. MPI matching:
 // contexts must be equal; source and tag match exactly or via wildcard.
@@ -59,58 +96,257 @@ func (r *pendingRecv) matches(m *message) bool {
 	return true
 }
 
-// mailbox holds a rank's unexpected-message queue and pending receives.
-// Both lists are kept in arrival/post order, which — together with each
-// sender delivering its messages sequentially from one goroutine — gives
-// MPI's non-overtaking guarantee per (source, tag, context).
-type mailbox struct {
-	mu      sync.Mutex
-	arrived []*message
-	recvs   []*pendingRecv
+// mkey is the exact-match index key: MPI matching is per (context, source,
+// tag).
+type mkey struct {
+	ctx      int64
+	src, tag int
 }
 
-// deliver hands a message to the mailbox: the first matching pending
-// receive in post order gets it, otherwise it queues as unexpected.
-func (b *mailbox) deliver(m *message) {
-	b.mu.Lock()
-	for i, r := range b.recvs {
+// mailbox holds a rank's unexpected-message queue and pending receives.
+//
+// Exact (no-wildcard) receives and unexpected messages are indexed by
+// (ctx, src, tag) in per-key FIFO queues for O(1) matching — the hot path
+// of every schedule executor. The ordered linear structures are kept only
+// for what genuinely needs envelope order: wildcard receives (wild),
+// wildcard probes and diagnostics (arrived). Non-overtaking per (source,
+// tag, context) is preserved because each per-key queue is FIFO, each
+// sender delivers from a single goroutine, and a post sequence number
+// arbitrates between an exact receive and an earlier-posted wildcard.
+type mailbox struct {
+	mu sync.Mutex
+	w  *World
+
+	seq uint64 // receive post sequence
+
+	// arrived is every unexpected message in arrival order (wildcard scans
+	// and diagnostics); arrivedIdx indexes the same messages per key.
+	// Entries matched through the index are flagged taken and compacted
+	// out of arrived lazily.
+	arrived      []*message
+	arrivedTaken int
+	arrivedIdx   map[mkey][]*message
+
+	// wild holds wildcard receives in post order; exact holds per-key FIFO
+	// queues of fully-specified receives.
+	wild  []*pendingRecv
+	exact map[mkey][]*pendingRecv
+}
+
+// probeScanned counts arrived-list entries examined by wildcard probes and
+// wildcard matching (a test hook: the Iprobe regression test asserts the
+// exact-match path examines none of a deep unexpected queue).
+var probeScanned atomic.Int64
+
+// finish completes a match outside the mailbox lock: the receiver's
+// consume callback scatters the payload into the user buffer, a pooled
+// wire is released, and the message is handed over. Running consume here —
+// before the handoff, in whichever goroutine completed the match — is what
+// lets a zero-copy send pass a subslice of the user buffer: by the time
+// the posting call returns, the payload has been read exactly once and the
+// alias is dead.
+func (b *mailbox) finish(r *pendingRecv, m *message) {
+	if r.deferConsume && m.fail == nil {
+		// The receiver scatters at Wait time. A zero-copy payload must not
+		// outlive this send call, so detach it into a pooled wire now (in
+		// the sender's goroutine); the wire travels with the message and
+		// is released after the deferred scatter.
+		if d := m.detach; d != nil {
+			m.detach = nil
+			d(b.w, m)
+		}
+		r.ready <- m
+		return
+	}
+	if m.fail == nil && r.consume != nil {
+		m.consumeErr = r.consume(m)
+	}
+	if rel := m.release; rel != nil {
+		m.release = nil
+		rel(b.w, m)
+	}
+	m.payload = nil
+	r.ready <- m
+}
+
+// takeRecvLocked removes and returns the receive that message m must match
+// under MPI ordering: the earliest-posted matching receive, found as the
+// head of m's exact-key queue or the first matching wildcard, whichever
+// was posted first.
+func (b *mailbox) takeRecvLocked(m *message) *pendingRecv {
+	k := mkey{m.ctx, m.src, m.tag}
+	var exact *pendingRecv
+	if q := b.exact[k]; len(q) > 0 {
+		exact = q[0]
+	}
+	var wild *pendingRecv
+	wi := -1
+	for i, r := range b.wild {
 		if r.matches(m) {
-			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
-			r.delivered.Store(true)
-			b.mu.Unlock()
-			r.ready <- m
-			return
+			wild, wi = r, i
+			break
 		}
 	}
+	switch {
+	case exact != nil && (wild == nil || exact.seq < wild.seq):
+		if q := b.exact[k][1:]; len(q) == 0 {
+			delete(b.exact, k)
+		} else {
+			b.exact[k] = q
+		}
+		exact.delivered.Store(true)
+		return exact
+	case wild != nil:
+		b.wild = append(b.wild[:wi], b.wild[wi+1:]...)
+		wild.delivered.Store(true)
+		return wild
+	}
+	return nil
+}
+
+// deliver hands a message to the mailbox: the earliest matching pending
+// receive gets it, otherwise it queues as unexpected. A zero-copy payload
+// that finds no waiting receive is detached — copied into a pooled wire,
+// outside the lock — before queueing, so the sender's buffer is free for
+// reuse the moment the send call returns either way.
+func (b *mailbox) deliver(m *message) {
+	b.mu.Lock()
+	for {
+		if r := b.takeRecvLocked(m); r != nil {
+			b.mu.Unlock()
+			b.finish(r, m)
+			return
+		}
+		if m.detach == nil {
+			break
+		}
+		d := m.detach
+		m.detach = nil
+		b.mu.Unlock()
+		d(b.w, m)
+		// Re-check under the lock: a receive posted during the copy found
+		// no message in arrived and pended — it must not be missed. Only
+		// this sender can append messages with this key, so per-key FIFO
+		// order is unaffected by the unlocked window.
+		b.mu.Lock()
+	}
+	k := mkey{m.ctx, m.src, m.tag}
+	if b.arrivedIdx == nil {
+		b.arrivedIdx = make(map[mkey][]*message)
+	}
+	b.arrivedIdx[k] = append(b.arrivedIdx[k], m)
 	b.arrived = append(b.arrived, m)
 	b.mu.Unlock()
 }
 
-// post registers a receive: the first matching unexpected message in
-// arrival order satisfies it immediately, otherwise the receive pends.
-func (b *mailbox) post(r *pendingRecv) {
-	b.mu.Lock()
+// takeArrivedLocked removes and returns the unexpected message receive r
+// must match: the FIFO head of r's key queue for exact receives (O(1)),
+// the first matching entry in arrival order for wildcards.
+func (b *mailbox) takeArrivedLocked(r *pendingRecv) *message {
+	if !r.wildcard() {
+		k := mkey{r.ctx, r.src, r.tag}
+		q := b.arrivedIdx[k]
+		if len(q) == 0 {
+			return nil
+		}
+		m := q[0]
+		if q = q[1:]; len(q) == 0 {
+			delete(b.arrivedIdx, k)
+		} else {
+			b.arrivedIdx[k] = q
+		}
+		m.taken = true
+		b.arrivedTaken++
+		b.compactArrivedLocked()
+		return m
+	}
 	for i, m := range b.arrived {
-		if r.matches(m) {
-			b.arrived = append(b.arrived[:i], b.arrived[i+1:]...)
-			r.delivered.Store(true)
-			b.mu.Unlock()
-			r.ready <- m
-			return
+		probeScanned.Add(1)
+		if m.taken || !r.matches(m) {
+			continue
+		}
+		k := mkey{m.ctx, m.src, m.tag}
+		q := b.arrivedIdx[k]
+		for j := range q {
+			if q[j] == m {
+				q = append(q[:j], q[j+1:]...)
+				break
+			}
+		}
+		if len(q) == 0 {
+			delete(b.arrivedIdx, k)
+		} else {
+			b.arrivedIdx[k] = q
+		}
+		b.arrived = append(b.arrived[:i], b.arrived[i+1:]...)
+		return m
+	}
+	return nil
+}
+
+// compactArrivedLocked drops taken entries from the ordered arrived list
+// once they are the majority, keeping wildcard scans and diagnostics
+// amortized O(live entries).
+func (b *mailbox) compactArrivedLocked() {
+	if b.arrivedTaken < 32 || b.arrivedTaken*2 < len(b.arrived) {
+		return
+	}
+	kept := b.arrived[:0]
+	for _, m := range b.arrived {
+		if !m.taken {
+			kept = append(kept, m)
 		}
 	}
-	b.recvs = append(b.recvs, r)
+	for i := len(kept); i < len(b.arrived); i++ {
+		b.arrived[i] = nil
+	}
+	b.arrived = kept
+	b.arrivedTaken = 0
+}
+
+// post registers a receive: the earliest matching unexpected message
+// satisfies it immediately, otherwise the receive pends — indexed by key
+// when fully specified, in the ordered wildcard list otherwise.
+func (b *mailbox) post(r *pendingRecv) {
+	b.mu.Lock()
+	if m := b.takeArrivedLocked(r); m != nil {
+		r.delivered.Store(true)
+		b.mu.Unlock()
+		b.finish(r, m)
+		return
+	}
+	r.seq = b.seq
+	b.seq++
+	if r.wildcard() {
+		b.wild = append(b.wild, r)
+	} else {
+		if b.exact == nil {
+			b.exact = make(map[mkey][]*pendingRecv)
+		}
+		k := mkey{r.ctx, r.src, r.tag}
+		b.exact[k] = append(b.exact[k], r)
+	}
 	b.mu.Unlock()
 }
 
 // probe reports whether a matching message has arrived, without removing
-// it, returning its envelope. Mirrors MPI_Iprobe.
+// it, returning its envelope. Mirrors MPI_Iprobe. A fully-specified probe
+// is an O(1) index lookup regardless of the unexpected-queue depth; only
+// wildcard probes scan.
 func (b *mailbox) probe(ctx int64, src, tag int) (found bool, msgSrc, msgTag, elems int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if src != AnySource && tag != AnyTag {
+		if q := b.arrivedIdx[mkey{ctx, src, tag}]; len(q) > 0 {
+			m := q[0]
+			return true, m.src, m.tag, m.elems
+		}
+		return false, 0, 0, 0
+	}
 	r := pendingRecv{ctx: ctx, src: src, tag: tag}
 	for _, m := range b.arrived {
-		if r.matches(m) {
+		probeScanned.Add(1)
+		if !m.taken && r.matches(m) {
 			return true, m.src, m.tag, m.elems
 		}
 	}
@@ -120,22 +356,46 @@ func (b *mailbox) probe(ctx int64, src, tag int) (found bool, msgSrc, msgTag, el
 // poisonMatching fails every pending receive for which cond returns a
 // non-nil error: the receive is removed and handed a poison message, so
 // its Wait returns the error instead of blocking forever. Used by the
-// fault layer when a rank dies or a context is revoked.
+// fault layer when a rank dies or a context is revoked. Poisons are fresh
+// messages without payload, detach or release — a poisoned receive can
+// never return (or double-return) a pooled buffer.
 func (b *mailbox) poisonMatching(cond func(*pendingRecv) error) {
 	b.mu.Lock()
 	var hit []*pendingRecv
 	var errs []error
-	kept := b.recvs[:0]
-	for _, r := range b.recvs {
-		if err := cond(r); err != nil {
-			r.delivered.Store(true)
-			hit = append(hit, r)
-			errs = append(errs, err)
-			continue
+	condemn := func(r *pendingRecv) bool {
+		err := cond(r)
+		if err == nil {
+			return false
 		}
-		kept = append(kept, r)
+		r.delivered.Store(true)
+		hit = append(hit, r)
+		errs = append(errs, err)
+		return true
 	}
-	b.recvs = kept
+	kept := b.wild[:0]
+	for _, r := range b.wild {
+		if !condemn(r) {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(b.wild); i++ {
+		b.wild[i] = nil
+	}
+	b.wild = kept
+	for k, q := range b.exact {
+		keep := q[:0]
+		for _, r := range q {
+			if !condemn(r) {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			delete(b.exact, k)
+		} else {
+			b.exact[k] = keep
+		}
+	}
 	b.mu.Unlock()
 	for i, r := range hit {
 		r.ready <- &message{ctx: r.ctx, src: r.src, tag: r.tag, fail: errs[i]}
@@ -148,9 +408,24 @@ func (b *mailbox) poisonMatching(cond func(*pendingRecv) error) {
 func (b *mailbox) cancel(p *pendingRecv) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i, r := range b.recvs {
+	if p.wildcard() {
+		for i, r := range b.wild {
+			if r == p {
+				b.wild = append(b.wild[:i], b.wild[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	k := mkey{p.ctx, p.src, p.tag}
+	q := b.exact[k]
+	for i, r := range q {
 		if r == p {
-			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
+			if q = append(q[:i], q[i+1:]...); len(q) == 0 {
+				delete(b.exact, k)
+			} else {
+				b.exact[k] = q
+			}
 			return true
 		}
 	}
@@ -162,8 +437,11 @@ func (b *mailbox) cancel(p *pendingRecv) bool {
 func (b *mailbox) snapshotArrived() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.arrived))
+	out := make([]string, 0, len(b.arrived)-b.arrivedTaken)
 	for _, m := range b.arrived {
+		if m.taken {
+			continue
+		}
 		out = append(out, fmt.Sprintf("[src=%d tag=%d ctx=%d elems=%d]", m.src, m.tag, m.ctx, m.elems))
 	}
 	return out

@@ -2,50 +2,45 @@ package mpi
 
 import (
 	"fmt"
-	"reflect"
 	"time"
+	"unsafe"
 
 	"cartcc/internal/datatype"
 	"cartcc/internal/trace"
 )
 
-// elemBytes returns the in-memory size of one element of type T.
+// elemBytes returns the in-memory size of one element of type T without
+// allocating (unsafe.Sizeof is a compile-time constant).
 func elemBytes[T any]() int {
 	var z T
-	return int(reflect.TypeOf(&z).Elem().Size())
+	return int(unsafe.Sizeof(z))
 }
 
-// isendRaw posts a buffered send of an already-gathered wire payload.
-// Virtual-time accounting: the sender's clock advances by the per-message
-// send overhead; the message arrives at the receiver at
-// clock + α + β·bytes (+ noise), with α omitted for self-messages (a local
-// memory copy has no wire latency).
-func (c *Comm) isendRaw(payload any, elems, nbytes, dst, tag int) (*Request, error) {
-	if err := c.checkRank(dst, "destination"); err != nil {
-		return nil, err
-	}
-	if tag < 0 {
-		return nil, fmt.Errorf("mpi: negative tag %d", tag)
-	}
-	return c.isendRawTag(payload, elems, nbytes, dst, int64(tag)), nil
-}
-
-// isendRawTag is the unchecked core used both for user tags and for the
-// runtime's internal (collective) tags.
+// isendRawTag posts a buffered send of an already-packed payload. detach
+// and release are the payload's ownership hooks (see mailbox.message):
+// detach for zero-copy payloads aliasing the user buffer, release for
+// pooled wires; both nil for plainly-allocated wires.
 //
 // Virtual-time semantics follow a LogGP-style postal model: the sender's
 // clock serializes on the per-message overhead plus the injection time
 // β·bytes (consecutive sends share one NIC), and the message then spends
 // the wire latency α in flight. Self-messages skip the wire but still pay
 // the copy (injection) cost.
-func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64) *Request {
+func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detach, release func(*World, *message)) *Request {
 	rs := c.rs
 	rs.opTick()
-	m := &message{ctx: c.ctx, src: c.rank, tag: int(tag), payload: payload, elems: elems, bytes: nbytes}
+	m := &message{
+		ctx: c.ctx, src: c.rank, tag: int(tag), payload: payload,
+		elems: elems, bytes: nbytes, detach: detach, release: release,
+	}
 	dstWorld := c.worldRank(dst)
-	if err := c.opError(dstWorld, fmt.Sprintf("send dst=%d tag=%d", dst, tag)); err != nil {
+	if err := c.opError(dstWorld, "send dst", dst, tag); err != nil {
 		// The peer has failed or the context is revoked: the send completes
-		// with the typed error instead of silently dropping data.
+		// with the typed error instead of silently dropping data. A pooled
+		// wire goes back to the pool — it was never delivered.
+		if release != nil {
+			release(c.w, m)
+		}
 		return failedRequest(c, reqSend, err)
 	}
 	delayWall, delayV := rs.delayFor(dstWorld)
@@ -74,9 +69,10 @@ func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64) *Requ
 	return &Request{kind: reqSend, c: c}
 }
 
-// irecvRaw posts a receive and returns its request; complete is invoked
-// with the matched message at Wait time to scatter the payload.
-func (c *Comm) irecvRaw(src, tag int, complete func(*message) error) (*Request, error) {
+// irecvRaw posts a receive and returns its request; consume is invoked
+// with the matched message, at match time, to scatter the payload into the
+// receiver's buffer (see mailbox.finish).
+func (c *Comm) irecvRaw(src, tag int, consume func(*message) error) (*Request, error) {
 	if src != AnySource {
 		if err := c.checkRank(src, "source"); err != nil {
 			return nil, err
@@ -85,25 +81,29 @@ func (c *Comm) irecvRaw(src, tag int, complete func(*message) error) (*Request, 
 	if tag < 0 && tag != AnyTag {
 		return nil, fmt.Errorf("mpi: negative tag %d", tag)
 	}
-	return c.irecvRawTag(src, int64(tag), complete), nil
+	return c.irecvRawTag(src, int64(tag), consume), nil
 }
 
-func (c *Comm) irecvRawTag(src int, tag int64, complete func(*message) error) *Request {
+func (c *Comm) irecvRawTag(src int, tag int64, consume func(*message) error) *Request {
+	return c.irecvDefer(src, tag, consume, false)
+}
+
+func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, deferConsume bool) *Request {
 	c.rs.opTick()
 	srcWorld := AnySource
 	if src != AnySource {
 		srcWorld = c.worldRank(src)
 	}
-	if err := c.opError(srcWorld, fmt.Sprintf("recv src=%d tag=%d", src, tag)); err != nil {
+	if err := c.opError(srcWorld, "recv src", src, tag); err != nil {
 		return failedRequest(c, reqRecv, err)
 	}
-	p := &pendingRecv{ctx: c.ctx, src: src, tag: int(tag), srcWorld: srcWorld, ready: make(chan *message, 1)}
-	req := &Request{kind: reqRecv, c: c, pending: p, complete: complete}
+	p := &pendingRecv{ctx: c.ctx, src: src, tag: int(tag), srcWorld: srcWorld, consume: consume, deferConsume: deferConsume, ready: make(chan *message, 1)}
+	req := &Request{kind: reqRecv, c: c, pending: p}
 	c.rs.box.post(p)
 	// Close the race with a concurrent failure or revocation: the fault
 	// layer poisons pending receives it finds in the mailbox, so re-check
 	// after posting and poison our own receive if it slipped past.
-	if err := c.opError(srcWorld, fmt.Sprintf("recv src=%d tag=%d", src, tag)); err != nil {
+	if err := c.opError(srcWorld, "recv src", src, tag); err != nil {
 		if c.rs.box.cancel(p) {
 			p.delivered.Store(true)
 			p.ready <- &message{ctx: p.ctx, src: p.src, tag: p.tag, fail: err}
@@ -112,7 +112,7 @@ func (c *Comm) irecvRawTag(src int, tag int64, complete func(*message) error) *R
 	return req
 }
 
-// scatterInto builds the receive-completion closure that type-checks the
+// scatterInto builds the receive-completion callback that type-checks the
 // payload and scatters it through the layout into buf. The message must
 // carry exactly l.Size() elements of type T (the runtime is deliberately
 // strict: a size or type mismatch is a schedule bug, not data to truncate).
@@ -146,24 +146,58 @@ func scatterComposite[T any](bufs [][]T, comp *datatype.Composite) func(*message
 }
 
 // Isend starts a nonblocking send of the elements of buf selected by l to
-// dst with the given tag. The data is gathered (copied out) at posting
-// time, so buf may be reused immediately — buffered-send semantics.
+// dst with the given tag. The data leaves buf before Isend returns, so buf
+// may be reused immediately — buffered-send semantics. A contiguous layout
+// takes the zero-copy fast path: the payload is a subslice of buf, read
+// exactly once inside the posting call — scattered straight into a waiting
+// receiver's buffer (one copy end to end), or detached into a pooled wire
+// if no receive is posted yet. Non-contiguous layouts gather into a wire
+// drawn from the world's size-bucketed pool, returned after the unpack.
 func Isend[T any](c *Comm, buf []T, l datatype.Layout, dst, tag int) (*Request, error) {
 	if err := l.Validate(len(buf)); err != nil {
 		return nil, err
 	}
-	wire := make([]T, l.Size())
-	datatype.Gather(wire, buf, l)
-	return c.isendRaw(wire, len(wire), len(wire)*elemBytes[T](), dst, tag)
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	var payload any
+	var detach, release func(*World, *message)
+	if off, n, ok := l.Contiguous(); ok {
+		payload, detach = buf[off:off+n:off+n], detachWire[T]
+	} else {
+		wire := getWire[T](c.w, l.Size())
+		datatype.Gather(wire, buf, l)
+		payload, release = wire, releaseWire[T]
+	}
+	return c.isendRawTag(payload, l.Size(), l.Size()*elemBytes[T](), dst, int64(tag), detach, release), nil
 }
 
 // IsendComposite starts a nonblocking send of the elements selected by comp
 // across the buffers bufs (indexed by the composite's buffer selectors).
 // This is the sender side of one schedule round (Listing 5 of the paper).
+// Like Isend, a composite that collapses to one contiguous extent goes out
+// zero-copy; anything else is gathered into a pooled wire.
 func IsendComposite[T any](c *Comm, bufs [][]T, comp *datatype.Composite, dst, tag int) (*Request, error) {
-	wire := make([]T, comp.Size())
-	datatype.GatherComposite(wire, bufs, comp)
-	return c.isendRaw(wire, len(wire), len(wire)*elemBytes[T](), dst, tag)
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	var payload any
+	var detach, release func(*World, *message)
+	if bi, off, n, ok := comp.Contiguous(); ok && bi < len(bufs) {
+		b := bufs[bi]
+		payload, detach = b[off:off+n:off+n], detachWire[T]
+	} else {
+		wire := getWire[T](c.w, comp.Size())
+		datatype.GatherComposite(wire, bufs, comp)
+		payload, release = wire, releaseWire[T]
+	}
+	return c.isendRawTag(payload, comp.Size(), comp.Size()*elemBytes[T](), dst, int64(tag), detach, release), nil
 }
 
 // Irecv starts a nonblocking receive into the elements of buf selected by
@@ -176,9 +210,24 @@ func Irecv[T any](c *Comm, buf []T, l datatype.Layout, src, tag int) (*Request, 
 }
 
 // IrecvComposite starts a nonblocking receive scattered through comp across
-// the buffers bufs — the receiver side of one schedule round.
-func IrecvComposite[T any](c *Comm, bufs [][]T, comp *datatype.Composite, src, tag int) (*Request, error) {
-	return c.irecvRaw(src, tag, scatterComposite(bufs, comp))
+// the buffers bufs — the receiver side of one schedule round. deferScatter
+// selects when the payload lands in the buffers: false scatters at match
+// time (single-copy fast path — safe only while nothing else touches the
+// target extents between post and Wait, the receiver's own send-side
+// gathers included); true defers the scatter to Wait, in the receiver's
+// goroutine, which tolerates receive targets overlapping same-phase send
+// sources at the price of messages staging through a pooled wire. Schedule
+// executors choose per phase from compile-time overlap analysis.
+func IrecvComposite[T any](c *Comm, bufs [][]T, comp *datatype.Composite, src, tag int, deferScatter bool) (*Request, error) {
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return nil, err
+		}
+	}
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return c.irecvDefer(src, int64(tag), scatterComposite(bufs, comp), deferScatter), nil
 }
 
 // Send is the blocking form of Isend.
@@ -230,7 +279,8 @@ func Sendrecv[T any](c *Comm, sendBuf []T, sl datatype.Layout, dst, sendTag int,
 }
 
 // Iprobe checks nonblockingly for a matching incoming message and returns
-// its envelope if one has arrived.
+// its envelope if one has arrived. A fully-specified (src, tag) probe is an
+// O(1) index lookup however deep the unexpected queue is.
 func Iprobe(c *Comm, src, tag int) (found bool, st Status, err error) {
 	if src != AnySource {
 		if err := c.checkRank(src, "source"); err != nil {

@@ -28,13 +28,13 @@ const (
 
 // Request is a handle for a nonblocking operation. Send requests complete
 // at posting time (the runtime buffers eagerly); receive requests complete
-// when a matching message has arrived and been scattered into the user
-// buffer; aggregate requests complete when all children have.
+// when a matching message has arrived — the scatter into the user buffer
+// runs at match time (mailbox.finish) and Wait surfaces its result;
+// aggregate requests complete when all children have.
 type Request struct {
 	kind     reqKind
 	c        *Comm
 	pending  *pendingRecv
-	complete func(m *message) error
 	children []*Request
 	finished bool
 	status   Status
@@ -76,8 +76,20 @@ func (r *Request) Wait() (Status, error) {
 			}
 		}
 		r.status = Status{Source: m.src, Tag: m.tag, Count: m.elems}
-		if r.complete != nil {
-			r.err = r.complete(m)
+		if r.pending.deferConsume {
+			// Deferred scatter: unpack here in the receiver's goroutine,
+			// then return the pooled wire; finish already detached any
+			// zero-copy payload.
+			if r.pending.consume != nil {
+				r.err = r.pending.consume(m)
+			}
+			if rel := m.release; rel != nil {
+				m.release = nil
+				rel(r.c.w, m)
+			}
+			m.payload = nil
+		} else {
+			r.err = m.consumeErr
 		}
 	case reqAggregate:
 		for _, ch := range r.children {
@@ -119,18 +131,30 @@ func (r *Request) awaitMessage() (*message, error) {
 		}
 		return m, nil
 	case <-w.abort:
-		// Prefer a message (or typed poison) that raced with the abort over
-		// the generic cascade error.
-		select {
-		case m := <-r.pending.ready:
+		// Withdraw the receive before giving up: if cancel fails, a match
+		// is complete or in flight — a sender may be scattering into our
+		// buffer and a pooled wire is bound to this receive — so drain the
+		// imminent handoff instead of abandoning it. This also prefers a
+		// message (or typed poison) that raced with the abort over the
+		// generic cascade error.
+		if !rs.box.cancel(r.pending) {
+			m := <-r.pending.ready
 			if m.fail != nil {
 				return nil, m.fail
 			}
 			return m, nil
-		default:
 		}
 		return nil, fmt.Errorf("mpi: rank %d: %w while receiving (src=%d tag=%d)", r.c.rank, ErrAborted, r.pending.src, r.pending.tag)
 	case <-timeoutCh:
+		if !rs.box.cancel(r.pending) {
+			// The message arrived as the timer fired: deliver it rather
+			// than declaring a false deadlock.
+			m := <-r.pending.ready
+			if m.fail != nil {
+				return nil, m.fail
+			}
+			return m, nil
+		}
 		err := fmt.Errorf("mpi: rank %d: deadlock suspected: receive (src=%d tag=%d ctx=%d) blocked for %v",
 			r.c.rank, r.pending.src, r.pending.tag, r.pending.ctx, w.timeout)
 		w.fail(err)

@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"math/bits"
+	"reflect"
+	"sync"
+)
+
+// This file implements the per-world, size-bucketed wire-buffer pools
+// behind the non-contiguous send path. A gathered (packed) message draws
+// its wire slice from the sending world's pool instead of the heap; the
+// matching side returns the slice after the scatter. Contiguous messages
+// never touch the pool at all — they travel as subslices of the user
+// buffer and are consumed at match time (see p2p.go).
+//
+// Pools are keyed by element type (a []int32 can never be recycled as a
+// []float64) and bucketed by capacity class (powers of two), mirroring the
+// eager-buffer pools of real MPI implementations.
+
+// wireMaxClass bounds pooled capacities at 1<<wireMaxClass elements;
+// larger wires are plainly allocated and never pooled (at that size the
+// copy dominates the allocation anyway).
+const wireMaxClass = 24
+
+// wirePool is the per-element-type bucket array. Bucket c holds slices
+// with capacity exactly 1<<c.
+type wirePool struct {
+	buckets [wireMaxClass + 1]sync.Pool
+}
+
+// wireClass returns the bucket class for a wire of n elements: the
+// smallest c with 1<<c >= n.
+func wireClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// wirePoolFor returns the world's pool for element type t, creating it on
+// first use.
+func (w *World) wirePoolFor(t reflect.Type) *wirePool {
+	if v, ok := w.wirePools.Load(t); ok {
+		return v.(*wirePool)
+	}
+	v, _ := w.wirePools.LoadOrStore(t, &wirePool{})
+	return v.(*wirePool)
+}
+
+// elemType returns the reflect.Type of T without allocating (a nil *T is
+// a direct interface value).
+func elemType[T any]() reflect.Type {
+	return reflect.TypeOf((*T)(nil)).Elem()
+}
+
+// getWire returns a wire slice of n elements, recycled from the world's
+// pool when a bucket entry is available. The contents are unspecified;
+// every caller fully overwrites the slice (Gather, copy).
+func getWire[T any](w *World, n int) []T {
+	cl := wireClass(n)
+	if cl > wireMaxClass {
+		return make([]T, n)
+	}
+	if v := w.wirePoolFor(elemType[T]()).buckets[cl].Get(); v != nil {
+		return v.([]T)[:n]
+	}
+	return make([]T, n, 1<<cl)
+}
+
+// releaseWire returns a pooled message payload to its world's pool. It is
+// installed as message.release by the pooled send path and invoked exactly
+// once, at the single point a message is consumed (finishMatch) or
+// discarded before delivery; the caller clears m.release afterwards, so a
+// payload can never be pooled twice.
+func releaseWire[T any](w *World, m *message) {
+	s, ok := m.payload.([]T)
+	if !ok {
+		return
+	}
+	m.payload = nil
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return // not a pool-shaped capacity; let the GC have it
+	}
+	cl := wireClass(c)
+	if cl > wireMaxClass {
+		return
+	}
+	w.wirePoolFor(elemType[T]()).buckets[cl].Put(s[:c])
+}
+
+// detachWire detaches a zero-copy message from the sender's user buffer:
+// the payload is copied into a pooled wire so the alias dies before the
+// send call returns. Installed as message.detach by the contiguous send
+// path and invoked by the mailbox when the message must outlive delivery
+// (no matching receive was posted yet).
+func detachWire[T any](w *World, m *message) {
+	src, ok := m.payload.([]T)
+	if !ok {
+		return
+	}
+	wire := getWire[T](w, len(src))
+	copy(wire, src)
+	m.payload = wire
+	m.release = releaseWire[T]
+}

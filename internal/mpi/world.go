@@ -73,6 +73,10 @@ type World struct {
 	// Deadlock monitor registry: per-rank blocked state and completion.
 	blocked []atomic.Pointer[blockedOp]
 	done    []atomic.Bool
+
+	// wirePools holds the per-element-type wire-buffer pools behind the
+	// non-contiguous send path (wirepool.go), keyed by reflect.Type.
+	wirePools sync.Map
 }
 
 // Config controls a parallel run.
@@ -162,6 +166,7 @@ func Run(cfg Config, f func(c *Comm) error) error {
 			rank:  r,
 			rng:   rand.New(rand.NewSource(cfg.Seed ^ (int64(r+1) * 0x9e3779b97f4a7c))),
 		}
+		w.ranks[r].box.w = w
 	}
 
 	if cfg.DeadlockPoll >= 0 {
