@@ -147,6 +147,8 @@ func run(name string, sc bench.Scale, mode renderMode) error {
 		return chaosExperiment(sc)
 	case "allocs":
 		return allocsExperiment(sc)
+	case "pipeline":
+		return pipelineExperiment(sc)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -183,6 +185,48 @@ func allocsExperiment(sc bench.Scale) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_P2.json")
+	return nil
+}
+
+// pipelineExperiment measures the dependency-DAG pipelined executor
+// against the classic per-phase Waitall executor — virtual-time ns/op
+// under the hydra LogGP model, swept over block size and over the
+// neighborhood's dependency structure (dense Moore forwarding vs
+// barrier-free Star rounds), plus the straggler sweep that holds back one
+// rank's messages — and records the sweep in BENCH_P3.json so the perf
+// trajectory is tracked across PRs.
+func pipelineExperiment(sc bench.Scale) error {
+	cfg := bench.PipelineConfig{}
+	if sc.Reps > 0 && sc.Reps < bench.DefaultScale.Reps {
+		cfg.Iters = 5 // quick scale
+		cfg.StragglerIters = 5
+	}
+	rep, err := bench.RunPipelineBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatPipelineReport(rep))
+	rec := &bench.BenchP3{
+		Description: "Barriered vs dependency-DAG pipelined executor: virtual-time ns/op (hydra LogGP model) of the combining Cart_alltoall/Cart_allgather on d>=2 tori (int32 blocks) across dense-forwarding Moore and barrier-free Star neighborhoods, and straggler tail latency with every message of one rank held back.",
+		After:       rep,
+	}
+	// Track the trajectory: the previous sweep (its baseline if it had one,
+	// else its result) becomes the "before" of this record.
+	if prev, err := bench.ReadBenchP3("BENCH_P3.json"); err == nil && prev != nil {
+		if prev.Before != nil {
+			rec.Before = prev.Before
+		} else {
+			rec.Before = prev.After
+		}
+	} else {
+		// First record: before this PR every plan ran the per-phase Waitall
+		// order, so the baseline is the barriered measurement itself.
+		rec.Before = bench.BaselineReport(rep)
+	}
+	if err := bench.WriteBenchP3("BENCH_P3.json", rec); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_P3.json")
 	return nil
 }
 

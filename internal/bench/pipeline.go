@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/vec"
+)
+
+// This file implements the phase-pipelining benchmark behind the
+// `cartbench pipeline` experiment and BENCH_P3.json: virtual-time ns/op of
+// the combining Cart_alltoall and Cart_allgather under the dependency-DAG
+// pipelined executor against the classic per-phase Waitall executor
+// (cart.WithBarrieredPhases), plus a straggler sweep that delays every
+// message of one rank (FaultPlan MsgDelay.DelayV) and measures how much of
+// the injected latency each executor hides.
+//
+// The measurement runs under the LogGP virtual clock (netmodel, hydra
+// preset) — the same substitution the repro gate records in DESIGN.md for
+// all performance-shape claims: per-rank clocks serialize on send/receive
+// overheads and message arrivals, so an executor that posts a round only
+// after a phase barrier pays the wire latency α once per phase, while the
+// DAG executor pays it once per *dependency chain*. The sweep varies the
+// neighborhood's dependency structure deliberately:
+//
+//   - full Moore stencils: every phase-k+1 round forwards blocks from every
+//     phase-k receive, so the DAG equals the phase barrier and the two
+//     executors must tie — the structural boundary of pipelining;
+//   - Star stencils (single-dimension offsets only): no block is forwarded,
+//     every round is barrier-free, and the d stacked α terms collapse to
+//     one — the pure latency-hiding win the paper's C·α term prices.
+type PipelineConfig struct {
+	// BlockSizes are the per-block element counts to sweep (the pipelining
+	// win concentrates at small blocks, where per-round latency dominates;
+	// at large blocks the β·bytes volume term — identical for both
+	// executors — takes over and the ratio returns to 1).
+	BlockSizes []int
+	// Iters is the number of timed operations per measurement; zero
+	// means 20 (the virtual clock is deterministic, so repetitions only
+	// amortize the barrier fences, they do not reduce noise).
+	Iters int
+	// StragglerIters is the number of timed operations per straggler
+	// measurement; zero means 10.
+	StragglerIters int
+	// StragglerDelay is the virtual hold-back added to every message the
+	// delayed rank sends (MsgDelay.DelayV); zero means 5µs, a bit over
+	// 3× the hydra model's α.
+	StragglerDelay time.Duration
+}
+
+// PipelineSample is one measured (op, topology, block size) cell:
+// virtual ns/op of the barriered and pipelined executors and their ratio.
+type PipelineSample struct {
+	Op          string  `json:"op"`
+	D           int     `json:"d"`
+	Procs       int     `json:"procs"`
+	Stencil     string  `json:"stencil"`
+	BlockSize   int     `json:"block_elems"`
+	BarrieredNs float64 `json:"barriered_ns_per_op"`
+	PipelinedNs float64 `json:"pipelined_ns_per_op"`
+	// Speedup is BarrieredNs / PipelinedNs (> 1: pipelining wins).
+	Speedup float64 `json:"speedup"`
+}
+
+// StragglerSample is one straggler cell: every message of one rank is held
+// back by DelayUs of virtual time, and each executor's ns/op shows how much
+// of the injected latency it absorbs into useful overlap.
+type StragglerSample struct {
+	Op          string  `json:"op"`
+	D           int     `json:"d"`
+	Procs       int     `json:"procs"`
+	Stencil     string  `json:"stencil"`
+	BlockSize   int     `json:"block_elems"`
+	DelayedRank int     `json:"delayed_rank"`
+	DelayUs     float64 `json:"delay_us_per_msg"`
+	BarrieredNs float64 `json:"barriered_ns_per_op"`
+	PipelinedNs float64 `json:"pipelined_ns_per_op"`
+	// HiddenFrac is (BarrieredNs-PipelinedNs)/BarrieredNs: the share of
+	// the barriered executor's straggler-inflated run time the pipelined
+	// executor hides by overlapping unaffected rounds with the delay.
+	HiddenFrac float64 `json:"hidden_frac"`
+}
+
+// PipelineReport is the serialized form of one full sweep (the content of
+// BENCH_P3.json's "before"/"after" sections).
+type PipelineReport struct {
+	Model      string            `json:"model"`
+	Iters      int               `json:"iters"`
+	Samples    []PipelineSample  `json:"samples"`
+	Stragglers []StragglerSample `json:"stragglers"`
+}
+
+// pipelineCase is one swept topology; stencil builds its neighborhood.
+type pipelineCase struct {
+	op      cart.OpKind
+	d       int
+	procs   int
+	dims    []int
+	label   string
+	stencil func() (vec.Neighborhood, error)
+}
+
+// pipelineCases are the swept topologies: d >= 2 tori where the combining
+// schedule has multiple phases. Moore rows bound the win from below (dense
+// forwarding: the DAG equals the barrier), Star rows from above (all rounds
+// barrier-free: d α terms collapse to one).
+var pipelineCases = []pipelineCase{
+	{cart.OpAlltoall, 2, 16, []int{4, 4}, "moore r=1", func() (vec.Neighborhood, error) { return vec.Stencil(2, 3, -1) }},
+	{cart.OpAllgather, 2, 16, []int{4, 4}, "moore r=1", func() (vec.Neighborhood, error) { return vec.Stencil(2, 3, -1) }},
+	{cart.OpAlltoall, 2, 25, []int{5, 5}, "star r=2", func() (vec.Neighborhood, error) { return vec.Star(2, 2) }},
+	{cart.OpAllgather, 2, 25, []int{5, 5}, "star r=2", func() (vec.Neighborhood, error) { return vec.Star(2, 2) }},
+	{cart.OpAlltoall, 3, 27, []int{3, 3, 3}, "star r=1", func() (vec.Neighborhood, error) { return vec.Star(3, 1) }},
+	{cart.OpAllgather, 3, 27, []int{3, 3, 3}, "star r=1", func() (vec.Neighborhood, error) { return vec.Star(3, 1) }},
+}
+
+// RunPipelineBench measures every (case, block size) cell of cfg under
+// both executors, then runs the straggler sweep on the 2-d cases.
+func RunPipelineBench(cfg PipelineConfig) (*PipelineReport, error) {
+	if cfg.Iters == 0 {
+		cfg.Iters = 20
+	}
+	if cfg.StragglerIters == 0 {
+		cfg.StragglerIters = 10
+	}
+	if cfg.StragglerDelay == 0 {
+		cfg.StragglerDelay = 5 * time.Microsecond
+	}
+	if len(cfg.BlockSizes) == 0 {
+		cfg.BlockSizes = []int{1, 16, 256, 4096}
+	}
+	rep := &PipelineReport{Model: "hydra", Iters: cfg.Iters}
+	for _, tc := range pipelineCases {
+		nbh, err := tc.stencil()
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range cfg.BlockSizes {
+			barr, err := measurePipeline(tc.op, tc.dims, nbh, m, cfg.Iters, true, nil)
+			if err != nil {
+				return nil, err
+			}
+			pipe, err := measurePipeline(tc.op, tc.dims, nbh, m, cfg.Iters, false, nil)
+			if err != nil {
+				return nil, err
+			}
+			rep.Samples = append(rep.Samples, PipelineSample{
+				Op: tc.op.String(), D: tc.d, Procs: tc.procs,
+				Stencil:     tc.label,
+				BlockSize:   m,
+				BarrieredNs: barr, PipelinedNs: pipe,
+				Speedup: barr / pipe,
+			})
+		}
+	}
+	// Straggler sweep: delay every message rank 1 sends, on the 2-d
+	// topologies, at the smallest block size. The Moore rows show the
+	// dense-forwarding floor (the late blocks gate every later round, so
+	// little can be hidden); the Star rows show the barrier-free ceiling.
+	const stragglerRank = 1
+	for _, tc := range pipelineCases {
+		if tc.d != 2 {
+			continue
+		}
+		nbh, err := tc.stencil()
+		if err != nil {
+			return nil, err
+		}
+		m := cfg.BlockSizes[0]
+		faults := &mpi.FaultPlan{Delays: []mpi.MsgDelay{{
+			From: stragglerRank, To: -1, DelayV: cfg.StragglerDelay.Seconds(),
+		}}}
+		barr, err := measurePipeline(tc.op, tc.dims, nbh, m, cfg.StragglerIters, true, faults)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := measurePipeline(tc.op, tc.dims, nbh, m, cfg.StragglerIters, false, faults)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stragglers = append(rep.Stragglers, StragglerSample{
+			Op: tc.op.String(), D: tc.d, Procs: tc.procs, Stencil: tc.label, BlockSize: m,
+			DelayedRank: stragglerRank,
+			DelayUs:     float64(cfg.StragglerDelay.Nanoseconds()) / 1e3,
+			BarrieredNs: barr, PipelinedNs: pipe,
+			HiddenFrac: (barr - pipe) / barr,
+		})
+	}
+	return rep, nil
+}
+
+// measurePipeline times iters back-to-back collectives of one executor
+// variant under the hydra virtual clock and returns the per-operation mean
+// of the rank-wise maximum elapsed virtual time, in nanoseconds. The timed
+// window is fenced by a barrier (which synchronizes the virtual clocks) and
+// closed by a max-allreduce, so every rank returns the same value.
+func measurePipeline(op cart.OpKind, dims []int, nbh vec.Neighborhood, m, iters int, barriered bool, faults *mpi.FaultPlan) (float64, error) {
+	var nsPerOp float64
+	procs := 1
+	for _, d := range dims {
+		procs *= d
+	}
+	model := netmodel.Hydra()
+	err := mpi.Run(mpi.Config{Procs: procs, Model: model, DeadlockPoll: -1, Seed: 1, Faults: faults, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil, cart.WithAlgorithm(cart.Combining))
+		if err != nil {
+			return err
+		}
+		var opts []cart.PlanOption
+		if barriered {
+			opts = append(opts, cart.WithBarrieredPhases())
+		}
+		t := len(nbh)
+		sendN := t * m
+		if op == cart.OpAllgather {
+			sendN = m
+		}
+		send := make([]int32, sendN)
+		recv := make([]int32, t*m)
+		for i := range send {
+			send[i] = int32(w.Rank()*len(send) + i)
+		}
+		var plan *cart.Plan
+		if op == cart.OpAlltoall {
+			plan, err = cart.AlltoallInit(c, m, cart.Combining, opts...)
+		} else {
+			plan, err = cart.AllgatherInit(c, m, cart.Combining, opts...)
+		}
+		if err != nil {
+			return err
+		}
+		// One warm-up pass settles plan-owned scratch; the barrier then
+		// re-synchronizes the virtual clocks before the timed window.
+		if err := cart.Run(plan, send, recv); err != nil {
+			return err
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		t0 := w.VTime()
+		for i := 0; i < iters; i++ {
+			if err := cart.Run(plan, send, recv); err != nil {
+				return err
+			}
+		}
+		elapsed := []float64{(w.VTime() - t0) / float64(iters)}
+		if err := mpi.Allreduce(w, elapsed, elapsed, mpi.MaxOp[float64]); err != nil {
+			return err
+		}
+		nsPerOp = elapsed[0] * 1e9
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return nsPerOp, nil
+}
+
+// BaselineReport derives the pre-DAG "before" state from a measured sweep:
+// before the pipelined executor existed, every plan ran the per-phase
+// Waitall order, so the baseline's pipelined column equals the barriered
+// measurement and nothing is hidden from a straggler.
+func BaselineReport(rep *PipelineReport) *PipelineReport {
+	out := &PipelineReport{Model: rep.Model, Iters: rep.Iters}
+	for _, s := range rep.Samples {
+		s.PipelinedNs = s.BarrieredNs
+		s.Speedup = 1
+		out.Samples = append(out.Samples, s)
+	}
+	for _, s := range rep.Stragglers {
+		s.PipelinedNs = s.BarrieredNs
+		s.HiddenFrac = 0
+		out.Stragglers = append(out.Stragglers, s)
+	}
+	return out
+}
+
+// BenchP3 is the persisted perf-trajectory record (BENCH_P3.json): the
+// pipelined-vs-barriered profile of the runtime as of the dependency-DAG
+// executor work of PR 3.
+type BenchP3 struct {
+	Description string          `json:"description"`
+	Before      *PipelineReport `json:"before,omitempty"`
+	After       *PipelineReport `json:"after"`
+}
+
+// ReadBenchP3 loads a persisted record; a missing file is (nil, error).
+func ReadBenchP3(path string) (*BenchP3, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchP3
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// WriteBenchP3 serializes the record to path with stable formatting.
+func WriteBenchP3(path string, rec *BenchP3) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatPipelineReport renders the sweep as text tables.
+func FormatPipelineReport(rep *PipelineReport) string {
+	out := fmt.Sprintf("Phase pipelining — barriered vs dependency-DAG executor, %d iters (virtual time, %s model)\n", rep.Iters, rep.Model)
+	out += fmt.Sprintf("%-10s %-10s %4s %6s %10s %16s %16s %9s\n", "op", "stencil", "d", "procs", "m (elems)", "barriered ns/op", "pipelined ns/op", "speedup")
+	for _, s := range rep.Samples {
+		out += fmt.Sprintf("%-10s %-10s %4d %6d %10d %16.0f %16.0f %9.2f\n",
+			s.Op, s.Stencil, s.D, s.Procs, s.BlockSize, s.BarrieredNs, s.PipelinedNs, s.Speedup)
+	}
+	if len(rep.Stragglers) > 0 {
+		out += "\nStraggler latency hiding — every message of one rank held back (virtual delay)\n"
+		out += fmt.Sprintf("%-10s %-10s %4s %10s %12s %16s %16s %8s\n", "op", "stencil", "d", "m (elems)", "delay µs/msg", "barriered ns/op", "pipelined ns/op", "hidden")
+		for _, s := range rep.Stragglers {
+			out += fmt.Sprintf("%-10s %-10s %4d %10d %12.1f %16.0f %16.0f %7.0f%%\n",
+				s.Op, s.Stencil, s.D, s.BlockSize, s.DelayUs, s.BarrieredNs, s.PipelinedNs, 100*s.HiddenFrac)
+		}
+	}
+	return out
+}

@@ -82,6 +82,74 @@ func TestAlltoallAllocsSizeIndependent(t *testing.T) {
 	}
 }
 
+// measureAllgatherAllocs is measureAlltoallAllocs for the allgather
+// family, exercising the routing-tree schedule (and its pipelined
+// execution) instead of the per-block alltoall paths.
+func measureAllgatherAllocs(t *testing.T, algo Algorithm, m int) testing.BenchmarkResult {
+	t.Helper()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		err := mpi.Run(mpi.Config{Procs: 9, Timeout: 60 * time.Second}, func(w *mpi.Comm) error {
+			nbh, err := vec.Stencil(2, 3, -1)
+			if err != nil {
+				return err
+			}
+			c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil, WithAlgorithm(algo))
+			if err != nil {
+				return err
+			}
+			plan, err := AllgatherInit(c, m, algo)
+			if err != nil {
+				return err
+			}
+			send := make([]int64, m)
+			recv := make([]int64, len(nbh)*m)
+			for i := range send {
+				send[i] = int64(w.Rank()*1000 + i)
+			}
+			for i := 0; i < b.N; i++ {
+				if err := Run(plan, send, recv); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// TestAllgatherAllocsSizeIndependent extends the allocation gate to the
+// combining allgather: the pipelined executor's plan-owned scratch
+// (pipeState, WaitSet) must keep allocs/op flat in the block size, same
+// bound as the alltoall gate.
+func TestAllgatherAllocsSizeIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmark in -short mode")
+	}
+	for _, algo := range []Algorithm{Trivial, Combining} {
+		algo := algo
+		t.Run(algoName(algo), func(t *testing.T) {
+			small := measureAllgatherAllocs(t, algo, 16)
+			large := measureAllgatherAllocs(t, algo, 512)
+			sa, la := small.AllocsPerOp(), large.AllocsPerOp()
+			t.Logf("m=16: %d allocs/op %d B/op; m=512: %d allocs/op %d B/op",
+				sa, small.AllocedBytesPerOp(), la, large.AllocedBytesPerOp())
+			if sa == 0 {
+				t.Fatal("benchmark measured zero allocations; harness broken")
+			}
+			if la > sa*2 {
+				t.Errorf("allocs/op scaled with block size: m=16 -> %d, m=512 -> %d (> 2x)", sa, la)
+			}
+			sb, lb := small.AllocedBytesPerOp(), large.AllocedBytesPerOp()
+			if sb > 0 && lb > sb*16 {
+				t.Errorf("B/op scaled near-linearly with block size: m=16 -> %d, m=512 -> %d", sb, lb)
+			}
+		})
+	}
+}
+
 // algoName renders the algorithm for subtest names.
 func algoName(a Algorithm) string {
 	switch a {

@@ -186,16 +186,20 @@ func (c *Comm) compileMesh(geom BlockGeometry) (*Plan, error) {
 		volume: sched.Volume,
 	}
 	d := c.nbh.Dims()
+	t := len(c.nbh)
 	for k := 0; k < d; k++ {
 		// Collect the distinct non-zero coordinates of dimension k in
 		// sorted order — the global round structure of the phase; rounds
-		// with nothing to send *and* nothing to receive are dropped.
+		// with nothing to send *and* nothing to receive are dropped. Tags
+		// are assigned from the position in this global structure, BEFORE
+		// dropping, so two ranks that skip different rounds of the phase
+		// still agree on every surviving round's tag.
 		coords := distinctNonZeroSorted(c.nbh, k)
 		var rounds []execRound
-		for _, coord := range coords {
+		for slot, coord := range coords {
 			rel := make(vec.Vec, d)
 			rel[k] = coord
-			er := execRound{sendTo: ProcNull, recvFrom: ProcNull}
+			er := execRound{sendTo: ProcNull, recvFrom: ProcNull, tag: roundTag(k, slot, t)}
 			if dst, ok := c.grid.RankDisplace(rank, rel); ok {
 				// Send only the blocks this process holds.
 				var sendMoves []Move
@@ -238,6 +242,7 @@ func (c *Comm) compileMesh(geom BlockGeometry) (*Plan, error) {
 				}
 			}
 			if er.sendTo != ProcNull || er.recvFrom != ProcNull {
+				setRoundWhat(&er)
 				rounds = append(rounds, er)
 			}
 		}
@@ -251,6 +256,7 @@ func (c *Comm) compileMesh(geom BlockGeometry) (*Plan, error) {
 			to:      geom.RecvAt(cp.ToSlot),
 		})
 	}
+	buildDAG(p)
 	return p, nil
 }
 

@@ -130,12 +130,17 @@ func (c *Comm) compileMeshAllgather(geom BlockGeometry) (*Plan, error) {
 				next = append(next, ch)
 			}
 		}
-		// Stable-sort hops by coordinate to form rounds.
+		// Stable-sort hops by coordinate to form rounds. The hop list and
+		// its coordinate grouping derive from the shared tree, identical on
+		// every rank; slot counts distinct coordinates (rounds of the
+		// global phase structure) so tags agree across ranks even when
+		// flush drops a round that is empty here but not at a peer.
 		sortNodesByCoord(hops)
 		var rounds []execRound
 		var cur *execRound
 		curCoord := 0
 		have := false
+		slot := -1
 		flush := func() {
 			if cur != nil && (cur.sendTo != ProcNull && cur.send.Size() > 0 || cur.recvFrom != ProcNull && cur.recv.Size() > 0) {
 				// Normalize: drop the send or recv side if it carries
@@ -146,6 +151,7 @@ func (c *Comm) compileMeshAllgather(geom BlockGeometry) (*Plan, error) {
 				if cur.recv.Size() == 0 {
 					cur.recvFrom = ProcNull
 				}
+				setRoundWhat(cur)
 				rounds = append(rounds, *cur)
 				p.rounds++
 			}
@@ -154,9 +160,10 @@ func (c *Comm) compileMeshAllgather(geom BlockGeometry) (*Plan, error) {
 		for _, s := range hops {
 			if !have || s.Coord != curCoord {
 				flush()
+				slot++
 				rel := make(vec.Vec, d)
 				rel[k] = s.Coord
-				er := execRound{sendTo: ProcNull, recvFrom: ProcNull}
+				er := execRound{sendTo: ProcNull, recvFrom: ProcNull, tag: roundTag(level, slot, len(c.nbh))}
 				if dst, ok := c.grid.RankDisplace(rank, rel); ok {
 					er.sendTo = dst
 				}
@@ -230,6 +237,7 @@ func (c *Comm) compileMeshAllgather(geom BlockGeometry) (*Plan, error) {
 			to:      geom.RecvAt(i),
 		})
 	}
+	buildDAG(p)
 	return p, nil
 }
 

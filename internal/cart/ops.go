@@ -11,6 +11,8 @@ type PlanOption func(*planOptions)
 
 type planOptions struct {
 	forceBlocking bool
+	barriered     bool
+	window        int
 }
 
 // WithBlockingRounds compiles the plan to execute every round as a
@@ -20,6 +22,37 @@ type planOptions struct {
 // ablation of DESIGN.md.
 func WithBlockingRounds() PlanOption {
 	return func(o *planOptions) { o.forceBlocking = true }
+}
+
+// WithBarrieredPhases compiles the plan to execute with the classic
+// phase-by-phase Waitall barrier instead of the dependency-DAG pipelined
+// executor — the executor ablation of DESIGN.md §9 and the baseline of
+// the pipelining benchmarks. (Runs under a virtual-time cost model use
+// this executor regardless, to keep clock accounting deterministic.)
+func WithBarrieredPhases() PlanOption {
+	return func(o *planOptions) { o.barriered = true }
+}
+
+// WithPrepostWindow bounds how many receives the pipelined executor keeps
+// posted ahead of retirement (default: the largest adjacent-phase round
+// sum, at least 4). Larger windows let early messages hit the match-time
+// single-copy path at the price of more posted receives; the window never
+// affects correctness — an unmatched early message waits in the
+// unexpected queue.
+func WithPrepostWindow(w int) PlanOption {
+	return func(o *planOptions) {
+		if w > 0 {
+			o.window = w
+		}
+	}
+}
+
+// apply copies the execution-style options onto a compiled plan.
+func (po *planOptions) apply(p *Plan) {
+	p.barriered = po.barriered
+	if po.window > 0 {
+		p.window = po.window
+	}
 }
 
 // scheduleFor returns the symbolic schedule for (op, algo), cached on the
@@ -86,6 +119,7 @@ func (c *Comm) newPlan(op OpKind, algo Algorithm, geom BlockGeometry, avgBlockEl
 		}
 		p.blocking = po.forceBlocking
 		p.avgBlockElems = avgBlockElems
+		po.apply(p)
 		return p, nil
 	}
 	sched, err := c.scheduleFor(op, algo)
@@ -98,6 +132,7 @@ func (c *Comm) newPlan(op OpKind, algo Algorithm, geom BlockGeometry, avgBlockEl
 		return nil, err
 	}
 	p.avgBlockElems = avgBlockElems
+	po.apply(p)
 	return p, nil
 }
 

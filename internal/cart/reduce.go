@@ -123,6 +123,13 @@ func trivialReducePlan(c *Comm, m int) *ReducePlan {
 // ownBlockSlot marks "the user's send block" in sendSlots.
 const ownBlockSlot = -1
 
+// reduceTag is the tag of all Cartesian reduction traffic, kept below
+// tagBase so it never collides with the per-round tags of the collective
+// plans (dag.go). The reduction executor is phase-barriered, so one tag
+// with FIFO matching suffices, as it did for the collectives before the
+// pipelined executor.
+const reduceTag = tagBase - 1
+
 // combiningReducePlan reverses the allgather tree: contributions start at
 // the nodes where the allgather data would have come to rest, and each
 // node's accumulator is sent toward the root one dimension at a time, in
@@ -279,7 +286,7 @@ func RunReduce[T any](p *ReducePlan, send, recv []T, op func(a, b T) T) error {
 				continue
 			}
 			scratch[i] = make([]T, len(r.recvSlots)*m)
-			req, err := mpi.Irecv(comm, scratch[i], datatype.Contiguous(0, len(scratch[i])), r.recvFrom, cartTag)
+			req, err := mpi.Irecv(comm, scratch[i], datatype.Contiguous(0, len(scratch[i])), r.recvFrom, reduceTag)
 			if err != nil {
 				return err
 			}
@@ -303,7 +310,7 @@ func RunReduce[T any](p *ReducePlan, send, recv []T, op func(a, b T) T) error {
 				}
 				copy(wire[j*m:(j+1)*m], src)
 			}
-			req, err := mpi.Isend(comm, wire, datatype.Contiguous(0, len(wire)), r.sendTo, cartTag)
+			req, err := mpi.Isend(comm, wire, datatype.Contiguous(0, len(wire)), r.sendTo, reduceTag)
 			if err != nil {
 				return err
 			}

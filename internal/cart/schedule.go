@@ -6,6 +6,7 @@ import (
 
 	"cartcc/internal/datatype"
 	"cartcc/internal/mpi"
+	"cartcc/internal/trace"
 	"cartcc/internal/vec"
 )
 
@@ -251,10 +252,25 @@ func bufIndex(b BufKind) int {
 type execRound struct {
 	sendTo   int
 	recvFrom int
+	// tag is the round's message tag, shared by sender and receiver (see
+	// roundTag): distinct per (phase, global round slot) so the pipelined
+	// executor's out-of-phase traffic matches the right receives.
+	tag      int
 	send     datatype.Composite
 	recv     datatype.Composite
 	sendWhat string
 	recvWhat string
+}
+
+// setRoundWhat formats the round's failure-attribution strings once at
+// compile time, so the executors never call fmt on the hot path.
+func setRoundWhat(er *execRound) {
+	if er.sendTo != ProcNull {
+		er.sendWhat = fmt.Sprintf("send to rank %d", er.sendTo)
+	}
+	if er.recvFrom != ProcNull {
+		er.recvWhat = fmt.Sprintf("recv from rank %d", er.recvFrom)
+	}
 }
 
 // execCopy is a compiled local copy.
@@ -290,6 +306,19 @@ type Plan struct {
 	// pends is the in-flight request scratch of Run, hoisted onto the plan
 	// so repeated executions post a whole phase without allocating.
 	pends []pendReq
+
+	// flat and deps are the block-level dependency DAG over all rounds in
+	// phase-major order (dag.go); pipe is the pipelined executor's
+	// plan-owned scratch (pipeline.go). barriered forces the per-phase
+	// Waitall executor; window bounds the receive pre-post depth.
+	flat      []*execRound
+	deps      []roundDep
+	pipe      *pipeState
+	barriered bool
+	window    int
+	// rlog, when set, records wall-clock per-round post/complete events
+	// from the executors (trace.RoundLog).
+	rlog *trace.RoundLog
 
 	// Auto plans carry the trivial alternative and the mean block size in
 	// elements; Run applies the paper's analytic cut-off once the element
@@ -353,10 +382,13 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 		volume:   s.Volume,
 	}
 	rank := c.comm.Rank()
-	for _, ph := range s.Phases {
+	t := len(c.nbh)
+	for pi, ph := range s.Phases {
 		var rounds []execRound
-		for _, r := range ph.Rounds {
-			er := execRound{sendTo: ProcNull, recvFrom: ProcNull}
+		for ri, r := range ph.Rounds {
+			// Shared schedule: every rank holds the same rounds in the same
+			// order, so the in-phase index is the global tag slot.
+			er := execRound{sendTo: ProcNull, recvFrom: ProcNull, tag: roundTag(pi, ri, t)}
 			if dst, ok := c.grid.RankDisplace(rank, r.Rel); ok {
 				er.sendTo = dst
 			}
@@ -378,12 +410,7 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 					}
 				}
 			}
-			if er.sendTo != ProcNull {
-				er.sendWhat = fmt.Sprintf("send to rank %d", er.sendTo)
-			}
-			if er.recvFrom != ProcNull {
-				er.recvWhat = fmt.Sprintf("recv from rank %d", er.recvFrom)
-			}
+			setRoundWhat(&er)
 			rounds = append(rounds, er)
 		}
 		p.phases = append(p.phases, rounds)
@@ -400,6 +427,7 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 		}
 		p.copies = append(p.copies, ec)
 	}
+	buildDAG(p)
 	return p, nil
 }
 
@@ -410,29 +438,16 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 // this process's own send-side gathers — for single-copy delivery. A
 // conflicting phase (mesh boundaries can fold a block's in- and out-slots
 // together) must keep the classic semantics: sends read the pre-phase
-// state, receives land at Wait. Quadratic in the phase's block count,
-// which is O(t) — compile-time only.
+// state, receives land at Wait. One sorted sweep over the phase's union
+// of receive extents against its union of send extents (dag.go's extent
+// machinery) — compile-time only.
 func phaseConflicts(rounds []execRound) bool {
+	var recv, send []bufExtent
 	for i := range rounds {
-		recv := rounds[i].recv.Parts()
-		for _, rp := range recv {
-			for _, rb := range rp.L.Blocks() {
-				for j := range rounds {
-					for _, sp := range rounds[j].send.Parts() {
-						if sp.Buf != rp.Buf {
-							continue
-						}
-						for _, sb := range sp.L.Blocks() {
-							if rb.Off < sb.Off+sb.Count && sb.Off < rb.Off+rb.Count {
-								return true
-							}
-						}
-					}
-				}
-			}
-		}
+		recv = appendExtents(recv, &rounds[i].recv)
+		send = appendExtents(send, &rounds[i].send)
 	}
-	return false
+	return extentsOverlap(normalizeExtents(recv), normalizeExtents(send))
 }
 
 // layoutFor resolves a (buffer, slot) pair through the geometry.
@@ -465,17 +480,18 @@ func geomTempHigh(geom BlockGeometry, mv Move) int {
 	return hi
 }
 
-// cartTag is the message tag of all Cartesian collective traffic (the
-// paper's CARTTAG). Distinct rounds to the same peer are kept apart by the
-// runtime's non-overtaking matching, exactly as in MPI.
-const cartTag = 11
-
 // Run executes the plan: the zero-copy schedule execution of Listing 5 of
-// the paper. Each phase posts all of its receive and send rounds
-// nonblockingly and waits for the phase to drain; a trivial plan instead
-// executes its rounds as sequential blocking send-receive pairs (Listing
-// 4). The element type binds at execution time; the temporary buffer is
-// cached on the plan across executions.
+// the paper. A trivial plan executes its rounds as sequential blocking
+// send-receive pairs (Listing 4); a combining plan runs the pipelined
+// dependency-DAG executor (pipeline.go), which overlaps rounds across
+// phases — or the classic phase-by-phase Waitall executor when the plan
+// was compiled WithBarrieredPhases. Under a virtual-time cost model the
+// pipelined executor runs in its deterministic dataflow order
+// (runPipelinedModel): sends still post the moment their producers retire,
+// so the clock prices the DAG's depth rather than the phase count, but
+// completions are consumed in flat order so the accounting does not depend
+// on goroutine scheduling. The element type binds at execution time; the
+// temporary buffer is cached on the plan across executions.
 func Run[T any](p *Plan, send, recv []T) error {
 	if p.alt != nil {
 		p = p.choose(elemBytesOf[T]())
@@ -495,6 +511,20 @@ func Run[T any](p *Plan, send, recv []T) error {
 	bufs := [][]T{send, recv, temp}
 	comm := p.comm.comm
 
+	if !p.blocking && !p.barriered {
+		run := runPipelined[T]
+		if comm.Model() != nil {
+			run = runPipelinedModel[T]
+		}
+		if err := run(p, bufs); err != nil {
+			return err
+		}
+		for _, cp := range p.copies {
+			datatype.Copy(recv, cp.to, bufs[cp.fromBuf], cp.from)
+		}
+		return nil
+	}
+
 	for pi, rounds := range p.phases {
 		if p.blocking {
 			for ri := range rounds {
@@ -512,10 +542,11 @@ func Run[T any](p *Plan, send, recv []T) error {
 			if r.recvFrom == ProcNull {
 				continue
 			}
-			req, err := mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag, p.deferScatter[pi])
+			req, err := mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, r.tag, p.deferScatter[pi])
 			if err != nil {
 				return p.phaseError(pi, ri, r.recvWhat, err)
 			}
+			p.logRound(pi, ri, r.recvFrom, trace.RoundRecvPost)
 			pends = append(pends, pendReq{req, r.recvWhat, ri})
 		}
 		for ri := range rounds {
@@ -523,10 +554,11 @@ func Run[T any](p *Plan, send, recv []T) error {
 			if r.sendTo == ProcNull {
 				continue
 			}
-			req, err := mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, cartTag)
+			req, err := mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, r.tag)
 			if err != nil {
 				return p.phaseError(pi, ri, r.sendWhat, err)
 			}
+			p.logRound(pi, ri, r.sendTo, trace.RoundSendPost)
 			pends = append(pends, pendReq{req, r.sendWhat, ri})
 		}
 		// Drain the phase. After the first failure the remaining unmatched
@@ -632,13 +664,13 @@ func runRoundBlocking[T any](comm *mpi.Comm, r *execRound, bufs [][]T, deferScat
 	var rreq, sreq *mpi.Request
 	var err error
 	if r.recvFrom != ProcNull {
-		rreq, err = mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, cartTag, deferScatter)
+		rreq, err = mpi.IrecvComposite(comm, bufs, &r.recv, r.recvFrom, r.tag, deferScatter)
 		if err != nil {
 			return err
 		}
 	}
 	if r.sendTo != ProcNull {
-		sreq, err = mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, cartTag)
+		sreq, err = mpi.IsendComposite(comm, bufs, &r.send, r.sendTo, r.tag)
 		if err != nil {
 			return err
 		}

@@ -75,6 +75,26 @@ type pendingRecv struct {
 	// alone cannot, because the receiver may have consumed the message and
 	// then been preempted before deregistering its blocked state.
 	delivered atomic.Bool
+	// notify, when non-nil, receives notifyIdx exactly once, immediately
+	// before the ready handoff — the completion channel of a WaitSet
+	// (Waitsome). It is attached under the mailbox lock (attachNotify) and
+	// only while the receive is still undelivered, so the handoff's read is
+	// ordered after the attach by the lock; the signal-before-ready order
+	// guarantees the notification is queued by the time any Wait on the
+	// receive returns. The channel is buffered by its WaitSet to hold every
+	// attached notification, so the signal never blocks.
+	notify    chan int
+	notifyIdx int
+}
+
+// handover signals the attached WaitSet, if any, then hands the matched
+// message (or poison) to the receive's ready channel. Every delivery path
+// funnels through here so a completion-channel waiter never misses a match.
+func (r *pendingRecv) handover(m *message) {
+	if n := r.notify; n != nil {
+		n <- r.notifyIdx
+	}
+	r.ready <- m
 }
 
 // wildcard reports whether the receive needs envelope-order scanning (any
@@ -155,7 +175,7 @@ func (b *mailbox) finish(r *pendingRecv, m *message) {
 			m.detach = nil
 			d(b.w, m)
 		}
-		r.ready <- m
+		r.handover(m)
 		return
 	}
 	if m.fail == nil && r.consume != nil {
@@ -166,7 +186,44 @@ func (b *mailbox) finish(r *pendingRecv, m *message) {
 		rel(b.w, m)
 	}
 	m.payload = nil
-	r.ready <- m
+	r.handover(m)
+}
+
+// attachNotify attaches a completion channel to a still-undelivered pending
+// receive and reports whether it attached: false means a message or poison
+// has already been matched (its handoff may still be in flight) and the
+// caller must treat the receive as already complete. The delivered check and
+// the channel store happen under the mailbox lock, the same lock every
+// matcher holds when it sets delivered, so a successful attach is visible to
+// whichever goroutine later performs the handover.
+func (b *mailbox) attachNotify(p *pendingRecv, ch chan int, idx int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p.delivered.Load() {
+		return false
+	}
+	p.notify = ch
+	p.notifyIdx = idx
+	return true
+}
+
+// undefer clears a pending receive's deferConsume flag and reports whether
+// it did: false means a message (or poison) has already been matched — its
+// finish may be reading the flag right now — and the receive stays
+// deferred, to be scattered at Wait. The delivered check and the flag write
+// happen under the mailbox lock, the same lock every matcher holds when it
+// sets delivered, so a successful undefer is visible to whichever matcher
+// later completes the receive. Schedule executors use this to re-enable the
+// match-time single-copy scatter on a pre-posted receive whose buffer
+// hazards have cleared since it was posted.
+func (b *mailbox) undefer(p *pendingRecv) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p.delivered.Load() {
+		return false
+	}
+	p.deferConsume = false
+	return true
 }
 
 // takeRecvLocked removes and returns the receive that message m must match
@@ -398,7 +455,7 @@ func (b *mailbox) poisonMatching(cond func(*pendingRecv) error) {
 	}
 	b.mu.Unlock()
 	for i, r := range hit {
-		r.ready <- &message{ctx: r.ctx, src: r.src, tag: r.tag, fail: errs[i]}
+		r.handover(&message{ctx: r.ctx, src: r.src, tag: r.tag, fail: errs[i]})
 	}
 }
 

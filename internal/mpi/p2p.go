@@ -106,7 +106,7 @@ func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, defe
 	if err := c.opError(srcWorld, "recv src", src, tag); err != nil {
 		if c.rs.box.cancel(p) {
 			p.delivered.Store(true)
-			p.ready <- &message{ctx: p.ctx, src: p.src, tag: p.tag, fail: err}
+			p.handover(&message{ctx: p.ctx, src: p.src, tag: p.tag, fail: err})
 		}
 	}
 	return req

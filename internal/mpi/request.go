@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"cartcc/internal/trace"
@@ -108,22 +107,30 @@ func (r *Request) Wait() (Status, error) {
 func (r *Request) awaitMessage() (*message, error) {
 	w := r.c.w
 	rs := r.c.rs
-	w.setBlocked(rs.rank, &blockedOp{
-		kind:      "recv",
-		src:       r.pending.src,
-		tag:       r.pending.tag,
-		ctx:       r.pending.ctx,
-		since:     time.Now(),
-		pendings:  []*pendingRecv{r.pending},
-		srcWorlds: []int{r.pending.srcWorld},
-	})
-	defer w.clearBlocked(rs.rank)
-	var timeoutCh <-chan time.Time
-	if w.timeout > 0 {
-		t := time.NewTimer(w.timeout)
-		defer t.Stop()
-		timeoutCh = t.C
+	// Fast path: the message (or poison) is already handed over — no
+	// watchdog registration, no timer.
+	select {
+	case m := <-r.pending.ready:
+		if m.fail != nil {
+			return nil, m.fail
+		}
+		return m, nil
+	default:
 	}
+	if w.monitoring {
+		w.setBlocked(rs.rank, &blockedOp{
+			kind:      "recv",
+			src:       r.pending.src,
+			tag:       r.pending.tag,
+			ctx:       r.pending.ctx,
+			since:     time.Now(),
+			pendings:  []*pendingRecv{r.pending},
+			srcWorlds: []int{r.pending.srcWorld},
+		})
+		defer w.clearBlocked(rs.rank)
+	}
+	timeoutCh := rs.armTimeout()
+	defer rs.disarmTimeout()
 	select {
 	case m := <-r.pending.ready:
 		if m.fail != nil {
@@ -144,6 +151,13 @@ func (r *Request) awaitMessage() (*message, error) {
 			}
 			return m, nil
 		}
+		if cause := w.abortCause(); cause != nil {
+			// Carry the primary failure: a receive released by the abort
+			// reports why the run died (e.g. a RankFailedError a peer can
+			// type-switch on), still marked ErrAborted so error aggregation
+			// files it as cascade, never masking the primary.
+			return nil, fmt.Errorf("mpi: rank %d: %w while receiving (src=%d tag=%d): %w", r.c.rank, ErrAborted, r.pending.src, r.pending.tag, cause)
+		}
 		return nil, fmt.Errorf("mpi: rank %d: %w while receiving (src=%d tag=%d)", r.c.rank, ErrAborted, r.pending.src, r.pending.tag)
 	case <-timeoutCh:
 		if !rs.box.cancel(r.pending) {
@@ -160,6 +174,20 @@ func (r *Request) awaitMessage() (*message, error) {
 		w.fail(err)
 		return nil, err
 	}
+}
+
+// UndeferConsume re-enables the match-time scatter on a deferred receive
+// request and reports whether it took effect: true means a future match
+// will consume the payload in the matcher's goroutine (the single-copy
+// fast path); false means a message has already been matched and the
+// scatter stays at Wait time. No-op (false) for non-receive requests.
+// Schedule executors call this when the buffer hazards that forced the
+// deferral have cleared while the receive is still in flight.
+func (r *Request) UndeferConsume() bool {
+	if r == nil || r.finished || r.kind != reqRecv || !r.pending.deferConsume {
+		return false
+	}
+	return r.c.rs.box.undefer(r.pending)
 }
 
 // Cancel removes a still-unmatched receive request from its rank's
@@ -214,21 +242,14 @@ func (r *Request) Test() (done bool, st Status, err error) {
 	return false, Status{}, nil
 }
 
-// waitanyIdleSweeps counts Waitany's backoff sweeps (a test hook: the
-// regression test for the former send/aggregate-only busy-poll asserts the
-// sweep rate is bounded by the backoff, not a hot spin).
-var waitanyIdleSweeps atomic.Int64
-
-// waitanyBackoff is the poll backoff between Waitany sweeps.
-const waitanyBackoff = 50 * time.Microsecond
-
 // Waitany blocks until at least one of the requests completes and returns
 // its index and status, like MPI_Waitany. Completed (or nil) requests that
 // were already waited on are skipped; if every request is nil or finished,
-// it returns index -1. The poll loop backs off between sweeps, so it is
-// intended for small request counts (as in schedule executors). The wait
-// is registered with the deadlock monitor, and an aborted run completes
-// the first live request with the abort error instead of spinning.
+// it returns index -1. Built on the completion-channel WaitSet: the wait
+// blocks on a single channel that matchers signal, so there is no poll
+// sweep and no backoff. The wait is registered with the deadlock monitor,
+// and an aborted run completes the first live request with the abort error
+// instead of blocking forever.
 func Waitany(reqs ...*Request) (int, Status, error) {
 	live := 0
 	var c *Comm
@@ -243,53 +264,39 @@ func Waitany(reqs ...*Request) (int, Status, error) {
 	if live == 0 {
 		return -1, Status{}, nil
 	}
-	var since time.Time
-	registered := false
-	defer func() {
-		if registered {
-			c.w.clearBlocked(c.rs.rank)
+	// Capacity bound: one notification per reachable pending receive.
+	pends, _ := pendingRecvs(reqs)
+	s := NewWaitSet(c, len(pends)+1)
+	for i, r := range reqs {
+		if r == nil || r.finished {
+			continue
 		}
-	}()
+		s.Add(r, i)
+	}
 	for {
-		for i, r := range reqs {
-			if r == nil || r.finished {
-				continue
-			}
-			done, st, err := r.Test()
-			if done {
-				return i, st, err
-			}
-		}
-		if c.w.failed.Load() {
-			// The run is being torn down: complete the first live request
-			// so the caller observes the abort rather than polling forever.
+		ready, err := s.Waitsome()
+		if err != nil {
+			// The run is being torn down (abort or suspected deadlock):
+			// complete the first live request so the caller observes the
+			// informative error rather than a bare channel failure.
 			for i, r := range reqs {
 				if r != nil && !r.finished {
-					st, err := r.Wait()
-					return i, st, err
+					st, werr := r.Wait()
+					return i, st, werr
 				}
 			}
+			return -1, Status{}, err
 		}
-		waitanyIdleSweeps.Add(1)
-		if since.IsZero() {
-			since = time.Now()
-		}
-		pends, srcs := pendingRecvs(reqs)
-		if len(pends) > 0 {
-			c.w.setBlocked(c.rs.rank, &blockedOp{kind: "waitany", since: since, pendings: pends, srcWorlds: srcs})
-			registered = true
-			// Block briefly on one pending receive rather than spinning:
-			// fairness is preserved by the sweep above.
-			select {
-			case m := <-pends[0].ready:
-				pends[0].ready <- m
-			case <-time.After(waitanyBackoff):
+		for _, i := range ready {
+			r := reqs[i]
+			if r == nil {
+				continue
 			}
-		} else {
-			// No live request has a receive channel (send/aggregate-only
-			// sets): back off with a plain sleep. This path used to
-			// busy-poll at 100% CPU.
-			time.Sleep(waitanyBackoff)
+			// An aggregate owner is reported on every child completion;
+			// Test reports done only once the whole aggregate is.
+			if done, st, terr := r.Test(); done {
+				return i, st, terr
+			}
 		}
 	}
 }

@@ -1,0 +1,234 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// WaitSet is a completion-channel multiplexer over requests: the engine
+// behind Waitsome-style progress without polling. Receives added to the set
+// attach a notification slot to their pending receive (mailbox.attachNotify);
+// the moment a message or poison is matched, the matcher signals the set's
+// channel — before the ready handoff — so Waitsome blocks on a single
+// channel and wakes exactly when something completed. Requests that cannot
+// notify (sends, which complete at post; finished requests; receives whose
+// match already happened) are reported ready on the next Waitsome call.
+//
+// Each added request carries a caller-chosen owner token, and Waitsome
+// returns owner tokens: schedule executors pass round indices, Waitany
+// passes argument positions. A WaitSet is single-goroutine (the owning
+// rank's); only the completion channel is written by other goroutines.
+//
+// The completion channel is sized at construction and never grows: the
+// capacity must cover every receive attached between Resets, or Add panics.
+// Reset reclaims the set for the next execution without allocating, which
+// keeps repeated plan executions allocation-free.
+type WaitSet struct {
+	c    *Comm
+	done chan int
+
+	// pends[i] is the i-th attached pending receive, nil once its
+	// notification has been consumed; pendOwner and pendSrc align with it.
+	// Notifications carry positions into this slice.
+	pends     []*pendingRecv
+	pendOwner []int
+	pendSrc   []int
+
+	// readyNow holds owners of requests that were already complete when
+	// added; scratch is the result buffer returned by Waitsome.
+	readyNow []int
+	scratch  []int
+
+	// outstanding counts attached notifications not yet consumed.
+	outstanding int
+}
+
+// NewWaitSet creates a set whose completion channel can hold capacity
+// notifications — at least the number of receives that will be added
+// between Resets.
+func NewWaitSet(c *Comm, capacity int) *WaitSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &WaitSet{c: c, done: make(chan int, capacity)}
+}
+
+// Reset prepares the set for reuse. Notifications still queued from an
+// abandoned execution are drained; the caller must have completed (Wait) or
+// cancelled every previously added receive first, so no late signal can
+// arrive afterwards — a Wait that returned implies its notification was
+// already queued, and a successful Cancel means none will ever come.
+func (s *WaitSet) Reset() {
+	for {
+		select {
+		case <-s.done:
+			continue
+		default:
+		}
+		break
+	}
+	s.pends = s.pends[:0]
+	s.pendOwner = s.pendOwner[:0]
+	s.pendSrc = s.pendSrc[:0]
+	s.readyNow = s.readyNow[:0]
+	s.outstanding = 0
+}
+
+// Add registers a request under the given owner token. Already-complete
+// requests (nil, finished, sends) become immediately ready; receives attach
+// a notification, or become immediately ready if their match already
+// happened; aggregates attach every unfinished child receive under the same
+// owner, so the owner is reported on each child completion and the caller
+// re-tests the aggregate.
+func (s *WaitSet) Add(r *Request, owner int) {
+	if r == nil || r.finished {
+		s.readyNow = append(s.readyNow, owner)
+		return
+	}
+	switch r.kind {
+	case reqRecv:
+		s.attach(r, owner)
+	case reqAggregate:
+		attached := false
+		var walk func(req *Request)
+		walk = func(req *Request) {
+			if req == nil || req.finished {
+				return
+			}
+			switch req.kind {
+			case reqRecv:
+				if s.attach(req, owner) {
+					attached = true
+				}
+			case reqAggregate:
+				for _, ch := range req.children {
+					walk(ch)
+				}
+			}
+		}
+		walk(r)
+		if !attached {
+			s.readyNow = append(s.readyNow, owner)
+		}
+	default:
+		// Sends complete at post time.
+		s.readyNow = append(s.readyNow, owner)
+	}
+}
+
+// attach wires one receive's completion to the set and reports whether a
+// notification is pending (false: the receive is already matched and the
+// owner was queued as immediately ready).
+func (s *WaitSet) attach(r *Request, owner int) bool {
+	if s.outstanding >= cap(s.done) {
+		panic(fmt.Sprintf("mpi: WaitSet capacity %d exceeded", cap(s.done)))
+	}
+	pos := len(s.pends)
+	if !r.c.rs.box.attachNotify(r.pending, s.done, pos) {
+		s.readyNow = append(s.readyNow, owner)
+		return false
+	}
+	s.pends = append(s.pends, r.pending)
+	s.pendOwner = append(s.pendOwner, owner)
+	s.pendSrc = append(s.pendSrc, r.pending.srcWorld)
+	s.outstanding++
+	return true
+}
+
+// take consumes one notification.
+func (s *WaitSet) take(pos int) {
+	s.pends[pos] = nil
+	s.outstanding--
+	s.scratch = append(s.scratch, s.pendOwner[pos])
+}
+
+// drain collects every queued notification without blocking.
+func (s *WaitSet) drain() {
+	for {
+		select {
+		case pos := <-s.done:
+			s.take(pos)
+		default:
+			return
+		}
+	}
+}
+
+// Waitsome blocks until at least one added request has completed and
+// returns the owner tokens of everything complete so far, like a
+// completion-channel MPI_Waitsome — no polling, no backoff. A (nil, nil)
+// return means nothing is outstanding. The block registers with the
+// wait-for-graph deadlock monitor under kind "waitsome" and honors the
+// run's abort channel and fallback timer exactly like a blocking receive.
+// The returned slice is reused by the next call.
+func (s *WaitSet) Waitsome() ([]int, error) {
+	s.scratch = s.scratch[:0]
+	if len(s.readyNow) > 0 {
+		s.scratch = append(s.scratch, s.readyNow...)
+		s.readyNow = s.readyNow[:0]
+	}
+	s.drain()
+	if len(s.scratch) > 0 {
+		return s.scratch, nil
+	}
+	if s.outstanding == 0 {
+		return nil, nil
+	}
+	w := s.c.w
+	rs := s.c.rs
+	if w.monitoring {
+		// Fresh slices per registration: the deadlock monitor reads the
+		// blockedOp snapshot concurrently, possibly after this rank has
+		// moved on to the next Waitsome, so the backing arrays must not be
+		// reused.
+		watchPends := make([]*pendingRecv, 0, s.outstanding)
+		watchSrcs := make([]int, 0, s.outstanding)
+		for i, p := range s.pends {
+			if p != nil {
+				watchPends = append(watchPends, p)
+				watchSrcs = append(watchSrcs, s.pendSrc[i])
+			}
+		}
+		w.setBlocked(rs.rank, &blockedOp{
+			kind:      "waitsome",
+			since:     time.Now(),
+			pendings:  watchPends,
+			srcWorlds: watchSrcs,
+		})
+		defer w.clearBlocked(rs.rank)
+	}
+	timeoutCh := rs.armTimeout()
+	defer rs.disarmTimeout()
+	select {
+	case pos := <-s.done:
+		s.take(pos)
+		s.drain()
+		return s.scratch, nil
+	case <-w.abort:
+		// Prefer completions that raced with the abort (typed poisons carry
+		// the informative error) over the generic cascade error.
+		s.drain()
+		if len(s.scratch) > 0 {
+			return s.scratch, nil
+		}
+		if cause := w.abortCause(); cause != nil {
+			// As in awaitMessage: carry the recorded primary failure so the
+			// cascade error names why the run died.
+			return nil, fmt.Errorf("mpi: rank %d: %w in waitsome (%d receive(s) pending): %w", s.c.rank, ErrAborted, s.outstanding, cause)
+		}
+		return nil, fmt.Errorf("mpi: rank %d: %w in waitsome (%d receive(s) pending)", s.c.rank, ErrAborted, s.outstanding)
+	case <-timeoutCh:
+		s.drain()
+		if len(s.scratch) > 0 {
+			return s.scratch, nil
+		}
+		err := fmt.Errorf("mpi: rank %d: deadlock suspected: waitsome over %d receive(s) blocked for %v",
+			s.c.rank, s.outstanding, w.timeout)
+		w.fail(err)
+		return nil, err
+	}
+}
+
+// Outstanding returns the number of attached receives whose completion has
+// not yet been returned by Waitsome.
+func (s *WaitSet) Outstanding() int { return s.outstanding }

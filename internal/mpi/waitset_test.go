@@ -1,0 +1,267 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWaitSetCompletionOrder posts two receives from peers that send at
+// staggered delays and checks that Waitsome reports each owner as its
+// message lands, without blocking past the first completion.
+func TestWaitSetCompletionOrder(t *testing.T) {
+	run(t, 3, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			return SendSlice(c, []int{11}, 0, 0)
+		case 2:
+			time.Sleep(100 * time.Millisecond)
+			return SendSlice(c, []int{22}, 0, 0)
+		}
+		b1 := make([]int, 1)
+		b2 := make([]int, 1)
+		r1, err := Irecv(c, b1, contiguousN(1), 1, 0)
+		if err != nil {
+			return err
+		}
+		r2, err := Irecv(c, b2, contiguousN(1), 2, 0)
+		if err != nil {
+			return err
+		}
+		s := NewWaitSet(c, 2)
+		s.Add(r1, 100)
+		s.Add(r2, 200)
+		var order []int
+		for s.Outstanding() > 0 || len(order) < 2 {
+			ready, err := s.Waitsome()
+			if err != nil {
+				return err
+			}
+			if ready == nil {
+				break
+			}
+			order = append(order, ready...)
+		}
+		if len(order) != 2 || order[0] != 100 || order[1] != 200 {
+			return fmt.Errorf("completion order = %v, want [100 200]", order)
+		}
+		if _, err := r1.Wait(); err != nil {
+			return err
+		}
+		if _, err := r2.Wait(); err != nil {
+			return err
+		}
+		if b1[0] != 11 || b2[0] != 22 {
+			return fmt.Errorf("payloads = %d %d", b1[0], b2[0])
+		}
+		return nil
+	})
+}
+
+// TestWaitSetImmediateReady covers the no-notification paths: sends, nil,
+// and already-finished requests are reported on the first Waitsome without
+// any channel traffic.
+func TestWaitSetImmediateReady(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			_, err := RecvSlice(c, make([]int, 1), 0, 0)
+			return err
+		}
+		sreq, err := Isend(c, []int{1}, contiguousN(1), 1, 0)
+		if err != nil {
+			return err
+		}
+		s := NewWaitSet(c, 1)
+		s.Add(sreq, 7)
+		s.Add(nil, 8)
+		ready, err := s.Waitsome()
+		if err != nil {
+			return err
+		}
+		if len(ready) != 2 || ready[0] != 7 || ready[1] != 8 {
+			return fmt.Errorf("ready = %v, want [7 8]", ready)
+		}
+		if got, err := s.Waitsome(); err != nil || got != nil {
+			return fmt.Errorf("empty set Waitsome = %v, %v", got, err)
+		}
+		_, err = sreq.Wait()
+		return err
+	})
+}
+
+// TestWaitSetAddAfterMatch adds a receive whose message was already matched
+// before Add: attachNotify must refuse (delivered), and the owner must come
+// back through the readyNow path instead of a notification.
+func TestWaitSetAddAfterMatch(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return SendSlice(c, []int{5}, 0, 0)
+		}
+		buf := make([]int, 1)
+		req, err := Irecv(c, buf, contiguousN(1), 1, 0)
+		if err != nil {
+			return err
+		}
+		// Wait until the match has happened (delivered flag set by the
+		// matcher) before attaching.
+		deadline := time.Now().Add(5 * time.Second)
+		for !req.pending.delivered.Load() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("message never matched")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		s := NewWaitSet(c, 1)
+		s.Add(req, 42)
+		if s.Outstanding() != 0 {
+			return fmt.Errorf("outstanding = %d after late add", s.Outstanding())
+		}
+		ready, err := s.Waitsome()
+		if err != nil {
+			return err
+		}
+		if len(ready) != 1 || ready[0] != 42 {
+			return fmt.Errorf("ready = %v, want [42]", ready)
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		if buf[0] != 5 {
+			return fmt.Errorf("payload = %d", buf[0])
+		}
+		return nil
+	})
+}
+
+// TestWaitSetAggregate attaches an aggregate of two receives under one
+// owner: the owner is signaled per child, and the aggregate tests done only
+// after both children completed.
+func TestWaitSetAggregate(t *testing.T) {
+	run(t, 3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			time.Sleep(time.Duration(c.Rank()) * 30 * time.Millisecond)
+			return SendSlice(c, []int{c.Rank()}, 0, 0)
+		}
+		b1 := make([]int, 1)
+		b2 := make([]int, 1)
+		r1, err := Irecv(c, b1, contiguousN(1), 1, 0)
+		if err != nil {
+			return err
+		}
+		r2, err := Irecv(c, b2, contiguousN(1), 2, 0)
+		if err != nil {
+			return err
+		}
+		agg := aggregate(c, []*Request{r1, r2})
+		s := NewWaitSet(c, 2)
+		s.Add(agg, 9)
+		wakes := 0
+		for {
+			ready, err := s.Waitsome()
+			if err != nil {
+				return err
+			}
+			if ready == nil {
+				return fmt.Errorf("set drained before aggregate completed")
+			}
+			for range ready {
+				wakes++
+			}
+			if done, _, err := agg.Test(); done {
+				if err != nil {
+					return err
+				}
+				if wakes != 2 {
+					return fmt.Errorf("aggregate owner signaled %d times, want 2", wakes)
+				}
+				if b1[0] != 1 || b2[0] != 2 {
+					return fmt.Errorf("payloads = %d %d", b1[0], b2[0])
+				}
+				return nil
+			}
+		}
+	})
+}
+
+// TestWaitSetPoisonOnCrash checks the failure path: a peer that dies while
+// we block in Waitsome must poison the pending receive through the same
+// notify-then-ready handover, so Waitsome wakes and the request's Wait
+// surfaces the typed peer-failure error.
+func TestWaitSetPoisonOnCrash(t *testing.T) {
+	boom := errors.New("boom")
+	err := Run(Config{
+		Procs:   2,
+		Timeout: 20 * time.Second,
+		Faults:  &FaultPlan{Crashes: []Crash{{Rank: 1, AtOp: 2}}},
+	}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Burn ops until the injected crash fires.
+			for i := 0; i < 100; i++ {
+				c.rs.opTick()
+			}
+			return boom
+		}
+		buf := make([]int, 1)
+		req, err := Irecv(c, buf, contiguousN(1), 1, 0)
+		if err != nil {
+			return err
+		}
+		s := NewWaitSet(c, 1)
+		s.Add(req, 0)
+		if _, werr := s.Waitsome(); werr != nil {
+			// Abort raced ahead of the poison: still a detected failure.
+			return werr
+		}
+		_, werr := req.Wait()
+		if werr == nil {
+			return fmt.Errorf("receive from crashed rank succeeded")
+		}
+		return werr
+	})
+	if err == nil {
+		t.Fatal("run with crashed rank succeeded")
+	}
+	if !IsRankFailed(err) && !errors.Is(err, ErrAborted) && !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want process-failure or abort", err)
+	}
+}
+
+// TestWaitSetReset reuses one set across two executions and checks that no
+// stale notification from the first leaks into the second.
+func TestWaitSetReset(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			for i := 0; i < 2; i++ {
+				if err := SendSlice(c, []int{i + 1}, 0, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		s := NewWaitSet(c, 1)
+		buf := make([]int, 1)
+		for i := 0; i < 2; i++ {
+			s.Reset()
+			req, err := Irecv(c, buf, contiguousN(1), 1, 0)
+			if err != nil {
+				return err
+			}
+			s.Add(req, i)
+			ready, err := s.Waitsome()
+			if err != nil {
+				return err
+			}
+			if len(ready) != 1 || ready[0] != i {
+				return fmt.Errorf("iteration %d: ready = %v", i, ready)
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if buf[0] != i+1 {
+				return fmt.Errorf("iteration %d: payload = %d", i, buf[0])
+			}
+		}
+		return nil
+	})
+}

@@ -22,7 +22,7 @@ const DefaultDeadlockPoll = time.Millisecond
 // release it (the monitor's liveness check reads only channel lengths, so
 // it never races with the rank).
 type blockedOp struct {
-	kind  string // "recv" or "waitany"
+	kind  string // "recv", "waitany", or "waitsome"
 	src   int    // communicator-level source (recv kind; may be AnySource)
 	tag   int
 	ctx   int64
@@ -36,8 +36,8 @@ type blockedOp struct {
 
 // describe renders the blocked operation for the diagnostic report.
 func (op *blockedOp) describe() string {
-	if op.kind == "waitany" {
-		return fmt.Sprintf("waitany over %d pending receive(s)", len(op.pendings))
+	if op.kind == "waitany" || op.kind == "waitsome" {
+		return fmt.Sprintf("%s over %d pending receive(s)", op.kind, len(op.pendings))
 	}
 	src := fmt.Sprintf("%d", op.src)
 	if op.src == AnySource {

@@ -323,11 +323,12 @@ func TestCancelReceive(t *testing.T) {
 	})
 }
 
-// TestWaitanyNoHotSpin is the regression test for the former busy-poll:
-// a Waitany blocked on a receive for 150ms must sweep at the backoff
-// rate, not at CPU speed.
-func TestWaitanyNoHotSpin(t *testing.T) {
-	before := waitanyIdleSweeps.Load()
+// TestWaitanyBlocksOnCompletionChannel replaces the old poll-sweep-rate
+// regression test (the waitanyIdleSweeps hook is gone with the poll loop):
+// a blocked Waitany must park on the WaitSet completion channel — visible
+// to the deadlock monitor as a "waitsome" registration — and wake when the
+// delayed message is matched.
+func TestWaitanyBlocksOnCompletionChannel(t *testing.T) {
 	run(t, 2, func(c *Comm) error {
 		if c.Rank() == 1 {
 			time.Sleep(150 * time.Millisecond)
@@ -338,22 +339,30 @@ func TestWaitanyNoHotSpin(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		// Sample the watchdog registry while Waitany blocks: the wait is
+		// one atomic registration, not a sweep loop.
+		seen := make(chan string, 1)
+		go func() {
+			deadline := time.Now().Add(time.Second)
+			for time.Now().Before(deadline) {
+				if op := c.w.blocked[0].Load(); op != nil {
+					seen <- op.kind
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			seen <- ""
+		}()
 		idx, _, err := Waitany(req)
 		if err != nil {
 			return err
 		}
-		if idx != 0 {
-			return fmt.Errorf("Waitany index = %d", idx)
+		if idx != 0 || buf[0] != 1 {
+			return fmt.Errorf("Waitany index = %d buf = %v", idx, buf)
+		}
+		if kind := <-seen; kind != "waitsome" {
+			return fmt.Errorf("blocked Waitany registered as %q, want waitsome", kind)
 		}
 		return nil
 	})
-	sweeps := waitanyIdleSweeps.Load() - before
-	// 150ms at the 50µs backoff is ~3000 sweeps; a hot spin would log
-	// millions. Allow a generous 10x margin for scheduling noise.
-	if sweeps > 30000 {
-		t.Fatalf("Waitany swept %d times in ~150ms: busy-polling", sweeps)
-	}
-	if sweeps == 0 {
-		t.Fatal("test exercised no idle sweeps")
-	}
 }

@@ -71,8 +71,12 @@ type World struct {
 	revokedN atomic.Int32
 
 	// Deadlock monitor registry: per-rank blocked state and completion.
-	blocked []atomic.Pointer[blockedOp]
-	done    []atomic.Bool
+	// monitoring is set before the rank goroutines spawn and never written
+	// again; when false (DeadlockPoll < 0) no monitor goroutine reads the
+	// registry and blocking waits skip registration entirely.
+	monitoring bool
+	blocked    []atomic.Pointer[blockedOp]
+	done       []atomic.Bool
 
 	// wirePools holds the per-element-type wire-buffer pools behind the
 	// non-contiguous send path (wirepool.go), keyed by reflect.Type.
@@ -116,6 +120,34 @@ type rankState struct {
 	box        mailbox
 	ops        int   // point-to-point operations posted (fault triggers)
 	delayCount []int // per-MsgDelay matching-message counters
+	// blockTimer is the rank's reusable fallback-watchdog timer, armed for
+	// each blocking wait (one at a time per goroutine) instead of
+	// allocating a fresh timer per block.
+	blockTimer *time.Timer
+}
+
+// armTimeout returns the fallback-watchdog timer channel for one blocking
+// wait, reusing the rank's timer (nil when the timeout is disabled). The
+// rank's goroutine owns the timer; Go 1.23 timer semantics make
+// Reset-after-fire safe without draining.
+func (rs *rankState) armTimeout() <-chan time.Time {
+	d := rs.world.timeout
+	if d <= 0 {
+		return nil
+	}
+	if rs.blockTimer == nil {
+		rs.blockTimer = time.NewTimer(d)
+	} else {
+		rs.blockTimer.Reset(d)
+	}
+	return rs.blockTimer.C
+}
+
+// disarmTimeout stops the rank's watchdog timer after a blocking wait.
+func (rs *rankState) disarmTimeout() {
+	if rs.blockTimer != nil {
+		rs.blockTimer.Stop()
+	}
 }
 
 // Run spawns cfg.Procs ranks, calls f on each with its world communicator,
@@ -174,6 +206,7 @@ func Run(cfg Config, f func(c *Comm) error) error {
 		if poll == 0 {
 			poll = DefaultDeadlockPoll
 		}
+		w.monitoring = true
 		stop := make(chan struct{})
 		defer close(stop)
 		go w.runMonitor(poll, stop)
@@ -235,6 +268,20 @@ func (w *World) record(rank int, err error) {
 	if rank >= 0 {
 		w.errRank[rank] = true
 	}
+}
+
+// abortCause returns the primary failure that triggered the abort, if one
+// is recorded. failFrom records the primary error strictly before closing
+// the abort channel, so any waiter released by the abort can ask why the
+// run died and report a typed cause instead of only the generic cascade
+// error. Returns nil if — against expectation — only cascade errors exist.
+func (w *World) abortCause() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	if len(w.primary) == 0 {
+		return nil
+	}
+	return w.primary[0]
 }
 
 // runError assembles the run's return value: every primary error joined

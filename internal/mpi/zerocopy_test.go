@@ -315,16 +315,17 @@ func TestWirePoolRecycles(t *testing.T) {
 		t.Fatal("releaseWire did not clear the payload")
 	}
 	// Under the race detector sync.Pool drops Puts at random (by design,
-	// to shake out reuse races), so demand a recycle within a bounded
-	// number of round trips rather than on the first.
+	// to shake out reuse races), so a single dropped Put must not strand
+	// the loop: re-release the original wire on every attempt and demand
+	// a recycle within a bounded number of round trips.
 	recycled := false
 	for i := 0; i < 100 && !recycled; i++ {
+		releaseWire[int32](w, &message{payload: wire})
 		again := getWire[int32](w, 70)
 		if cap(again) != 128 {
 			t.Fatalf("wire cap %d; want 128", cap(again))
 		}
 		recycled = &again[0] == &wire[0]
-		releaseWire[int32](w, &message{payload: again})
 	}
 	if !recycled {
 		t.Fatal("pool never recycled the released wire")

@@ -1,0 +1,67 @@
+package trace
+
+import "time"
+
+// RoundKind classifies a schedule-execution round event.
+type RoundKind uint8
+
+const (
+	// RoundSendPost: the round's send was posted (payload gathered or
+	// detached; the source extents are free).
+	RoundSendPost RoundKind = iota
+	// RoundRecvPost: the round's receive was posted.
+	RoundRecvPost
+	// RoundRecvDone: the round's receive completed and its payload landed
+	// (retired, in the pipelined executor's terms).
+	RoundRecvDone
+)
+
+// String returns the event name.
+func (k RoundKind) String() string {
+	switch k {
+	case RoundSendPost:
+		return "send-post"
+	case RoundRecvPost:
+		return "recv-post"
+	default:
+		return "recv-done"
+	}
+}
+
+// RoundEvent is one wall-clock timestamped executor event: which round of
+// which phase did what, with which peer, how long after the log started.
+type RoundEvent struct {
+	Phase int
+	Round int
+	Peer  int
+	Kind  RoundKind
+	At    time.Duration
+}
+
+// RoundLog records per-round post/complete events of one plan execution on
+// one rank. Unlike Recorder it is wall-clock (the pipelined executor has
+// no virtual time) and single-goroutine: the owning rank's executor is the
+// only writer, so no locking — attach one log per rank.
+type RoundLog struct {
+	start  time.Time
+	events []RoundEvent
+}
+
+// NewRoundLog starts an empty log; At timestamps are relative to this call.
+func NewRoundLog() *RoundLog {
+	return &RoundLog{start: time.Now()}
+}
+
+// Add appends one event.
+func (l *RoundLog) Add(phase, round, peer int, kind RoundKind) {
+	l.events = append(l.events, RoundEvent{Phase: phase, Round: round, Peer: peer, Kind: kind, At: time.Since(l.start)})
+}
+
+// Events returns the recorded events in order.
+func (l *RoundLog) Events() []RoundEvent { return l.events }
+
+// Reset clears the log and restarts its clock.
+func (l *RoundLog) Reset() {
+	l.events = l.events[:0]
+	l.start = time.Now()
+}
