@@ -11,7 +11,9 @@
 // charts of one exchange), scaling (p-independence check), mesh
 // (non-periodic pruned schedules), reduce and reorder (the implemented
 // extensions), predict (analytic model), chaos (injected-fault sweep with
-// survivor recovery and deadlock diagnosis), and all.
+// survivor recovery and deadlock diagnosis), trace (Perfetto/Chrome trace
+// capture with metrics and predicted-vs-observed accounting; -o sets the
+// output path), and all.
 //
 // Flags:
 //
@@ -52,7 +54,9 @@ func main() {
 	reps := flag.Int("reps", 0, "override repetitions per variant")
 	procsD3 := flag.Int("procs-d3", 0, "override process count for d<=4 panels")
 	procsD5 := flag.Int("procs-d5", 0, "override process count for d=5 panels")
+	traceOut := flag.String("o", "trace.json", "output path for the trace experiment")
 	flag.Parse()
+	traceOutPath = *traceOut
 
 	sc := bench.DefaultScale
 	if *scale == "quick" {
@@ -70,7 +74,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos all")
+		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos trace all")
 		os.Exit(2)
 	}
 	mode := renderText
@@ -149,6 +153,8 @@ func run(name string, sc bench.Scale, mode renderMode) error {
 		return allocsExperiment(sc)
 	case "pipeline":
 		return pipelineExperiment(sc)
+	case "trace":
+		return traceExperiment()
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -227,6 +233,36 @@ func pipelineExperiment(sc bench.Scale) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_P3.json")
+	return nil
+}
+
+// traceOutPath is the -o flag value, bound in main.
+var traceOutPath = "trace.json"
+
+// traceExperiment captures one combining Cart_alltoall on a 4×4 torus
+// (Moore neighborhood) in virtual time and wall clock, writes the unified
+// Perfetto/Chrome trace to the -o path, and prints the metrics and
+// predicted-vs-observed accounting summary. Load the JSON in
+// ui.perfetto.dev (or chrome://tracing) to browse it; `carttrace` prints
+// the same file as text tables.
+func traceExperiment() error {
+	res, err := bench.RunObserve(bench.ObserveConfig{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(traceOutPath)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatObserve(res))
+	fmt.Printf("\nwrote %s — open it in ui.perfetto.dev or chrome://tracing\n", traceOutPath)
 	return nil
 }
 

@@ -150,10 +150,15 @@ func report(nbh vec.Neighborhood) {
 		fmt.Printf("  %v\n", nbh)
 	}
 	fmt.Println()
-	fmt.Printf("trivial algorithm (Listing 4):       %4d rounds, volume %d blocks\n", s.TComm, s.TComm)
-	fmt.Printf("message-combining alltoall (Alg. 1): %4d rounds (C_k = %v), volume %d blocks\n", s.C, s.Ck, s.VolAlltoall)
+	// Predicted is the same analytic C and V the runtime's accounting layer
+	// asserts against observed executions (cart.ExecStats.Check).
+	tC, tV := cart.Predicted(nbh, cart.OpAlltoall, cart.Trivial)
+	fmt.Printf("trivial algorithm (Listing 4):       %4d rounds, volume %d blocks\n", tC, tV)
+	aC, aV := cart.Predicted(nbh, cart.OpAlltoall, cart.Combining)
+	fmt.Printf("message-combining alltoall (Alg. 1): %4d rounds (C_k = %v), volume %d blocks\n", aC, s.Ck, aV)
+	gC, gV := cart.Predicted(nbh, cart.OpAllgather, cart.Combining)
 	tree := cart.BuildAllgatherTree(nbh, nil)
-	fmt.Printf("message-combining allgather (Alg. 2):%4d rounds, volume %d blocks (tree order %v)\n", s.C, s.VolAllgather, tree.DimOrder)
+	fmt.Printf("message-combining allgather (Alg. 2):%4d rounds, volume %d blocks (tree order %v)\n", gC, gV, tree.DimOrder)
 	fmt.Println()
 	fmt.Printf("cut-off ratio (t−C)/(V−t): %.3f\n", s.CutoffRatio)
 	for _, profile := range []string{"hydra", "titan"} {

@@ -1,0 +1,190 @@
+// Command carttrace inspects a Chrome trace_event JSON file produced by
+// `cartbench trace` (or any tool emitting the same format) and prints
+// summary tables: per-track slice counts and busy time by category, the
+// slowest slices, and the message-flow count — a quick textual look at a
+// capture without loading ui.perfetto.dev.
+//
+// Usage:
+//
+//	carttrace [-top N] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	top := flag.Int("top", 5, "number of slowest slices to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: carttrace [-top N] trace.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carttrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sum, err := Summarize(f, *top)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carttrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(sum)
+}
+
+// traceEvent is the subset of Chrome trace_event fields the summary uses.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		Name string `json:"name"`
+	} `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// Summarize reads a trace stream and renders the summary tables.
+func Summarize(r io.Reader, top int) (string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		// Perfetto also accepts a bare event array; try that before
+		// giving up.
+		if err2 := json.Unmarshal(data, &tf.TraceEvents); err2 != nil {
+			return "", fmt.Errorf("not a Chrome trace_event file: %w", err)
+		}
+	}
+	if len(tf.TraceEvents) == 0 {
+		return "", fmt.Errorf("trace holds no events")
+	}
+
+	procNames := map[int]string{}
+	threadNames := map[[2]int]string{}
+	type trackStat struct {
+		pid, tid int
+		slices   int
+		instants int
+		busyUs   float64
+		byCat    map[string]int
+	}
+	tracks := map[[2]int]*trackStat{}
+	get := func(pid, tid int) *trackStat {
+		k := [2]int{pid, tid}
+		t := tracks[k]
+		if t == nil {
+			t = &trackStat{pid: pid, tid: tid, byCat: map[string]int{}}
+			tracks[k] = t
+		}
+		return t
+	}
+	var slices []traceEvent
+	flows := 0
+	minTs, maxTs := 0.0, 0.0
+	first := true
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name":
+				procNames[e.Pid] = e.Args.Name
+			case "thread_name":
+				threadNames[[2]int{e.Pid, e.Tid}] = e.Args.Name
+			}
+			continue
+		case "X":
+			t := get(e.Pid, e.Tid)
+			t.slices++
+			t.busyUs += e.Dur
+			t.byCat[e.Cat]++
+			slices = append(slices, e)
+		case "i", "I":
+			t := get(e.Pid, e.Tid)
+			t.instants++
+			t.byCat[e.Cat]++
+		case "s":
+			flows++
+		default:
+			continue
+		}
+		end := e.Ts + e.Dur
+		if first || e.Ts < minTs {
+			minTs = e.Ts
+		}
+		if first || end > maxTs {
+			maxTs = end
+		}
+		first = false
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events, %d tracks, %d flows, span %.1f µs\n",
+		len(tf.TraceEvents), len(tracks), flows, maxTs-minTs)
+
+	keys := make([][2]int, 0, len(tracks))
+	for k := range tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	b.WriteString("\nper-track summary:\n")
+	fmt.Fprintf(&b, "  %-34s %7s %9s %11s  %s\n", "track", "slices", "instants", "busy µs", "categories")
+	for _, k := range keys {
+		t := tracks[k]
+		name := threadNames[k]
+		if name == "" {
+			name = fmt.Sprintf("tid %d", t.tid)
+		}
+		proc := procNames[t.pid]
+		if proc == "" {
+			proc = fmt.Sprintf("pid %d", t.pid)
+		}
+		cats := make([]string, 0, len(t.byCat))
+		for c := range t.byCat {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for i, c := range cats {
+			cats[i] = fmt.Sprintf("%s:%d", c, t.byCat[c])
+		}
+		fmt.Fprintf(&b, "  %-34s %7d %9d %11.1f  %s\n",
+			proc+" / "+name, t.slices, t.instants, t.busyUs, strings.Join(cats, " "))
+	}
+
+	if top > 0 && len(slices) > 0 {
+		sort.SliceStable(slices, func(a, b int) bool { return slices[a].Dur > slices[b].Dur })
+		if top > len(slices) {
+			top = len(slices)
+		}
+		fmt.Fprintf(&b, "\nslowest %d slices:\n", top)
+		for _, e := range slices[:top] {
+			name := threadNames[[2]int{e.Pid, e.Tid}]
+			if name == "" {
+				name = fmt.Sprintf("pid %d tid %d", e.Pid, e.Tid)
+			}
+			fmt.Fprintf(&b, "  %9.1f µs  %-22s %s (%s)\n", e.Dur, e.Name, name, e.Cat)
+		}
+	}
+	return b.String(), nil
+}

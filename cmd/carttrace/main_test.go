@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cartcc/internal/trace"
+)
+
+// sampleTrace renders a small timeline through the real exporter, so the
+// inspector is tested against exactly what `cartbench trace` writes.
+func sampleTrace(t *testing.T) []byte {
+	t.Helper()
+	tl := &trace.Timeline{}
+	tl.SetProcess(0, "virtual time")
+	tl.SetThread(trace.Track{Pid: 0, Tid: 0}, "rank 0")
+	tl.SetThread(trace.Track{Pid: 0, Tid: 1}, "rank 1")
+	tl.AddSpan(trace.Span{Track: trace.Track{Pid: 0, Tid: 0}, Name: "send→1", Cat: "send", StartNs: 0, DurNs: 4000, Peer: 1, Bytes: 64, Tag: 9})
+	tl.AddSpan(trace.Span{Track: trace.Track{Pid: 0, Tid: 1}, Name: "recv←0", Cat: "recv", StartNs: 1000, DurNs: 9000, Peer: 0, Bytes: 64, Tag: 9})
+	tl.AddInstant(trace.Instant{Track: trace.Track{Pid: 0, Tid: 0}, Name: "p0r0 send→1", Cat: "send-post", AtNs: 500, Peer: 1})
+	tl.AddFlow(trace.Flow{From: trace.Track{Pid: 0, Tid: 0}, FromNs: 0, To: trace.Track{Pid: 0, Tid: 1}, ToNs: 10000})
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSummarize(t *testing.T) {
+	out, err := Summarize(bytes.NewReader(sampleTrace(t)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"2 tracks",
+		"1 flows",
+		"virtual time / rank 0",
+		"virtual time / rank 1",
+		"send:1",
+		"recv:1",
+		"send-post:1",
+		"slowest 2 slices",
+		"recv←0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeBareArray(t *testing.T) {
+	raw := []byte(`[{"name":"a","cat":"send","ph":"X","ts":0,"dur":2,"pid":0,"tid":0}]`)
+	out, err := Summarize(bytes.NewReader(raw), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 tracks") {
+		t.Errorf("bare-array trace not summarized:\n%s", out)
+	}
+}
+
+func TestSummarizeRejectsGarbage(t *testing.T) {
+	if _, err := Summarize(strings.NewReader("not json"), 1); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+	if _, err := Summarize(strings.NewReader(`{"traceEvents":[]}`), 1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/metrics"
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/trace"
+	"cartcc/internal/vec"
+)
+
+// The observability capture: one run of the combining Cart_alltoall on a
+// 4×4 torus with the Moore neighborhood, recorded three ways at once —
+// virtual-time message events under the Hydra model (Recorder), wall-clock
+// executor round events (RoundLog per rank), and the runtime metrics
+// registry — and folded into a single Perfetto-loadable trace plus a
+// metrics/accounting summary (`cartbench trace`).
+
+// ObserveConfig parameterizes the capture.
+type ObserveConfig struct {
+	// Procs is the world size; Dims are derived with DimsCreate when nil.
+	Procs int
+	Dims  []int
+	// M is the block size in elements.
+	M int
+}
+
+// ObserveResult is the capture output.
+type ObserveResult struct {
+	Timeline *trace.Timeline
+	// Metrics is the merged cross-rank snapshot of the wall-clock run.
+	Metrics metrics.Snapshot
+	// Stats is rank 0's predicted-vs-observed accounting of the wall-clock
+	// run (identical on every rank of a torus).
+	Stats cart.ExecStats
+}
+
+// RunObserve performs the capture. The virtual-time pass and the
+// wall-clock pass execute the same plan shape; the timeline carries the
+// first as process 0 ("virtual time") and the second as process 1
+// ("wall clock"), one thread per rank in both.
+func RunObserve(cfg ObserveConfig) (*ObserveResult, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = 16
+	}
+	if cfg.M == 0 {
+		cfg.M = 8
+	}
+	dims := cfg.Dims
+	if dims == nil {
+		var err error
+		dims, err = vec.DimsCreate(cfg.Procs, 2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nbh, err := vec.Moore(2, 1)
+	if err != nil {
+		return nil, err
+	}
+	tl := &trace.Timeline{}
+	tl.SetProcess(0, "virtual time (hydra model)")
+	tl.SetProcess(1, "wall clock (executor rounds)")
+
+	// Pass 1: virtual time. The recorder prices every message under the
+	// Hydra LogGP profile; ranks trim communicator-setup traffic at the
+	// barrier so the capture is one clean collective.
+	rec := trace.NewRecorder(cfg.Procs)
+	err = mpi.Run(mpi.Config{Procs: cfg.Procs, Model: netmodel.Hydra(), Seed: 1, Recorder: rec, Timeout: time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, []bool{true, true}, nbh, nil)
+		if err != nil {
+			return err
+		}
+		plan, err := cart.AlltoallInit(c, cfg.M, cart.Combining)
+		if err != nil {
+			return err
+		}
+		send := make([]int32, len(nbh)*cfg.M)
+		recv := make([]int32, len(nbh)*cfg.M)
+		if err := mpi.Barrier(c.Base()); err != nil {
+			return err
+		}
+		rec.ResetRank(w.Rank())
+		return cart.Run(plan, send, recv)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Export(tl, 0)
+
+	// Pass 2: wall clock, with the metrics registry attached to the
+	// runtime and a round log per rank attached to the plan. A warmup
+	// execution populates the wire pool and the plan scratch; the logged
+	// execution is the one exported (Run resets the log each epoch).
+	reg := metrics.NewRegistry(cfg.Procs)
+	logs := make(trace.RoundLogSet, cfg.Procs)
+	for i := range logs {
+		logs[i] = trace.NewRoundLog()
+	}
+	statsCh := make(chan cart.ExecStats, 1)
+	err = mpi.Run(mpi.Config{Procs: cfg.Procs, Metrics: reg, Timeout: time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, []bool{true, true}, nbh, nil)
+		if err != nil {
+			return err
+		}
+		plan, err := cart.AlltoallInit(c, cfg.M, cart.Combining)
+		if err != nil {
+			return err
+		}
+		send := make([]int32, len(nbh)*cfg.M)
+		recv := make([]int32, len(nbh)*cfg.M)
+		plan.SetRoundLog(logs[w.Rank()])
+		for i := 0; i < 3; i++ {
+			if err := cart.Run(plan, send, recv); err != nil {
+				return err
+			}
+		}
+		s := plan.Stats()
+		if err := s.Check(); err != nil {
+			return err
+		}
+		if !s.Interior() {
+			return fmt.Errorf("bench: torus rank %d not interior: rounds %d/%d blocks %d/%d",
+				w.Rank(), s.PlannedRounds, s.PredictedRounds, s.PlannedBlocks, s.PredictedVolume)
+		}
+		if w.Rank() == 0 {
+			statsCh <- s
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	logs.Export(tl, 1)
+
+	return &ObserveResult{Timeline: tl, Metrics: reg.Merged(), Stats: <-statsCh}, nil
+}
+
+// WriteTrace renders the capture's timeline as Chrome trace_event JSON.
+func (r *ObserveResult) WriteTrace(w io.Writer) error {
+	return trace.WriteChrome(w, r.Timeline)
+}
+
+// FormatObserve renders the metrics and accounting summary printed next
+// to the trace file.
+func FormatObserve(r *ObserveResult) string {
+	var b strings.Builder
+	s := r.Stats
+	fmt.Fprintf(&b, "Cart_%s (%s): predicted C=%d rounds, V=%d blocks per process\n", s.Op, s.Algo, s.PredictedRounds, s.PredictedVolume)
+	fmt.Fprintf(&b, "observed over %d execution(s), rank 0: %d rounds, %d messages, %d blocks, %d elements\n",
+		s.Executions, s.RoundsActive, s.MessagesSent, s.BlocksForwarded, s.ElementsSent)
+	if err := s.Check(); err != nil {
+		fmt.Fprintf(&b, "ACCOUNTING VIOLATION: %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "predicted-vs-observed invariant: OK\n")
+	}
+	b.WriteString("\nmerged runtime metrics (all ranks):\n")
+	b.WriteString(r.Metrics.Format())
+	return b.String()
+}

@@ -1,10 +1,12 @@
 package cart
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"cartcc/internal/mpi"
+	"cartcc/internal/trace"
 	"cartcc/internal/vec"
 )
 
@@ -147,6 +149,73 @@ func TestAllgatherAllocsSizeIndependent(t *testing.T) {
 				t.Errorf("B/op scaled near-linearly with block size: m=16 -> %d, m=512 -> %d", sb, lb)
 			}
 		})
+	}
+}
+
+// measureLoggedAlltoallAllocs is measureAlltoallAllocs with a RoundLog
+// attached to the plan: SetRoundLog reserves the full per-execution event
+// capacity and Run resets the log in place each epoch, so logging must
+// not add per-operation allocations.
+func measureLoggedAlltoallAllocs(t *testing.T, m int) testing.BenchmarkResult {
+	t.Helper()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		err := mpi.Run(mpi.Config{Procs: 9, Timeout: 60 * time.Second}, func(w *mpi.Comm) error {
+			nbh, err := vec.Stencil(2, 3, -1)
+			if err != nil {
+				return err
+			}
+			c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil, WithAlgorithm(Combining))
+			if err != nil {
+				return err
+			}
+			plan, err := AlltoallInit(c, m, Combining)
+			if err != nil {
+				return err
+			}
+			log := trace.NewRoundLog()
+			plan.SetRoundLog(log)
+			send := make([]int64, len(nbh)*m)
+			recv := make([]int64, len(nbh)*m)
+			for i := 0; i < b.N; i++ {
+				if err := Run(plan, send, recv); err != nil {
+					return err
+				}
+				if len(log.Events()) == 0 {
+					return fmt.Errorf("logged run recorded no round events")
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// TestLoggedRunStaysAllocationFree is the RoundLog-reuse regression gate:
+// before the Reserve/Reset-per-epoch fix, an attached log grew without
+// bound across executions (every Run appended a fresh epoch of events)
+// and each growth step reallocated the backing array. With the fix, a
+// logged re-execution allocates no more than an unlogged one.
+func TestLoggedRunStaysAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmark in -short mode")
+	}
+	const m = 16
+	plain := measureAlltoallAllocs(t, Combining, m)
+	logged := measureLoggedAlltoallAllocs(t, m)
+	pa, la := plain.AllocsPerOp(), logged.AllocsPerOp()
+	t.Logf("plain: %d allocs/op %d B/op; logged: %d allocs/op %d B/op",
+		pa, plain.AllocedBytesPerOp(), la, logged.AllocedBytesPerOp())
+	// Identical budget modulo benchmark jitter: the reserved log adds no
+	// steady-state allocations.
+	slack := pa / 4
+	if slack < 4 {
+		slack = 4
+	}
+	if la > pa+slack {
+		t.Errorf("round logging allocates per operation: %d allocs/op logged vs %d plain", la, pa)
 	}
 }
 

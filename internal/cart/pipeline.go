@@ -2,6 +2,7 @@ package cart
 
 import (
 	"fmt"
+	"time"
 
 	"cartcc/internal/mpi"
 	"cartcc/internal/trace"
@@ -54,9 +55,12 @@ type pipeState struct {
 	// they skip the WaitSet — no per-message wakeup — and are waited in
 	// bulk after the live rounds have driven the DAG dry, like the
 	// barriered executor's Waitall tail.
-	leaf   []bool
-	reqs   []*mpi.Request
-	stack  []int32 // ready-to-post send work stack
+	leaf  []bool
+	reqs  []*mpi.Request
+	stack []int32 // ready-to-post send work stack
+	// postNs stamps each round's receive-post wall time when a metrics
+	// registry is attached, feeding the cart.retire.ns latency histogram.
+	postNs []int64
 	ws     *mpi.WaitSet
 	nRecvs int
 	nSends int
@@ -80,6 +84,7 @@ func (p *Plan) pipeScratch() *pipeState {
 		recvPosted: make([]bool, n),
 		leaf:       make([]bool, n),
 		reqs:       make([]*mpi.Request, n),
+		postNs:     make([]int64, n),
 		stack:      make([]int32, 0, n),
 	}
 	for i, r := range p.flat {
@@ -187,6 +192,10 @@ func runPipelined[T any](p *Plan, bufs [][]T) error {
 		st.retired[i] = true
 		e.remRecv--
 		p.logRound(p.deps[i].phase, p.deps[i].idx, p.flat[i].recvFrom, trace.RoundRecvDone)
+		p.countRetire()
+		if m := p.cmet; m != nil {
+			m.retireNs.Observe(time.Now().UnixNano() - st.postNs[i])
+		}
 	}
 	if e.remRecv > 0 {
 		return fmt.Errorf("cart: internal: pipelined executor finished with %d receive(s) unposted", e.remRecv)
@@ -223,8 +232,15 @@ func (e *pipeExec[T]) fillWindow() error {
 		st.recvPosted[i] = true
 		e.nextPost++
 		p.logRound(p.deps[i].phase, p.deps[i].idx, r.recvFrom, trace.RoundRecvPost)
+		p.countRecvPost()
+		if m := p.cmet; m != nil {
+			st.postNs[i] = time.Now().UnixNano()
+		}
 		if !st.leaf[i] {
 			e.posted++
+			if m := p.cmet; m != nil {
+				m.prepostHWM.SetMax(int64(e.posted))
+			}
 			st.ws.Add(req, i)
 		}
 	}
@@ -261,6 +277,7 @@ func (e *pipeExec[T]) postSend(i int32) error {
 	st.sendPosted[i] = true
 	e.remSend--
 	p.logRound(p.deps[i].phase, p.deps[i].idx, r.sendTo, trace.RoundSendPost)
+	p.countSend(r)
 	for _, s := range p.deps[i].warSucc {
 		st.scatLeft[s]--
 		if err := e.tryRetire(s); err != nil {
@@ -301,6 +318,10 @@ func (e *pipeExec[T]) tryRetire(i int32) error {
 	e.remRecv--
 	e.remLive--
 	p.logRound(p.deps[i].phase, p.deps[i].idx, p.flat[i].recvFrom, trace.RoundRecvDone)
+	p.countRetire()
+	if m := p.cmet; m != nil {
+		m.retireNs.Observe(time.Now().UnixNano() - st.postNs[i])
+	}
 	for _, s := range p.deps[i].rawSucc {
 		st.sendLeft[s]--
 		if st.sendLeft[s] == 0 {
@@ -362,6 +383,10 @@ func runPipelinedModel[T any](p *Plan, bufs [][]T) error {
 		st.reqs[i] = req
 		st.recvPosted[i] = true
 		p.logRound(p.deps[i].phase, p.deps[i].idx, r.recvFrom, trace.RoundRecvPost)
+		p.countRecvPost()
+		if m := p.cmet; m != nil {
+			st.postNs[i] = time.Now().UnixNano()
+		}
 	}
 	for i := 0; i < n; i++ {
 		if p.flat[i].sendTo != ProcNull && st.sendLeft[i] == 0 {
@@ -461,4 +486,12 @@ func (p *Plan) logRound(phase, round, peer int, kind trace.RoundKind) {
 // executions (nil detaches). The pipelined executor records send posts,
 // receive posts, and receive retirements; the barriered executor records
 // posts. Single-goroutine, like the plan itself.
-func (p *Plan) SetRoundLog(l *trace.RoundLog) { p.rlog = l }
+func (p *Plan) SetRoundLog(l *trace.RoundLog) {
+	p.rlog = l
+	if l != nil {
+		// At most three events per round (send post, receive post, receive
+		// done); reserving them up front keeps logged re-executions
+		// allocation-free (Run resets the log in place each epoch).
+		l.Reserve(3 * len(p.flat))
+	}
+}

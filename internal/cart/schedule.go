@@ -260,6 +260,11 @@ type execRound struct {
 	recv     datatype.Composite
 	sendWhat string
 	recvWhat string
+	// blocks and sendElems are the round's forwarded volume in schedule
+	// blocks and in elements, counted at compile time (the composites merge
+	// adjacent extents, so Parts() cannot recover the block count).
+	blocks    int
+	sendElems int
 }
 
 // setRoundWhat formats the round's failure-attribution strings once at
@@ -319,6 +324,18 @@ type Plan struct {
 	// rlog, when set, records wall-clock per-round post/complete events
 	// from the executors (trace.RoundLog).
 	rlog *trace.RoundLog
+
+	// Observed accounting (accounting.go): plain fields, single-goroutine
+	// like the plan, accumulated across executions at the executors' post
+	// and retire sites. cmet mirrors a subset into the rank's metrics
+	// registry when one is attached to the runtime (nil otherwise).
+	obsRuns   int64
+	obsRounds int64
+	obsMsgs   int64
+	obsRecvs  int64
+	obsBlocks int64
+	obsElems  int64
+	cmet      *cartMetrics
 
 	// Auto plans carry the trivial alternative and the mean block size in
 	// elements; Run applies the paper's analytic cut-off once the element
@@ -380,6 +397,7 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 		blocking: blocking,
 		rounds:   s.Rounds,
 		volume:   s.Volume,
+		cmet:     newCartMetrics(c.comm.MetricsSet()),
 	}
 	rank := c.comm.Rank()
 	t := len(c.nbh)
@@ -404,12 +422,14 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 				}
 				er.send.Append(bufIndex(mv.From), sendL)
 				er.recv.Append(bufIndex(mv.To), recvL)
+				er.blocks++
 				if mv.From == BufTemp || mv.To == BufTemp {
 					if hi := geomTempHigh(geom, mv); hi > p.tempLen {
 						p.tempLen = hi
 					}
 				}
 			}
+			er.sendElems = er.send.Size()
 			setRoundWhat(&er)
 			rounds = append(rounds, er)
 		}
@@ -499,6 +519,12 @@ func Run[T any](p *Plan, send, recv []T) error {
 	if err := p.checkBuffers(len(send), len(recv)); err != nil {
 		return err
 	}
+	if p.rlog != nil {
+		// One Run is one logging epoch: timestamps restart at zero and the
+		// previous execution's events are dropped in place (capacity kept,
+		// so logged re-executions stay allocation-free).
+		p.rlog.Reset()
+	}
 	var temp []T
 	if p.tempLen > 0 {
 		if cached, ok := p.temp.([]T); ok && len(cached) >= p.tempLen {
@@ -522,14 +548,23 @@ func Run[T any](p *Plan, send, recv []T) error {
 		for _, cp := range p.copies {
 			datatype.Copy(recv, cp.to, bufs[cp.fromBuf], cp.from)
 		}
+		p.countRun()
 		return nil
 	}
 
 	for pi, rounds := range p.phases {
 		if p.blocking {
 			for ri := range rounds {
-				if err := runRoundBlocking(comm, &rounds[ri], bufs, p.deferScatter[pi]); err != nil {
-					return p.roundError(pi, ri, &rounds[ri], err)
+				r := &rounds[ri]
+				if err := runRoundBlocking(comm, r, bufs, p.deferScatter[pi]); err != nil {
+					return p.roundError(pi, ri, r, err)
+				}
+				if r.recvFrom != ProcNull {
+					p.countRecvPost()
+					p.countRetire()
+				}
+				if r.sendTo != ProcNull {
+					p.countSend(r)
 				}
 			}
 			continue
@@ -547,7 +582,8 @@ func Run[T any](p *Plan, send, recv []T) error {
 				return p.phaseError(pi, ri, r.recvWhat, err)
 			}
 			p.logRound(pi, ri, r.recvFrom, trace.RoundRecvPost)
-			pends = append(pends, pendReq{req, r.recvWhat, ri})
+			p.countRecvPost()
+			pends = append(pends, pendReq{req, r.recvWhat, ri, true})
 		}
 		for ri := range rounds {
 			r := &rounds[ri]
@@ -559,7 +595,8 @@ func Run[T any](p *Plan, send, recv []T) error {
 				return p.phaseError(pi, ri, r.sendWhat, err)
 			}
 			p.logRound(pi, ri, r.sendTo, trace.RoundSendPost)
-			pends = append(pends, pendReq{req, r.sendWhat, ri})
+			p.countSend(r)
+			pends = append(pends, pendReq{req, r.sendWhat, ri, false})
 		}
 		// Drain the phase. After the first failure the remaining unmatched
 		// receives are cancelled rather than waited on — their messages may
@@ -571,8 +608,12 @@ func Run[T any](p *Plan, send, recv []T) error {
 			if firstErr != nil && q.req.Cancel() {
 				continue
 			}
-			if _, err := q.req.Wait(); err != nil && firstErr == nil {
-				firstErr = p.phaseError(pi, q.round, q.what, err)
+			if _, err := q.req.Wait(); err != nil {
+				if firstErr == nil {
+					firstErr = p.phaseError(pi, q.round, q.what, err)
+				}
+			} else if q.recv {
+				p.countRetire()
 			}
 		}
 		// Return the scratch with dropped request pointers so a plan kept
@@ -588,6 +629,7 @@ func Run[T any](p *Plan, send, recv []T) error {
 	for _, cp := range p.copies {
 		datatype.Copy(recv, cp.to, bufs[cp.fromBuf], cp.from)
 	}
+	p.countRun()
 	return nil
 }
 
@@ -597,6 +639,7 @@ type pendReq struct {
 	req   *mpi.Request
 	what  string
 	round int
+	recv  bool
 }
 
 // phaseError attributes a failed schedule operation to its phase, round,

@@ -1,0 +1,362 @@
+// Package metrics is the runtime's lock-cheap per-rank metrics registry.
+//
+// The paper's whole argument is quantitative — rounds C = Σ_k C_k and
+// volume V = Σ_i z_i against the trivial algorithm's t and t·m — so the
+// runtime should be able to *observe* those quantities on a live
+// execution rather than trust the schedule compiler. A Registry holds one
+// Set per rank; hot paths hold direct pointers to Counters/Gauges/
+// Histograms (registration is a one-time, mutex-guarded name lookup) and
+// update them with single atomic operations, so instrumentation costs one
+// nil check when disabled and one uncontended atomic when enabled.
+//
+// Readers snapshot concurrently with writers: every read is an atomic
+// load, so a snapshot taken mid-run is a consistent-enough view for
+// monitoring (each metric is internally exact; cross-metric skew is
+// bounded by one in-flight operation). Snapshots from different ranks
+// merge by kind — counters sum, gauges take the maximum (they record
+// high-water marks), histograms add bucket-wise.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes how metric values aggregate across ranks.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing sum (merge: add).
+	KindCounter Kind = iota
+	// KindGauge is a level or high-water mark (merge: max).
+	KindGauge
+	// KindHistogram is a log2-bucketed distribution (merge: bucket-wise add).
+	KindHistogram
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is an atomic monotone counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic level with high-water-mark support.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark update (unexpected-queue depth, pre-post window
+// occupancy). Lock-free CAS loop; uncontended in the single-writer use.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of log2 buckets: bucket i counts observations
+// v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1). 48 buckets cover
+// nanosecond latencies past three days.
+const HistBuckets = 48
+
+// Histogram is a log2-bucketed distribution of non-negative observations.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// histBucket returns the bucket index of observation v.
+func histBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one observation (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Set is one rank's named metrics. Registration (Counter/Gauge/Histogram)
+// is idempotent and mutex-guarded; instrumented code registers once and
+// keeps the returned pointer, so the hot path never touches the map.
+type Set struct {
+	mu    sync.Mutex
+	order []string
+	items map[string]any
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{items: make(map[string]any)}
+}
+
+// register returns the metric under name, creating it with mk on first
+// use. Re-registering a name as a different kind panics: that is a wiring
+// bug, not a runtime condition.
+func (s *Set) register(name string, mk func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.items[name]; ok {
+		return m
+	}
+	m := mk()
+	s.items[name] = m
+	s.order = append(s.order, name)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (s *Set) Counter(name string) *Counter {
+	m := s.register(name, func() any { return new(Counter) })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (s *Set) Gauge(name string) *Gauge {
+	m := s.register(name, func() any { return new(Gauge) })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (s *Set) Histogram(name string) *Histogram {
+	m := s.register(name, func() any { return new(Histogram) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// Snapshot atomically reads every registered metric. Safe to call while
+// writers are updating: each field is an atomic load.
+func (s *Set) Snapshot() Snapshot {
+	s.mu.Lock()
+	names := append([]string(nil), s.order...)
+	items := make([]any, len(names))
+	for i, n := range names {
+		items[i] = s.items[n]
+	}
+	s.mu.Unlock()
+	snap := Snapshot{Metrics: make([]Metric, 0, len(names))}
+	for i, n := range names {
+		snap.Metrics = append(snap.Metrics, readMetric(n, items[i]))
+	}
+	snap.sort()
+	return snap
+}
+
+// readMetric converts one live metric to its snapshot form.
+func readMetric(name string, m any) Metric {
+	switch v := m.(type) {
+	case *Counter:
+		return Metric{Name: name, Kind: KindCounter, Value: v.Load()}
+	case *Gauge:
+		return Metric{Name: name, Kind: KindGauge, Value: v.Load()}
+	case *Histogram:
+		out := Metric{Name: name, Kind: KindHistogram, Value: v.Sum(), Count: v.Count(), Buckets: make([]int64, HistBuckets)}
+		for i := range v.buckets {
+			out.Buckets[i] = v.buckets[i].Load()
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("metrics: unknown metric type %T", m))
+	}
+}
+
+// Metric is the read-only snapshot of one metric. For histograms Value is
+// the sum of observations and Count the observation count.
+type Metric struct {
+	Name    string  `json:"name"`
+	Kind    Kind    `json:"kind"`
+	Value   int64   `json:"value"`
+	Count   int64   `json:"count,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Mean returns the histogram's mean observation (0 when empty).
+func (m Metric) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return float64(m.Value) / float64(m.Count)
+}
+
+// Snapshot is a point-in-time view of a metric set, sorted by name.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Metrics, func(a, b int) bool { return s.Metrics[a].Name < s.Metrics[b].Name })
+}
+
+// Get returns the named metric of the snapshot.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Value returns the named metric's value, 0 when absent.
+func (s Snapshot) Value(name string) int64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+// Merge combines snapshots by metric kind: counters and histograms add,
+// gauges take the maximum. This is the cross-rank aggregation: per-rank
+// sends sum to world sends, per-rank queue high-water marks max to the
+// world's worst queue.
+func Merge(snaps ...Snapshot) Snapshot {
+	byName := make(map[string]*Metric)
+	var order []string
+	for _, s := range snaps {
+		for _, m := range s.Metrics {
+			acc, ok := byName[m.Name]
+			if !ok {
+				cp := m
+				cp.Buckets = append([]int64(nil), m.Buckets...)
+				byName[m.Name] = &cp
+				order = append(order, m.Name)
+				continue
+			}
+			switch m.Kind {
+			case KindGauge:
+				if m.Value > acc.Value {
+					acc.Value = m.Value
+				}
+			case KindHistogram:
+				acc.Value += m.Value
+				acc.Count += m.Count
+				for i := range m.Buckets {
+					if i < len(acc.Buckets) {
+						acc.Buckets[i] += m.Buckets[i]
+					}
+				}
+			default:
+				acc.Value += m.Value
+			}
+		}
+	}
+	out := Snapshot{Metrics: make([]Metric, 0, len(order))}
+	for _, n := range order {
+		out.Metrics = append(out.Metrics, *byName[n])
+	}
+	out.sort()
+	return out
+}
+
+// Registry holds one metric set per rank plus accessors for whole-run
+// aggregation. Create it sized for the run and pass it to the runtime
+// (mpi.Config.Metrics); each rank's hot paths write only its own set.
+type Registry struct {
+	sets []*Set
+}
+
+// NewRegistry creates a registry for ranks metric sets.
+func NewRegistry(ranks int) *Registry {
+	r := &Registry{sets: make([]*Set, ranks)}
+	for i := range r.sets {
+		r.sets[i] = NewSet()
+	}
+	return r
+}
+
+// Ranks returns the number of per-rank sets.
+func (r *Registry) Ranks() int { return len(r.sets) }
+
+// Rank returns rank i's metric set.
+func (r *Registry) Rank(i int) *Set { return r.sets[i] }
+
+// Merged snapshots every rank's set and merges them (counters sum,
+// gauges max, histograms add).
+func (r *Registry) Merged() Snapshot {
+	snaps := make([]Snapshot, len(r.sets))
+	for i, s := range r.sets {
+		snaps[i] = s.Snapshot()
+	}
+	return Merge(snaps...)
+}
+
+// Format renders the snapshot as an aligned two-column table; histograms
+// show count and mean.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	w := 0
+	for _, m := range s.Metrics {
+		if len(m.Name) > w {
+			w = len(m.Name)
+		}
+	}
+	for _, m := range s.Metrics {
+		switch m.Kind {
+		case KindHistogram:
+			fmt.Fprintf(&b, "%-*s  count=%d sum=%d mean=%.1f\n", w, m.Name, m.Count, m.Value, m.Mean())
+		case KindGauge:
+			fmt.Fprintf(&b, "%-*s  %d (max)\n", w, m.Name, m.Value)
+		default:
+			fmt.Fprintf(&b, "%-*s  %d\n", w, m.Name, m.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := s.Gauge("g")
+	g.SetMax(7)
+	g.SetMax(3)
+	if got := g.Load(); got != 7 {
+		t.Errorf("gauge high-water = %d, want 7", got)
+	}
+	g.Set(2)
+	if got := g.Load(); got != 2 {
+		t.Errorf("gauge after Set = %d, want 2", got)
+	}
+	h := s.Histogram("h")
+	for _, v := range []int64{1, 2, 3, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("histogram count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1006 {
+		t.Errorf("histogram sum = %d, want 1006", h.Sum())
+	}
+}
+
+func TestRegistrationIdempotentAndKindChecked(t *testing.T) {
+	s := NewSet()
+	a, b := s.Counter("x"), s.Counter("x")
+	if a != b {
+		t.Error("re-registering a counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	s.Gauge("x")
+}
+
+func TestHistBucketBounds(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1 << 20: 20}
+	for v, want := range cases {
+		if got := histBucket(v); got != want {
+			t.Errorf("histBucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := histBucket(1 << 62); got != HistBuckets-1 {
+		t.Errorf("histBucket(2^62) = %d, want clamp to %d", got, HistBuckets-1)
+	}
+}
+
+// TestSnapshotMergeUnderConcurrentWrites is the cross-rank merge test the
+// runtime relies on: per-rank writer goroutines hammer their own sets
+// (the single-writer pattern of the mpi layer) while the main goroutine
+// repeatedly snapshots and merges mid-flight. Run under -race this proves
+// snapshotting needs no cooperation from writers; the final merged totals
+// must be exact.
+func TestSnapshotMergeUnderConcurrentWrites(t *testing.T) {
+	const ranks, perRank = 8, 10000
+	reg := NewRegistry(ranks)
+	// Register everything up front, as the runtime does, so writers never
+	// race on registration either.
+	for r := 0; r < ranks; r++ {
+		reg.Rank(r).Counter("sends")
+		reg.Rank(r).Gauge("queue.hwm")
+		reg.Rank(r).Histogram("latency")
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			set := reg.Rank(r)
+			c := set.Counter("sends")
+			g := set.Gauge("queue.hwm")
+			h := set.Histogram("latency")
+			<-start
+			for i := 0; i < perRank; i++ {
+				c.Inc()
+				g.SetMax(int64(r*perRank + i))
+				h.Observe(int64(i))
+			}
+		}(r)
+	}
+	close(start)
+	// Reader: merge snapshots while the writers are mid-flight. Values
+	// must be monotone and never exceed the final totals.
+	var last int64
+	for i := 0; i < 100; i++ {
+		m := reg.Merged()
+		v := m.Value("sends")
+		if v < last || v > ranks*perRank {
+			t.Fatalf("mid-flight merged counter %d out of range [%d, %d]", v, last, ranks*perRank)
+		}
+		last = v
+	}
+	wg.Wait()
+
+	m := reg.Merged()
+	if got := m.Value("sends"); got != ranks*perRank {
+		t.Errorf("merged counter = %d, want %d", got, ranks*perRank)
+	}
+	if got := m.Value("queue.hwm"); got != ranks*perRank-1 {
+		t.Errorf("merged gauge = %d, want max across ranks %d", got, ranks*perRank-1)
+	}
+	hist, ok := m.Get("latency")
+	if !ok {
+		t.Fatal("merged snapshot lost the histogram")
+	}
+	if hist.Count != ranks*perRank {
+		t.Errorf("merged histogram count = %d, want %d", hist.Count, ranks*perRank)
+	}
+	wantSum := int64(ranks) * int64(perRank) * int64(perRank-1) / 2
+	if hist.Value != wantSum {
+		t.Errorf("merged histogram sum = %d, want %d", hist.Value, wantSum)
+	}
+	var bucketTotal int64
+	for _, b := range hist.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != hist.Count {
+		t.Errorf("histogram buckets sum to %d, count is %d", bucketTotal, hist.Count)
+	}
+}
+
+func TestMergeKinds(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Counter("c").Add(3)
+	b.Counter("c").Add(4)
+	a.Gauge("g").Set(10)
+	b.Gauge("g").Set(6)
+	a.Histogram("h").Observe(2)
+	b.Histogram("h").Observe(8)
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if m.Value("c") != 7 {
+		t.Errorf("merged counter = %d, want 7", m.Value("c"))
+	}
+	if m.Value("g") != 10 {
+		t.Errorf("merged gauge = %d, want 10", m.Value("g"))
+	}
+	h, _ := m.Get("h")
+	if h.Count != 2 || h.Value != 10 {
+		t.Errorf("merged histogram count=%d sum=%d, want 2/10", h.Count, h.Value)
+	}
+	if _, ok := m.Get("absent"); ok {
+		t.Error("Get on absent name reported ok")
+	}
+}
+
+// Snapshots are part of the observability surface (carttrace, test
+// assertions); they must marshal deterministically, sorted by name.
+func TestSnapshotJSONStable(t *testing.T) {
+	s := NewSet()
+	s.Counter("z.last").Add(1)
+	s.Counter("a.first").Add(2)
+	j1, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(s.Snapshot())
+	if string(j1) != string(j2) {
+		t.Error("snapshot JSON not stable across calls")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(j1, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Metrics) != 2 || decoded.Metrics[0].Name != "a.first" {
+		t.Errorf("snapshot not name-sorted: %+v", decoded.Metrics)
+	}
+}

@@ -136,6 +136,10 @@ type mkey struct {
 type mailbox struct {
 	mu sync.Mutex
 	w  *World
+	// met is the owning rank's metric bundle (nil when metrics are off):
+	// the mailbox attributes detach-to-pool events and the unexpected-queue
+	// high-water mark to the receiving rank.
+	met *mpiMetrics
 
 	seq uint64 // receive post sequence
 
@@ -174,6 +178,9 @@ func (b *mailbox) finish(r *pendingRecv, m *message) {
 		if d := m.detach; d != nil {
 			m.detach = nil
 			d(b.w, m)
+			if b.met != nil {
+				b.met.recvDetached.Inc()
+			}
 		}
 		r.handover(m)
 		return
@@ -281,6 +288,9 @@ func (b *mailbox) deliver(m *message) {
 		m.detach = nil
 		b.mu.Unlock()
 		d(b.w, m)
+		if b.met != nil {
+			b.met.recvDetached.Inc()
+		}
 		// Re-check under the lock: a receive posted during the copy found
 		// no message in arrived and pended — it must not be missed. Only
 		// this sender can append messages with this key, so per-key FIFO
@@ -293,6 +303,9 @@ func (b *mailbox) deliver(m *message) {
 	}
 	b.arrivedIdx[k] = append(b.arrivedIdx[k], m)
 	b.arrived = append(b.arrived, m)
+	if b.met != nil {
+		b.met.unexpectedHWM.SetMax(int64(len(b.arrived) - b.arrivedTaken))
+	}
 	b.mu.Unlock()
 }
 

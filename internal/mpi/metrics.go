@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"cartcc/internal/metrics"
+)
+
+// Per-rank runtime instrumentation. When a run is configured with a
+// metrics.Registry (Config.Metrics), every rank resolves its metric
+// pointers once at world construction and keeps them on its rankState, so
+// the hot paths pay one nil check when metrics are off and one uncontended
+// atomic when on — never a name lookup, never a lock.
+//
+// Metric names, by layer:
+//
+//	mpi.sends.posted        sends posted (counter)
+//	mpi.sends.zerocopy      sends that took the contiguous zero-copy path
+//	mpi.sends.gathered      sends gathered into a pooled wire
+//	mpi.send.bytes          payload bytes sent
+//	mpi.recvs.posted        receives posted
+//	mpi.recvs.completed     receives completed (Wait returned a message)
+//	mpi.recv.bytes          payload bytes received
+//	mpi.recv.detached       zero-copy payloads detached to a pooled wire at
+//	                        this receiver (no receive was posted in time, or
+//	                        the scatter was deferred) — fast-path misses
+//	mpi.wirepool.hit        wire allocations served from the pool
+//	mpi.wirepool.miss       wire allocations that fell through to make()
+//	mpi.unexpected.hwm      unexpected-queue depth high-water mark (gauge)
+//	mpi.wait.blocks         blocking waits that actually blocked
+//	mpi.wait.blocked_ns     nanoseconds spent blocked in Wait*/Waitsome
+//
+// The cart layer registers its schedule-level metrics in the same per-rank
+// set (see cart's accounting) so one snapshot covers the whole stack.
+type mpiMetrics struct {
+	set *metrics.Set
+
+	sendsPosted   *metrics.Counter
+	sendsZeroCopy *metrics.Counter
+	sendsGathered *metrics.Counter
+	sendBytes     *metrics.Counter
+	recvsPosted   *metrics.Counter
+	recvsDone     *metrics.Counter
+	recvBytes     *metrics.Counter
+	recvDetached  *metrics.Counter
+	poolHit       *metrics.Counter
+	poolMiss      *metrics.Counter
+	unexpectedHWM *metrics.Gauge
+	waitBlocks    *metrics.Counter
+	waitBlockedNs *metrics.Counter
+}
+
+// newMPIMetrics resolves the runtime's metric pointers in set.
+func newMPIMetrics(set *metrics.Set) *mpiMetrics {
+	return &mpiMetrics{
+		set:           set,
+		sendsPosted:   set.Counter("mpi.sends.posted"),
+		sendsZeroCopy: set.Counter("mpi.sends.zerocopy"),
+		sendsGathered: set.Counter("mpi.sends.gathered"),
+		sendBytes:     set.Counter("mpi.send.bytes"),
+		recvsPosted:   set.Counter("mpi.recvs.posted"),
+		recvsDone:     set.Counter("mpi.recvs.completed"),
+		recvBytes:     set.Counter("mpi.recv.bytes"),
+		recvDetached:  set.Counter("mpi.recv.detached"),
+		poolHit:       set.Counter("mpi.wirepool.hit"),
+		poolMiss:      set.Counter("mpi.wirepool.miss"),
+		unexpectedHWM: set.Gauge("mpi.unexpected.hwm"),
+		waitBlocks:    set.Counter("mpi.wait.blocks"),
+		waitBlockedNs: set.Counter("mpi.wait.blocked_ns"),
+	}
+}
+
+// countSendPath records which send path one message took: the contiguous
+// zero-copy path, or the gather path with its wire drawn from the pool
+// (pooled) or freshly allocated. Nil-safe: the instrumentation-off cost is
+// this one nil check.
+func (m *mpiMetrics) countSendPath(zerocopy, pooled bool) {
+	if m == nil {
+		return
+	}
+	if zerocopy {
+		m.sendsZeroCopy.Inc()
+		return
+	}
+	m.sendsGathered.Inc()
+	if pooled {
+		m.poolHit.Inc()
+	} else {
+		m.poolMiss.Inc()
+	}
+}
+
+// MetricsSet returns the calling rank's metric set, or nil when the run
+// was configured without metrics. Layers above the runtime (the cart
+// schedule executors) register their own metrics in this set so one
+// per-rank snapshot spans the whole stack.
+func (c *Comm) MetricsSet() *metrics.Set {
+	if c.rs.met == nil {
+		return nil
+	}
+	return c.rs.met.set
+}

@@ -1,0 +1,149 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"cartcc/internal/datatype"
+	"cartcc/internal/metrics"
+)
+
+// TestRuntimeMetricsCounts exercises the runtime's instrumentation on a
+// two-rank exchange that forces every send path: a contiguous (zero-copy)
+// send that arrives before its receive is posted (detach-to-pool), a
+// contiguous send into a pre-posted receive (pure zero-copy), and a
+// strided (gathered, pooled-wire) send. The merged snapshot must balance:
+// posted == completed, send bytes == recv bytes, path counts partition the
+// sends.
+func TestRuntimeMetricsCounts(t *testing.T) {
+	reg := metrics.NewRegistry(2)
+	err := Run(Config{Procs: 2, Metrics: reg, Timeout: time.Minute}, func(c *Comm) error {
+		buf := make([]int32, 64)
+		for i := range buf {
+			buf[i] = int32(c.Rank()*100 + i)
+		}
+		got := make([]int32, 64)
+		peer := 1 - c.Rank()
+		// Round 1: contiguous exchange; rank 1 sleeps before posting its
+		// receive so rank 0's zero-copy payload must detach to the pool.
+		if c.Rank() == 1 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err := SendSlice(c, buf[:16], peer, 7); err != nil {
+			return err
+		}
+		if _, err := RecvSlice(c, got[:16], peer, 7); err != nil {
+			return err
+		}
+		// Round 2: strided send (gathered into a pooled wire).
+		stride := datatype.Vector(8, 2, 4, 0)
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		sreq, err := Isend(c, buf, stride, peer, 8)
+		if err != nil {
+			return err
+		}
+		if _, err := Recv(c, got, stride, peer, 8); err != nil {
+			return err
+		}
+		_, err = sreq.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := reg.Merged()
+	posted := m.Value("mpi.sends.posted")
+	if posted < 4 {
+		t.Errorf("sends posted = %d, want >= 4 (two exchanges + barrier traffic)", posted)
+	}
+	if done := m.Value("mpi.recvs.completed"); done != posted {
+		t.Errorf("recvs completed = %d, sends posted = %d; every send must complete", done, posted)
+	}
+	if sb, rb := m.Value("mpi.send.bytes"), m.Value("mpi.recv.bytes"); sb != rb || sb == 0 {
+		t.Errorf("send bytes %d vs recv bytes %d; want equal and nonzero", sb, rb)
+	}
+	zc, ga := m.Value("mpi.sends.zerocopy"), m.Value("mpi.sends.gathered")
+	if zc+ga != posted {
+		t.Errorf("zerocopy %d + gathered %d != posted %d", zc, ga, posted)
+	}
+	if ga < 2 {
+		t.Errorf("gathered sends = %d, want >= 2 (one strided send per rank)", ga)
+	}
+	if det := m.Value("mpi.recv.detached"); det < 1 {
+		t.Errorf("detach-to-pool count = %d, want >= 1 (rank 1's late receive)", det)
+	}
+	if hwm := m.Value("mpi.unexpected.hwm"); hwm < 1 {
+		t.Errorf("unexpected-queue high-water = %d, want >= 1", hwm)
+	}
+	if blocks, ns := m.Value("mpi.wait.blocks"), m.Value("mpi.wait.blocked_ns"); blocks > 0 && ns == 0 {
+		t.Errorf("%d blocking waits recorded but zero blocked nanoseconds", blocks)
+	}
+}
+
+// TestMetricsRegistryTooSmall: a registry sized below Procs is a
+// configuration error, caught before any rank spawns.
+func TestMetricsRegistryTooSmall(t *testing.T) {
+	err := Run(Config{Procs: 4, Metrics: metrics.NewRegistry(2)}, func(c *Comm) error { return nil })
+	if err == nil {
+		t.Fatal("undersized metrics registry accepted")
+	}
+}
+
+// TestMetricsOffNoEffect: without a registry the instrumented paths are
+// nil-checked no-ops — the exchange must behave identically.
+func TestMetricsOffNoEffect(t *testing.T) {
+	err := Run(Config{Procs: 2, Timeout: time.Minute}, func(c *Comm) error {
+		buf := []int32{1, 2, 3}
+		got := make([]int32, 3)
+		peer := 1 - c.Rank()
+		if err := SendSlice(c, buf, peer, 3); err != nil {
+			return err
+		}
+		_, err := RecvSlice(c, got, peer, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWirePoolHitMissAccounting: repeated gathered sends between two ranks
+// must start recycling wires — pool hits appear after the first exchanges,
+// and hits+misses equals the gathered-send count (the only pool consumers
+// in this run are gathers; detaches are counted separately).
+func TestWirePoolHitMissAccounting(t *testing.T) {
+	reg := metrics.NewRegistry(2)
+	err := Run(Config{Procs: 2, Metrics: reg, Timeout: time.Minute}, func(c *Comm) error {
+		stride := datatype.Vector(16, 2, 4, 0)
+		buf := make([]int32, 64)
+		got := make([]int32, 64)
+		peer := 1 - c.Rank()
+		for i := 0; i < 8; i++ {
+			rreq, err := Irecv(c, got, stride, peer, i)
+			if err != nil {
+				return err
+			}
+			sreq, err := Isend(c, buf, stride, peer, i)
+			if err != nil {
+				return err
+			}
+			if err := Waitall(sreq, rreq); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := reg.Merged()
+	hit, miss := m.Value("mpi.wirepool.hit"), m.Value("mpi.wirepool.miss")
+	if ga := m.Value("mpi.sends.gathered"); hit+miss != ga {
+		t.Errorf("pool hit %d + miss %d != gathered sends %d", hit, miss, ga)
+	}
+	if hit == 0 {
+		t.Error("16 gathered exchanges produced zero pool hits; recycling broken")
+	}
+}

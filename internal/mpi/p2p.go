@@ -29,6 +29,10 @@ func elemBytes[T any]() int {
 func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detach, release func(*World, *message)) *Request {
 	rs := c.rs
 	rs.opTick()
+	if met := rs.met; met != nil {
+		met.sendsPosted.Inc()
+		met.sendBytes.Add(int64(nbytes))
+	}
 	m := &message{
 		ctx: c.ctx, src: c.rank, tag: int(tag), payload: payload,
 		elems: elems, bytes: nbytes, detach: detach, release: release,
@@ -90,6 +94,9 @@ func (c *Comm) irecvRawTag(src int, tag int64, consume func(*message) error) *Re
 
 func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, deferConsume bool) *Request {
 	c.rs.opTick()
+	if met := c.rs.met; met != nil {
+		met.recvsPosted.Inc()
+	}
 	srcWorld := AnySource
 	if src != AnySource {
 		srcWorld = c.worldRank(src)
@@ -167,10 +174,12 @@ func Isend[T any](c *Comm, buf []T, l datatype.Layout, dst, tag int) (*Request, 
 	var detach, release func(*World, *message)
 	if off, n, ok := l.Contiguous(); ok {
 		payload, detach = buf[off:off+n:off+n], detachWire[T]
+		c.rs.met.countSendPath(true, false)
 	} else {
-		wire := getWire[T](c.w, l.Size())
+		wire, pooled := getWire[T](c.w, l.Size())
 		datatype.Gather(wire, buf, l)
 		payload, release = wire, releaseWire[T]
+		c.rs.met.countSendPath(false, pooled)
 	}
 	return c.isendRawTag(payload, l.Size(), l.Size()*elemBytes[T](), dst, int64(tag), detach, release), nil
 }
@@ -192,10 +201,12 @@ func IsendComposite[T any](c *Comm, bufs [][]T, comp *datatype.Composite, dst, t
 	if bi, off, n, ok := comp.Contiguous(); ok && bi < len(bufs) {
 		b := bufs[bi]
 		payload, detach = b[off:off+n:off+n], detachWire[T]
+		c.rs.met.countSendPath(true, false)
 	} else {
-		wire := getWire[T](c.w, comp.Size())
+		wire, pooled := getWire[T](c.w, comp.Size())
 		datatype.GatherComposite(wire, bufs, comp)
 		payload, release = wire, releaseWire[T]
+		c.rs.met.countSendPath(false, pooled)
 	}
 	return c.isendRawTag(payload, comp.Size(), comp.Size()*elemBytes[T](), dst, int64(tag), detach, release), nil
 }

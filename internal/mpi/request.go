@@ -61,6 +61,10 @@ func (r *Request) Wait() (Status, error) {
 			break
 		}
 		rs := r.c.rs
+		if met := rs.met; met != nil {
+			met.recvsDone.Inc()
+			met.recvBytes.Add(int64(m.bytes))
+		}
 		if model := r.c.w.model; model != nil {
 			start := rs.clock
 			if m.arrive > rs.clock {
@@ -116,6 +120,14 @@ func (r *Request) awaitMessage() (*message, error) {
 		}
 		return m, nil
 	default:
+	}
+	if met := rs.met; met != nil {
+		// Past the fast path: this wait will block. The closure allocates,
+		// but only on the instrumented slow path — the metrics-off and
+		// already-completed paths stay allocation-free.
+		met.waitBlocks.Inc()
+		t0 := time.Now()
+		defer func() { met.waitBlockedNs.Add(time.Since(t0).Nanoseconds()) }()
 	}
 	if w.monitoring {
 		w.setBlocked(rs.rank, &blockedOp{

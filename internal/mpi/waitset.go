@@ -176,6 +176,12 @@ func (s *WaitSet) Waitsome() ([]int, error) {
 	}
 	w := s.c.w
 	rs := s.c.rs
+	if met := rs.met; met != nil {
+		// As in awaitMessage: count and time only waits that actually block.
+		met.waitBlocks.Inc()
+		t0 := time.Now()
+		defer func() { met.waitBlockedNs.Add(time.Since(t0).Nanoseconds()) }()
+	}
 	if w.monitoring {
 		// Fresh slices per registration: the deadlock monitor reads the
 		// blockedOp snapshot concurrently, possibly after this rank has

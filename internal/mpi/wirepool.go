@@ -54,17 +54,18 @@ func elemType[T any]() reflect.Type {
 }
 
 // getWire returns a wire slice of n elements, recycled from the world's
-// pool when a bucket entry is available. The contents are unspecified;
-// every caller fully overwrites the slice (Gather, copy).
-func getWire[T any](w *World, n int) []T {
+// pool when a bucket entry is available; pooled reports whether it was (the
+// wire-pool hit/miss metric). The contents are unspecified; every caller
+// fully overwrites the slice (Gather, copy).
+func getWire[T any](w *World, n int) (wire []T, pooled bool) {
 	cl := wireClass(n)
 	if cl > wireMaxClass {
-		return make([]T, n)
+		return make([]T, n), false
 	}
 	if v := w.wirePoolFor(elemType[T]()).buckets[cl].Get(); v != nil {
-		return v.([]T)[:n]
+		return v.([]T)[:n], true
 	}
-	return make([]T, n, 1<<cl)
+	return make([]T, n, 1<<cl), false
 }
 
 // releaseWire returns a pooled message payload to its world's pool. It is
@@ -99,7 +100,7 @@ func detachWire[T any](w *World, m *message) {
 	if !ok {
 		return
 	}
-	wire := getWire[T](w, len(src))
+	wire, _ := getWire[T](w, len(src))
 	copy(wire, src)
 	m.payload = wire
 	m.release = releaseWire[T]

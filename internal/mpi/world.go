@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cartcc/internal/metrics"
 	"cartcc/internal/netmodel"
 	"cartcc/internal/trace"
 )
@@ -104,6 +105,11 @@ type Config struct {
 	// Faults, if non-nil, injects deterministic failures — rank crashes,
 	// stragglers, message delays — into the run; see FaultPlan.
 	Faults *FaultPlan
+	// Metrics, if non-nil, collects per-rank runtime metrics (sends,
+	// receives, bytes, zero-copy vs gathered path, pool hits, queue
+	// high-water marks, blocked time). It must have been created for at
+	// least Procs ranks; works in wall-clock and virtual-time runs alike.
+	Metrics *metrics.Registry
 	// DeadlockPoll is the sampling interval of the wait-for-graph deadlock
 	// monitor; 0 means DefaultDeadlockPoll, negative disables the monitor.
 	DeadlockPoll time.Duration
@@ -124,6 +130,9 @@ type rankState struct {
 	// each blocking wait (one at a time per goroutine) instead of
 	// allocating a fresh timer per block.
 	blockTimer *time.Timer
+	// met holds the rank's resolved metric pointers; nil when the run was
+	// configured without metrics (the instrumentation-off fast path).
+	met *mpiMetrics
 }
 
 // armTimeout returns the fallback-watchdog timer channel for one blocking
@@ -176,6 +185,9 @@ func Run(cfg Config, f func(c *Comm) error) error {
 			return err
 		}
 	}
+	if cfg.Metrics != nil && cfg.Metrics.Ranks() < cfg.Procs {
+		return fmt.Errorf("mpi: metrics registry sized for %d ranks, run has %d", cfg.Metrics.Ranks(), cfg.Procs)
+	}
 	w := &World{
 		size:    cfg.Procs,
 		model:   cfg.Model,
@@ -199,6 +211,10 @@ func Run(cfg Config, f func(c *Comm) error) error {
 			rng:   rand.New(rand.NewSource(cfg.Seed ^ (int64(r+1) * 0x9e3779b97f4a7c))),
 		}
 		w.ranks[r].box.w = w
+		if cfg.Metrics != nil {
+			w.ranks[r].met = newMPIMetrics(cfg.Metrics.Rank(r))
+			w.ranks[r].box.met = w.ranks[r].met
+		}
 	}
 
 	if cfg.DeadlockPoll >= 0 {

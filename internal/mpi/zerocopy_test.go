@@ -305,9 +305,12 @@ func TestDetachResolvesZeroCopyAlias(t *testing.T) {
 // released wire of a pool-shaped capacity comes back from getWire.
 func TestWirePoolRecycles(t *testing.T) {
 	w := &World{}
-	wire := getWire[int32](w, 100)
+	wire, pooled := getWire[int32](w, 100)
 	if len(wire) != 100 || cap(wire) != 128 {
 		t.Fatalf("getWire(100) = len %d cap %d; want 100/128", len(wire), cap(wire))
+	}
+	if pooled {
+		t.Fatal("first getWire from an empty pool reported a pool hit")
 	}
 	m := &message{payload: wire}
 	releaseWire[int32](w, m)
@@ -321,11 +324,14 @@ func TestWirePoolRecycles(t *testing.T) {
 	recycled := false
 	for i := 0; i < 100 && !recycled; i++ {
 		releaseWire[int32](w, &message{payload: wire})
-		again := getWire[int32](w, 70)
+		again, hit := getWire[int32](w, 70)
 		if cap(again) != 128 {
 			t.Fatalf("wire cap %d; want 128", cap(again))
 		}
 		recycled = &again[0] == &wire[0]
+		if recycled && !hit {
+			t.Fatal("recycled wire not reported as a pool hit")
+		}
 	}
 	if !recycled {
 		t.Fatal("pool never recycled the released wire")

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event exporter: renders a Timeline as the JSON array
+// format consumed by ui.perfetto.dev and chrome://tracing. Field order is
+// fixed by the Go struct declarations (encoding/json emits struct fields
+// in order, never map order), events are sorted by timestamp, and
+// metadata comes first — so the output is byte-stable for a given
+// timeline, which the golden-file test pins.
+
+// chromeEvent is one trace_event entry. Timestamps are microseconds
+// (Chrome's unit); Dur is meaningful only for "X" slices, where zero is
+// legal. ID and BindingPoint serve the "s"/"f" flow pairs.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	ID   int     `json:"id,omitempty"`
+	BP   string  `json:"bp,omitempty"`
+	S    string  `json:"s,omitempty"` // instant scope
+	Args any     `json:"args,omitempty"`
+}
+
+// spanArgs are the slice arguments. Peer is always present (0 is a valid
+// rank); Bytes and Tag are dropped when unset so round slices (which
+// carry neither) stay compact.
+type spanArgs struct {
+	Peer  int `json:"peer"`
+	Bytes int `json:"bytes,omitempty"`
+	Tag   int `json:"tag,omitempty"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usPerNs = 1e-3
+
+// WriteChrome renders the timeline as Chrome trace_event JSON. Metadata
+// (process/thread names) leads; spans, instants, and flow pairs follow
+// sorted by timestamp, then pid, then tid, so timestamps are monotone
+// within the event stream.
+func WriteChrome(w io.Writer, tl *Timeline) error {
+	var evs []chromeEvent
+	for _, s := range tl.spans {
+		evs = append(evs, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: float64(s.StartNs) * usPerNs, Dur: float64(s.DurNs) * usPerNs,
+			Pid: s.Track.Pid, Tid: s.Track.Tid,
+			Args: spanArgs{Peer: s.Peer, Bytes: s.Bytes, Tag: s.Tag},
+		})
+	}
+	for _, i := range tl.instants {
+		evs = append(evs, chromeEvent{
+			Name: i.Name, Cat: i.Cat, Ph: "i",
+			Ts:  float64(i.AtNs) * usPerNs,
+			Pid: i.Track.Pid, Tid: i.Track.Tid,
+			S:    "t",
+			Args: spanArgs{Peer: i.Peer, Tag: i.Tag},
+		})
+	}
+	for fi, f := range tl.flows {
+		id := fi + 1
+		evs = append(evs, chromeEvent{
+			Name: "msg", Cat: "flow", Ph: "s", ID: id,
+			Ts:  float64(f.FromNs) * usPerNs,
+			Pid: f.From.Pid, Tid: f.From.Tid,
+		}, chromeEvent{
+			Name: "msg", Cat: "flow", Ph: "f", ID: id, BP: "e",
+			Ts:  float64(f.ToNs) * usPerNs,
+			Pid: f.To.Pid, Tid: f.To.Tid,
+		})
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].Ts != evs[b].Ts {
+			return evs[a].Ts < evs[b].Ts
+		}
+		if evs[a].Pid != evs[b].Pid {
+			return evs[a].Pid < evs[b].Pid
+		}
+		return evs[a].Tid < evs[b].Tid
+	})
+
+	meta := make([]chromeEvent, 0, len(tl.procs)+len(tl.threads))
+	for _, p := range tl.procs {
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: p.pid, Args: nameArgs{p.name},
+		})
+	}
+	for _, t := range tl.threads {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: t.track.Pid, Tid: t.track.Tid,
+			Args: nameArgs{t.name},
+		})
+	}
+
+	out := chromeFile{TraceEvents: append(meta, evs...), DisplayTimeUnit: "ms"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTimeline is a small hand-built capture covering every event
+// family: named processes and threads, send/recv slices with args, a
+// round slice, an instant, and a flow pair.
+func goldenTimeline() *Timeline {
+	tl := &Timeline{}
+	tl.SetProcess(0, "virtual time")
+	tl.SetProcess(1, "wall clock")
+	tl.SetThread(Track{0, 0}, "rank 0")
+	tl.SetThread(Track{0, 1}, "rank 1")
+	tl.SetThread(Track{1, 0}, "rank 0")
+	tl.AddSpan(Span{Track: Track{0, 0}, Name: "send→1", Cat: "send", StartNs: 1000, DurNs: 500, Peer: 1, Bytes: 128, Tag: 7})
+	tl.AddSpan(Span{Track: Track{0, 1}, Name: "recv←0", Cat: "recv", StartNs: 1200, DurNs: 900, Peer: 0, Bytes: 128, Tag: 7})
+	tl.AddSpan(Span{Track: Track{1, 0}, Name: "p0r0 recv←1", Cat: "round", StartNs: 0, DurNs: 2500, Peer: 1})
+	tl.AddInstant(Instant{Track: Track{1, 0}, Name: "p0r0 send→1", Cat: "send-post", AtNs: 300, Peer: 1})
+	tl.AddFlow(Flow{From: Track{0, 0}, FromNs: 1000, To: Track{0, 1}, ToNs: 2100})
+	return tl
+}
+
+// TestChromeGolden pins the exporter's exact byte output: stable field
+// ordering, metadata first, events sorted by timestamp. Run with -update
+// to regenerate after an intentional format change.
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exporter output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeValidAndMonotone checks the structural contract on a larger
+// generated capture: the output is valid JSON, every event carries a
+// known phase, and non-metadata timestamps never decrease.
+func TestChromeValidAndMonotone(t *testing.T) {
+	rec := NewRecorder(4)
+	for rank := 0; rank < 4; rank++ {
+		for i := 0; i < 5; i++ {
+			peer := (rank + 1) % 4
+			start := float64(i)*1e-6 + float64(rank)*1e-7
+			rec.Add(Event{Rank: rank, Kind: KindSend, Peer: peer, Bytes: 64, Tag: 100 + i, Start: start, End: start + 5e-7})
+			rec.Add(Event{Rank: rank, Kind: KindRecv, Peer: (rank + 3) % 4, Bytes: 64, Tag: 100 + i, Start: start, End: start + 9e-7})
+		}
+	}
+	tl := &Timeline{}
+	tl.SetProcess(0, "virtual time")
+	rec.Export(tl, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("exporter produced invalid JSON")
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Ts  float64 `json:"ts"`
+			Pid int     `json:"pid"`
+			Tid int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	known := map[string]bool{"M": true, "X": true, "i": true, "s": true, "f": true}
+	last := -1.0
+	inMeta := true
+	for i, e := range parsed.TraceEvents {
+		if !known[e.Ph] {
+			t.Fatalf("event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Ph == "M" {
+			if !inMeta {
+				t.Fatalf("event %d: metadata after timed events", i)
+			}
+			continue
+		}
+		inMeta = false
+		if e.Ts < last {
+			t.Fatalf("event %d: timestamp %v < previous %v; not monotone", i, e.Ts, last)
+		}
+		last = e.Ts
+	}
+	// Every send matched a receive on this ring: 20 flows, each two events.
+	sCount, fCount := 0, 0
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "s":
+			sCount++
+		case "f":
+			fCount++
+		}
+	}
+	if sCount != 20 || fCount != 20 {
+		t.Errorf("flow pairs: %d starts, %d finishes; want 20 each", sCount, fCount)
+	}
+}
+
+// TestRoundLogSetExport checks the wall-clock sink: recv post/done pairs
+// become slices, send posts become instants, and an unretired receive
+// still surfaces as a post instant.
+func TestRoundLogSetExport(t *testing.T) {
+	l := NewRoundLog()
+	l.Add(0, 0, 2, RoundRecvPost)
+	l.Add(0, 0, 1, RoundSendPost)
+	l.Add(0, 0, 2, RoundRecvDone)
+	l.Add(1, 0, 3, RoundRecvPost) // never done
+	tl := &Timeline{}
+	tl.SetProcess(1, "wall clock")
+	RoundLogSet{l, nil}.Export(tl, 1)
+	if len(tl.spans) != 1 {
+		t.Fatalf("%d spans exported; want 1", len(tl.spans))
+	}
+	if tl.spans[0].Peer != 2 || tl.spans[0].Cat != "round" {
+		t.Errorf("round slice = %+v", tl.spans[0])
+	}
+	if len(tl.instants) != 2 {
+		t.Fatalf("%d instants exported; want 2 (send post + unretired recv post)", len(tl.instants))
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+}
+
+// TestRoundLogReserveAndReset: Reserve preallocates capacity that Reset
+// keeps, so a reserved log's appends never reallocate.
+func TestRoundLogReserveAndReset(t *testing.T) {
+	l := NewRoundLog()
+	l.Reserve(64)
+	if cap(l.events) < 64 {
+		t.Fatalf("Reserve(64) left capacity %d", cap(l.events))
+	}
+	for i := 0; i < 64; i++ {
+		l.Add(0, i, 1, RoundSendPost)
+	}
+	before := &l.events[0]
+	l.Reset()
+	if len(l.Events()) != 0 {
+		t.Fatal("Reset kept events")
+	}
+	for i := 0; i < 64; i++ {
+		l.Add(0, i, 1, RoundRecvPost)
+	}
+	if &l.events[0] != before {
+		t.Error("Reset dropped the reserved backing array")
+	}
+	if l.events[0].At < 0 || l.events[0].At > time.Minute {
+		t.Errorf("post-Reset timestamp not rebased: %v", l.events[0].At)
+	}
+}

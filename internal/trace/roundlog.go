@@ -65,3 +65,14 @@ func (l *RoundLog) Reset() {
 	l.events = l.events[:0]
 	l.start = time.Now()
 }
+
+// Reserve grows the event capacity to at least n without recording
+// anything, so an executor that knows its round count up front (cart's
+// SetRoundLog) appends without allocating.
+func (l *RoundLog) Reserve(n int) {
+	if cap(l.events) < n {
+		ev := make([]RoundEvent, len(l.events), n)
+		copy(ev, l.events)
+		l.events = ev
+	}
+}
