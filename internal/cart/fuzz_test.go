@@ -1,0 +1,122 @@
+package cart
+
+import (
+	"fmt"
+	"testing"
+
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// decodeNeighborhood turns arbitrary fuzz bytes into a neighborhood of
+// dimension d with offsets in [-4, 4]: every byte stream maps to some
+// valid input, so the fuzzer explores duplicates, missing zero vectors,
+// asymmetric stencils and wrap-around offsets without wasted inputs.
+func decodeNeighborhood(raw []byte, d int) vec.Neighborhood {
+	t := len(raw) / d
+	if t > 16 {
+		t = 16
+	}
+	nbh := make(vec.Neighborhood, t)
+	for i := 0; i < t; i++ {
+		v := make(vec.Vec, d)
+		for j := 0; j < d; j++ {
+			v[j] = int(int8(raw[i*d+j])) % 5
+		}
+		nbh[i] = v
+	}
+	return nbh
+}
+
+// FuzzCompileSchedule checks, for arbitrary encoded neighborhoods, that
+// schedule construction and plan compilation never panic and that the
+// paper's Proposition 3.2 accounting holds: the alltoall schedule has
+// exactly C = Σ_k C_k rounds (C_k counting distinct non-zero k-th offsets,
+// so duplicate offsets are combined, never re-sent), the schedules
+// validate, and a compiled plan's Stats agree with the symbolic schedule.
+// Run with `go test -fuzz FuzzCompileSchedule ./internal/cart/` for a real
+// fuzzing session; the seed corpus runs as part of the normal tests
+// (mirroring internal/vec/fuzz_test.go).
+func FuzzCompileSchedule(f *testing.F) {
+	f.Add([]byte{1, 0, 255, 0, 1, 1, 255, 255, 0, 0}, uint8(2), uint8(1))
+	f.Add([]byte{3, 3, 3, 3, 252, 1, 2}, uint8(1), uint8(3))
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 0, 1, 2, 255, 254, 253}, uint8(3), uint8(2))
+	f.Add([]byte{5, 5, 5, 5, 5, 5}, uint8(2), uint8(0)) // duplicates only
+	f.Fuzz(func(t *testing.T, raw []byte, dRaw, mRaw uint8) {
+		d := int(dRaw)%3 + 1
+		if len(raw) < d {
+			return
+		}
+		nbh := decodeNeighborhood(raw, d)
+		if len(nbh) == 0 {
+			return
+		}
+		wantC := 0
+		for k := 0; k < d; k++ {
+			wantC += vec.CountDistinctNonZero(nbh, k)
+		}
+
+		// Symbolic level: construction must not panic, the schedules must
+		// validate, and rounds must combine duplicates.
+		for _, op := range []OpKind{OpAlltoall, OpAllgather} {
+			s := scheduleForOp(nbh, op)
+			if err := s.Validate(len(nbh)); err != nil {
+				t.Fatalf("%v schedule invalid: %v (nbh=%v)", op, err, nbh)
+			}
+			if s.Rounds != wantC {
+				t.Fatalf("%v rounds %d, want ΣC_k = %d (nbh=%v)", op, s.Rounds, wantC, nbh)
+			}
+			ded := scheduleForOp(nbh.Dedup(), op)
+			if ded.Rounds != s.Rounds {
+				t.Fatalf("%v: dedup changed rounds %d -> %d (nbh=%v)", op, s.Rounds, ded.Rounds, nbh)
+			}
+			if op == OpAllgather && ded.Volume != s.Volume {
+				// Allgather sends one copy per distinct offset; duplicates
+				// ride along as local copies and add no volume.
+				t.Fatalf("allgather: duplicate offsets add volume %d -> %d (nbh=%v)", ded.Volume, s.Volume, nbh)
+			}
+		}
+
+		// Plan level: compile both operations on a small torus and check
+		// the plan reports the symbolic accounting. Clamp the world size so
+		// a fuzzing session stays fast.
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 2 + (int(mRaw)+i)%2
+		}
+		p := gridSize(dims)
+		if p > 18 {
+			return
+		}
+		m := int(mRaw)%3 + 1
+		runWorld(t, p, func(c *mpi.Comm) error {
+			cc, err := NeighborhoodCreate(c, dims, nil, nbh, nil)
+			if err != nil {
+				return err
+			}
+			for _, op := range []OpKind{OpAlltoall, OpAllgather} {
+				var plan *Plan
+				if op == OpAlltoall {
+					plan, err = AlltoallInit(cc, m, Combining)
+				} else {
+					plan, err = AllgatherInit(cc, m, Combining)
+				}
+				if err != nil {
+					return err
+				}
+				if got := plan.Stats().PredictedRounds; got != wantC {
+					return fmt.Errorf("%v plan predicts %d rounds, want ΣC_k = %d (nbh=%v)", op, got, wantC, nbh)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// scheduleForOp builds the symbolic combining schedule for one operation.
+func scheduleForOp(nbh vec.Neighborhood, op OpKind) *Schedule {
+	if op == OpAlltoall {
+		return AlltoallSchedule(nbh)
+	}
+	return AllgatherSchedule(nbh)
+}

@@ -13,6 +13,7 @@ type planOptions struct {
 	forceBlocking bool
 	barriered     bool
 	window        int
+	transform     func(*Schedule)
 }
 
 // WithBlockingRounds compiles the plan to execute every round as a
@@ -45,6 +46,18 @@ func WithPrepostWindow(w int) PlanOption {
 			o.window = w
 		}
 	}
+}
+
+// WithScheduleTransform applies f to a deep clone of the symbolic schedule
+// before the plan is compiled. It exists for the simulation harness's
+// mutation smoke checks: f plants a controlled defect (say, skewing one
+// move's destination slot) and the differential oracles must catch it. The
+// clone keeps the communicator's cached schedules pristine, so plans built
+// without the option are unaffected. The transform covers the torus
+// schedules (trivial and combining); the mesh compilers derive their plans
+// without a symbolic schedule and ignore it.
+func WithScheduleTransform(f func(*Schedule)) PlanOption {
+	return func(o *planOptions) { o.transform = f }
 }
 
 // apply copies the execution-style options onto a compiled plan.
@@ -125,6 +138,10 @@ func (c *Comm) newPlan(op OpKind, algo Algorithm, geom BlockGeometry, avgBlockEl
 	sched, err := c.scheduleFor(op, algo)
 	if err != nil {
 		return nil, err
+	}
+	if po.transform != nil {
+		sched = sched.Clone()
+		po.transform(sched)
 	}
 	blocking := algo == Trivial || po.forceBlocking
 	p, err := c.compile(sched, geom, blocking)

@@ -151,6 +151,29 @@ func TrivialSchedule(nbh vec.Neighborhood, op OpKind) *Schedule {
 	return s
 }
 
+// Clone returns a deep copy sharing no mutable state with the receiver:
+// phases, rounds, moves, copies, relative steps and the dimension order
+// are all fresh. WithScheduleTransform mutates a clone so the schedules
+// cached on the communicator stay pristine.
+func (s *Schedule) Clone() *Schedule {
+	c := *s
+	c.Phases = make([]Phase, len(s.Phases))
+	for i, ph := range s.Phases {
+		cp := ph
+		cp.Rounds = make([]Round, len(ph.Rounds))
+		for j, r := range ph.Rounds {
+			cr := r
+			cr.Rel = r.Rel.Clone()
+			cr.Moves = append([]Move(nil), r.Moves...)
+			cp.Rounds[j] = cr
+		}
+		c.Phases[i] = cp
+	}
+	c.Copies = append([]LocalCopy(nil), s.Copies...)
+	c.DimOrder = append([]int(nil), s.DimOrder...)
+	return &c
+}
+
 // Validate checks internal schedule invariants; it is used by the property
 // tests and when loading externally-constructed schedules.
 func (s *Schedule) Validate(t int) error {

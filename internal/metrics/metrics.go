@@ -263,6 +263,23 @@ func (s Snapshot) Value(name string) int64 {
 	return m.Value
 }
 
+// Require returns an error naming every listed metric absent from the
+// snapshot. Invariant checks built on Value would pass vacuously when a
+// metric was never registered (absent reads as 0); calling Require first
+// turns that silent hole into a failure.
+func (s Snapshot) Require(names ...string) error {
+	var missing []string
+	for _, n := range names {
+		if _, ok := s.Get(n); !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("metrics: snapshot missing %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
 // Merge combines snapshots by metric kind: counters and histograms add,
 // gauges take the maximum. This is the cross-rank aggregation: per-rank
 // sends sum to world sends, per-rank queue high-water marks max to the

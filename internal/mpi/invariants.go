@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"fmt"
+
+	"cartcc/internal/metrics"
+)
+
+// CheckMetricInvariants validates the runtime's conservation laws on a
+// merged metrics snapshot of a run that completed cleanly (no faults, no
+// cancellations, every posted receive waited). The simulation harness runs
+// it after every fault-free scenario; a violation means the
+// instrumentation and the runtime disagree about what happened — a lost
+// message, a double count, or an uninstrumented path.
+//
+// The invariants, in terms of the names documented in metrics.go:
+//
+//   - every posted send took exactly one path:
+//     sends.posted == sends.zerocopy + sends.gathered
+//   - only gathered sends draw wires from the pool, and each draw is
+//     either a hit or a miss:
+//     wirepool.hit + wirepool.miss == sends.gathered
+//   - every posted receive completed:
+//     recvs.completed == recvs.posted
+//   - no bytes lost or invented in flight:
+//     recv.bytes == send.bytes
+//   - only zero-copy payloads can be detached at the receiver:
+//     recv.detached <= sends.zerocopy
+func CheckMetricInvariants(s metrics.Snapshot) error {
+	if err := s.Require(
+		"mpi.sends.posted", "mpi.sends.zerocopy", "mpi.sends.gathered",
+		"mpi.send.bytes", "mpi.recvs.posted", "mpi.recvs.completed",
+		"mpi.recv.bytes", "mpi.recv.detached",
+		"mpi.wirepool.hit", "mpi.wirepool.miss",
+	); err != nil {
+		return err
+	}
+	sends := s.Value("mpi.sends.posted")
+	zc := s.Value("mpi.sends.zerocopy")
+	gathered := s.Value("mpi.sends.gathered")
+	if sends != zc+gathered {
+		return fmt.Errorf("mpi: sends.posted %d != zerocopy %d + gathered %d", sends, zc, gathered)
+	}
+	hit := s.Value("mpi.wirepool.hit")
+	miss := s.Value("mpi.wirepool.miss")
+	if hit+miss != gathered {
+		return fmt.Errorf("mpi: wirepool hit %d + miss %d != sends.gathered %d", hit, miss, gathered)
+	}
+	posted := s.Value("mpi.recvs.posted")
+	completed := s.Value("mpi.recvs.completed")
+	if completed != posted {
+		return fmt.Errorf("mpi: recvs.completed %d != recvs.posted %d", completed, posted)
+	}
+	sb := s.Value("mpi.send.bytes")
+	rb := s.Value("mpi.recv.bytes")
+	if rb != sb {
+		return fmt.Errorf("mpi: recv.bytes %d != send.bytes %d", rb, sb)
+	}
+	if det := s.Value("mpi.recv.detached"); det > zc {
+		return fmt.Errorf("mpi: recv.detached %d > sends.zerocopy %d", det, zc)
+	}
+	return nil
+}

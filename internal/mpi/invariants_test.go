@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cartcc/internal/datatype"
+	"cartcc/internal/metrics"
+)
+
+// TestCheckMetricInvariantsCleanRun drives both send paths and verifies a
+// clean run's merged snapshot satisfies every conservation law.
+func TestCheckMetricInvariantsCleanRun(t *testing.T) {
+	reg := metrics.NewRegistry(4)
+	err := Run(Config{Procs: 4, Metrics: reg, Timeout: time.Minute}, func(c *Comm) error {
+		peer := c.Rank() ^ 1
+		buf := make([]int32, 32)
+		for i := range buf {
+			buf[i] = int32(c.Rank()*100 + i)
+		}
+		got := make([]int32, 32)
+		// Contiguous (zero-copy) exchange, then a strided (gathered)
+		// exchange, then a collective for good measure.
+		if _, err := Sendrecv(c, buf[:8], contiguousN(8), peer, 1, got[:8], contiguousN(8), peer, 1); err != nil {
+			return err
+		}
+		stride := datatype.Vector(8, 2, 4, 0)
+		if _, err := Sendrecv(c, buf, stride, peer, 2, got, stride, peer, 2); err != nil {
+			return err
+		}
+		sum := []int{1}
+		return Allreduce(c, sum, sum, SumOp[int])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMetricInvariants(reg.Merged()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckMetricInvariantsViolations doctors a balanced snapshot one
+// metric at a time and asserts each conservation law trips.
+func TestCheckMetricInvariantsViolations(t *testing.T) {
+	balanced := func() metrics.Snapshot {
+		reg := metrics.NewRegistry(2)
+		err := Run(Config{Procs: 2, Metrics: reg, Timeout: time.Minute}, func(c *Comm) error {
+			peer := 1 - c.Rank()
+			out, in := []int{c.Rank()}, make([]int, 1)
+			_, err := Sendrecv(c, out, contiguousN(1), peer, 3, in, contiguousN(1), peer, 3)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg.Merged()
+	}
+
+	cases := []struct {
+		name   string
+		metric string
+		delta  int64
+		want   string
+	}{
+		{"lost send path", "mpi.sends.posted", 1, "sends.posted"},
+		{"pool draw unaccounted", "mpi.wirepool.miss", 1, "wirepool"},
+		{"unfinished receive", "mpi.recvs.posted", 1, "recvs.completed"},
+		{"bytes invented", "mpi.recv.bytes", 8, "recv.bytes"},
+		{"impossible detach", "mpi.recv.detached", 1000, "recv.detached"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := balanced()
+			if err := CheckMetricInvariants(s); err != nil {
+				t.Fatalf("balanced snapshot: %v", err)
+			}
+			for i := range s.Metrics {
+				if s.Metrics[i].Name == tc.metric {
+					s.Metrics[i].Value += tc.delta
+				}
+			}
+			err := CheckMetricInvariants(s)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("doctored %s: err = %v, want mention of %q", tc.metric, err, tc.want)
+			}
+		})
+	}
+
+	t.Run("missing metric", func(t *testing.T) {
+		s := balanced()
+		kept := s.Metrics[:0]
+		for _, m := range s.Metrics {
+			if m.Name != "mpi.recv.bytes" {
+				kept = append(kept, m)
+			}
+		}
+		s.Metrics = kept
+		err := CheckMetricInvariants(s)
+		if err == nil || !strings.Contains(err.Error(), "mpi.recv.bytes") {
+			t.Fatalf("err = %v, want missing-metric error naming mpi.recv.bytes", err)
+		}
+	})
+}

@@ -474,10 +474,29 @@ func (b *mailbox) poisonMatching(cond func(*pendingRecv) error) {
 
 // cancel removes a still-unmatched pending receive and reports whether it
 // was removed; false means a message (or poison) has already been handed
-// over and the receive must still be waited on.
-func (b *mailbox) cancel(p *pendingRecv) bool {
+// over and the receive must still be waited on. A successful cancel is a
+// completion: the receive is marked delivered — so a later attachNotify
+// refuses and treats it as already complete — and notify/idx carry any
+// attached WaitSet slot the CALLER must signal (n <- idx), so a Waitsome
+// over a set whose receives were all cancelled returns instead of blocking
+// until the watchdog. The signal is the caller's job, not cancel's, so the
+// caller can finish the request (Request.Cancel records ErrCancelled)
+// before the notification can wake a Waitsome in another goroutine — the
+// channel send is what publishes those writes to the set's owner.
+func (b *mailbox) cancel(p *pendingRecv) (removed bool, notify chan int, idx int) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	removed = b.removeLocked(p)
+	if removed {
+		p.delivered.Store(true)
+		notify, idx = p.notify, p.notifyIdx
+	}
+	b.mu.Unlock()
+	return removed, notify, idx
+}
+
+// removeLocked unlinks a pending receive from the wildcard list or its
+// exact-key queue, reporting whether it was still there.
+func (b *mailbox) removeLocked(p *pendingRecv) bool {
 	if p.wildcard() {
 		for i, r := range b.wild {
 			if r == p {

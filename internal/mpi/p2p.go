@@ -111,8 +111,13 @@ func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, defe
 	// layer poisons pending receives it finds in the mailbox, so re-check
 	// after posting and poison our own receive if it slipped past.
 	if err := c.opError(srcWorld, "recv src", src, tag); err != nil {
-		if c.rs.box.cancel(p) {
-			p.delivered.Store(true)
+		if removed, n, idx := c.rs.box.cancel(p); removed {
+			// Notify-then-ready, as in the matcher: signal any attached
+			// set, then hand over the poison. (cancel already marked the
+			// receive delivered.)
+			if n != nil {
+				n <- idx
+			}
 			p.handover(&message{ctx: p.ctx, src: p.src, tag: p.tag, fail: err})
 		}
 	}

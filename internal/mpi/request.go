@@ -156,12 +156,16 @@ func (r *Request) awaitMessage() (*message, error) {
 		// imminent handoff instead of abandoning it. This also prefers a
 		// message (or typed poison) that raced with the abort over the
 		// generic cascade error.
-		if !rs.box.cancel(r.pending) {
+		removed, n, idx := rs.box.cancel(r.pending)
+		if !removed {
 			m := <-r.pending.ready
 			if m.fail != nil {
 				return nil, m.fail
 			}
 			return m, nil
+		}
+		if n != nil {
+			n <- idx
 		}
 		if cause := w.abortCause(); cause != nil {
 			// Carry the primary failure: a receive released by the abort
@@ -172,7 +176,8 @@ func (r *Request) awaitMessage() (*message, error) {
 		}
 		return nil, fmt.Errorf("mpi: rank %d: %w while receiving (src=%d tag=%d)", r.c.rank, ErrAborted, r.pending.src, r.pending.tag)
 	case <-timeoutCh:
-		if !rs.box.cancel(r.pending) {
+		removed, n, idx := rs.box.cancel(r.pending)
+		if !removed {
 			// The message arrived as the timer fired: deliver it rather
 			// than declaring a false deadlock.
 			m := <-r.pending.ready
@@ -180,6 +185,9 @@ func (r *Request) awaitMessage() (*message, error) {
 				return nil, m.fail
 			}
 			return m, nil
+		}
+		if n != nil {
+			n <- idx
 		}
 		err := fmt.Errorf("mpi: rank %d: deadlock suspected: receive (src=%d tag=%d ctx=%d) blocked for %v",
 			r.c.rank, r.pending.src, r.pending.tag, r.pending.ctx, w.timeout)
@@ -212,11 +220,18 @@ func (r *Request) Cancel() bool {
 	if r == nil || r.finished || r.kind != reqRecv {
 		return false
 	}
-	if !r.c.rs.box.cancel(r.pending) {
+	removed, n, idx := r.c.rs.box.cancel(r.pending)
+	if !removed {
 		return false
 	}
 	r.finished = true
 	r.err = fmt.Errorf("mpi: %w (src=%d tag=%d)", ErrCancelled, r.pending.src, r.pending.tag)
+	// Signal any attached WaitSet only now: the channel send publishes the
+	// finished/err writes above to the set's owner, so a Cancel from a
+	// helper goroutine cannot race the owner's Wait after Waitsome wakes.
+	if n != nil {
+		n <- idx
+	}
 	return true
 }
 

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -11,6 +12,98 @@ import (
 
 // contiguousN is shorthand for a whole-buffer layout.
 func contiguousN(n int) datatype.Layout { return datatype.Contiguous(0, n) }
+
+// TestWaitSetCancelStress interleaves seeded cancellations with live
+// deliveries on one WaitSet: every receive whose tag is never sent is
+// cancelled while its siblings' messages arrive concurrently, and each
+// attached owner must surface through Waitsome exactly once — matched
+// receives with their payload, cancelled ones as ErrCancelled. All
+// synchronization is by message matching and the completion channel; no
+// sleeps, so the test is deterministic under -race at any GOMAXPROCS.
+func TestWaitSetCancelStress(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		k := rng.Intn(24) + 8
+		sendMask := make([]bool, k)
+		for i := range sendMask {
+			sendMask[i] = rng.Intn(2) == 0
+		}
+		err := Run(Config{Procs: 2, Timeout: 20 * time.Second}, func(c *Comm) error {
+			if c.Rank() == 1 {
+				for i, send := range sendMask {
+					if !send {
+						continue
+					}
+					if err := SendSlice(c, []int{100 + i}, 0, i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			reqs := make([]*Request, k)
+			bufs := make([][]int, k)
+			s := NewWaitSet(c, k)
+			for i := 0; i < k; i++ {
+				bufs[i] = make([]int, 1)
+				req, err := Irecv(c, bufs[i], contiguousN(1), 1, i)
+				if err != nil {
+					return err
+				}
+				reqs[i] = req
+				s.Add(req, i)
+			}
+			for i, send := range sendMask {
+				if send {
+					continue
+				}
+				// Nobody ever sends this tag, so the cancel cannot lose a
+				// race against a match and must always succeed.
+				if !reqs[i].Cancel() {
+					return fmt.Errorf("tag %d: cancel of never-sent receive failed", i)
+				}
+			}
+			seen := make([]bool, k)
+			got := 0
+			for got < k {
+				ready, err := s.Waitsome()
+				if err != nil {
+					return err
+				}
+				if ready == nil {
+					return fmt.Errorf("set drained after %d/%d completions", got, k)
+				}
+				for _, o := range ready {
+					if seen[o] {
+						return fmt.Errorf("owner %d reported twice", o)
+					}
+					seen[o] = true
+					got++
+				}
+			}
+			for i, req := range reqs {
+				_, err := req.Wait()
+				if sendMask[i] {
+					if err != nil {
+						return err
+					}
+					if bufs[i][0] != 100+i {
+						return fmt.Errorf("tag %d: payload %d, want %d", i, bufs[i][0], 100+i)
+					}
+				} else if !errors.Is(err, ErrCancelled) {
+					return fmt.Errorf("tag %d: Wait = %v, want ErrCancelled", i, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d (k=%d): %v", trial, k, err)
+		}
+	}
+}
 
 // TestRandomP2PTrafficOracle drives the runtime with randomly generated
 // global communication scripts and checks every delivered payload against

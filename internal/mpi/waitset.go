@@ -13,6 +13,10 @@ import (
 // channel and wakes exactly when something completed. Requests that cannot
 // notify (sends, which complete at post; finished requests; receives whose
 // match already happened) are reported ready on the next Waitsome call.
+// Cancellation counts as completion: a receive cancelled after being added
+// (Request.Cancel) signals the set like a match would, and its owner comes
+// back from Waitsome with the request completed as ErrCancelled — a set
+// whose receives were all cancelled drains instead of blocking.
 //
 // Each added request carries a caller-chosen owner token, and Waitsome
 // returns owner tokens: schedule executors pass round indices, Waitany

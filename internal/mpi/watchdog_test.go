@@ -81,10 +81,14 @@ func TestWFGDetectsMismatchedTag(t *testing.T) {
 // all-blocked proof cannot fire).
 func TestWFGDetectsCycle(t *testing.T) {
 	errCh := make(chan error, 1)
+	// Channel-synchronized bystander: rank 3 stays alive (never MPI-blocked)
+	// until rank 0 has actually observed the detection, however long it
+	// takes — the old fixed 400ms sleep flaked under -race when detection
+	// outlived it, letting the all-blocked proof fire instead of the cycle.
+	detected := make(chan struct{})
 	err := Run(Config{Procs: 4, Timeout: 30 * time.Second}, func(c *Comm) error {
 		if c.Rank() == 3 {
-			// Busy bystander: alive during detection, never blocked.
-			time.Sleep(400 * time.Millisecond)
+			<-detected
 			return nil
 		}
 		// Ranks 0,1,2 each receive from the next before sending: a classic
@@ -97,6 +101,7 @@ func TestWFGDetectsCycle(t *testing.T) {
 			case errCh <- fmt.Errorf("detected after %v: %w", time.Since(start), err):
 			default:
 			}
+			close(detected)
 		}
 		return err
 	})
@@ -121,16 +126,21 @@ func TestWFGDetectsCycle(t *testing.T) {
 // TestWFGDetectsOrphan: a receive from a rank that already finished can
 // never match; the monitor proves this even though other ranks are alive.
 func TestWFGDetectsOrphan(t *testing.T) {
+	// Rank 2 is a live bystander held open by a channel until detection has
+	// demonstrably happened (rank 0 unblocked), replacing a fixed sleep that
+	// raced the monitor's proof construction.
+	detected := make(chan struct{})
 	err := Run(Config{Procs: 3, Timeout: 30 * time.Second}, func(c *Comm) error {
 		switch c.Rank() {
 		case 1:
 			return nil // finishes immediately, sends nothing
 		case 2:
-			time.Sleep(400 * time.Millisecond) // alive bystander
+			<-detected
 			return nil
 		default:
 			buf := make([]int, 1)
 			_, err := RecvSlice(c, buf, 1, 0)
+			close(detected)
 			return err
 		}
 	})
@@ -153,7 +163,10 @@ func TestWFGDetectsOrphan(t *testing.T) {
 }
 
 // TestWFGNoFalsePositive: slow but progressing runs — ranks alternating
-// sleeps and exchanges — must not trip the monitor.
+// sleeps and exchanges — must not trip the monitor. The sleep here is the
+// stimulus (it manufactures ranks that sit MPI-blocked across monitor
+// intervals), not a timing assertion: a slower machine only makes the
+// stimulus stronger, so it cannot flake.
 func TestWFGNoFalsePositive(t *testing.T) {
 	err := Run(Config{Procs: 4, Timeout: 30 * time.Second}, func(c *Comm) error {
 		p := c.Size()
@@ -180,13 +193,18 @@ func TestWFGNoFalsePositive(t *testing.T) {
 // timer (Config.Timeout) still catches the hang.
 func TestWFGDisabled(t *testing.T) {
 	t0 := time.Now()
+	// Rank 1 must outlive rank 0's 150ms fallback timer; waiting on a
+	// channel closed when the timer has provably fired removes the old
+	// 400ms-vs-150ms sleep race.
+	fired := make(chan struct{})
 	err := Run(Config{Procs: 2, Timeout: 150 * time.Millisecond, DeadlockPoll: -1}, func(c *Comm) error {
 		if c.Rank() == 0 {
 			buf := make([]int, 1)
 			_, err := RecvSlice(c, buf, 1, 9)
+			close(fired)
 			return err
 		}
-		<-time.After(400 * time.Millisecond)
+		<-fired
 		return nil
 	})
 	if err == nil {
@@ -205,8 +223,11 @@ func TestWFGDisabled(t *testing.T) {
 }
 
 // TestTimeoutNegativeDisables: Timeout < 0 disables the fallback timer
-// entirely — a receive that is merely slow (300ms) completes instead of
-// being killed by an over-eager timer.
+// entirely — a receive that is merely slow completes instead of being
+// killed by an over-eager timer. The sender's delay is a fixed sleep on
+// purpose: with the timer disabled there is nothing for the delay to race,
+// so it can only make the test slower, never flaky, and 50ms keeps rank 0
+// demonstrably parked across several monitor-less poll intervals.
 func TestTimeoutNegativeDisables(t *testing.T) {
 	err := Run(Config{Procs: 2, Timeout: -1}, func(c *Comm) error {
 		if c.Rank() == 0 {
@@ -219,7 +240,7 @@ func TestTimeoutNegativeDisables(t *testing.T) {
 			}
 			return nil
 		}
-		time.Sleep(300 * time.Millisecond)
+		time.Sleep(50 * time.Millisecond)
 		return SendSlice(c, []int{42}, 0, 9)
 	})
 	if err != nil {
@@ -232,15 +253,23 @@ func TestTimeoutNegativeDisables(t *testing.T) {
 // and the run error must carry only the root cause.
 func TestAbortMidSendrecv(t *testing.T) {
 	observed := make([]error, 3)
+	// Ranks 0 and 1 announce their Sendrecv just before posting it; rank 2
+	// fails only after both announcements, so the abort lands while the
+	// partners are inside (or entering) the exchange — channel-synchronized
+	// instead of the old 30ms sleep. The assertions hold either way (the
+	// abort also releases waits posted after it), so this cannot flake.
+	posted := make(chan struct{}, 2)
 	err := Run(Config{Procs: 3, Timeout: 30 * time.Second}, func(c *Comm) error {
 		switch c.Rank() {
 		case 2:
-			time.Sleep(30 * time.Millisecond)
+			<-posted
+			<-posted
 			return fmt.Errorf("rank 2 exploded")
 		default:
 			// 0 and 1 exchange with each other but also wait on rank 2's
 			// round, which never comes.
 			buf := make([]int, 1)
+			posted <- struct{}{}
 			_, err := Sendrecv(c, []int{c.Rank()}, contiguousN(1), 1-c.Rank(), 0,
 				buf, contiguousN(1), 2, 0)
 			observed[c.Rank()] = err
@@ -267,9 +296,13 @@ func TestAbortMidSendrecv(t *testing.T) {
 // with an abort error returns the recorded error both times.
 func TestDoubleWaitAfterAbort(t *testing.T) {
 	errs := make([]error, 2)
+	// Rank 1 fails only after rank 0's receive is posted, so the abort is
+	// guaranteed to be what completes the request — synchronized through a
+	// channel rather than the old 20ms sleep.
+	posted := make(chan struct{})
 	_ = Run(Config{Procs: 2, Timeout: 30 * time.Second}, func(c *Comm) error {
 		if c.Rank() == 1 {
-			time.Sleep(20 * time.Millisecond)
+			<-posted
 			return fmt.Errorf("bang")
 		}
 		buf := make([]int, 1)
@@ -277,6 +310,7 @@ func TestDoubleWaitAfterAbort(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		close(posted)
 		_, errs[0] = req.Wait()
 		_, errs[1] = req.Wait()
 		return errs[0]
@@ -329,9 +363,15 @@ func TestCancelReceive(t *testing.T) {
 // to the deadlock monitor as a "waitsome" registration — and wake when the
 // delayed message is matched.
 func TestWaitanyBlocksOnCompletionChannel(t *testing.T) {
+	// The message is released only after the watcher has seen Waitany's
+	// watchdog registration, so Waitany is provably parked on the
+	// completion channel when the send happens. (The old version slept
+	// 150ms before sending and failed if the send beat Waitany to the
+	// mailbox, in which case no registration ever appeared.)
+	sendNow := make(chan struct{})
 	run(t, 2, func(c *Comm) error {
 		if c.Rank() == 1 {
-			time.Sleep(150 * time.Millisecond)
+			<-sendNow
 			return SendSlice(c, []int{1}, 0, 0)
 		}
 		buf := make([]int, 1)
@@ -343,15 +383,17 @@ func TestWaitanyBlocksOnCompletionChannel(t *testing.T) {
 		// one atomic registration, not a sweep loop.
 		seen := make(chan string, 1)
 		go func() {
-			deadline := time.Now().Add(time.Second)
+			deadline := time.Now().Add(5 * time.Second)
 			for time.Now().Before(deadline) {
 				if op := c.w.blocked[0].Load(); op != nil {
 					seen <- op.kind
+					close(sendNow)
 					return
 				}
 				time.Sleep(time.Millisecond)
 			}
 			seen <- ""
+			close(sendNow)
 		}()
 		idx, _, err := Waitany(req)
 		if err != nil {

@@ -253,6 +253,37 @@ func TitanNoisy() *Model {
 	return m
 }
 
+// Random draws a valid model from rng for randomized testing: latency,
+// bandwidth and overheads spanning the realistic ranges between the
+// presets (α 0.5–5 µs, β for 1–20 GB/s, overheads 0–1 µs), with optional
+// noise (~1 in 3) and an optional two-level hierarchy (~1 in 3). The
+// draw is a pure function of the rng stream, so a seeded rng reproduces
+// the same model — the property the deterministic simulation harness
+// relies on. The returned model always passes Validate.
+func Random(rng *rand.Rand) *Model {
+	m := &Model{
+		Alpha:        (0.5 + 4.5*rng.Float64()) * 1e-6,
+		Beta:         1.0 / ((1 + 19*rng.Float64()) * 1e9),
+		SendOverhead: rng.Float64() * 1e-6,
+		RecvOverhead: rng.Float64() * 1e-6,
+	}
+	if rng.Intn(3) == 0 {
+		m.Noise = &Noise{
+			Jitter:    rng.Float64() * 0.5,
+			SpikeProb: rng.Float64() * 0.05,
+			Spike:     rng.Float64() * 100e-6,
+		}
+	}
+	if rng.Intn(3) == 0 {
+		m.Hierarchy = &Hierarchy{
+			CoresPerNode: 1 << (1 + rng.Intn(3)), // 2, 4 or 8
+			IntraAlpha:   m.Alpha * (0.1 + 0.3*rng.Float64()),
+			IntraBeta:    m.Beta * (0.2 + 0.5*rng.Float64()),
+		}
+	}
+	return m
+}
+
 // Preset returns a named model preset: "hydra", "titan" or "titan-noisy".
 func Preset(name string) (*Model, error) {
 	switch name {

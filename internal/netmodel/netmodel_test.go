@@ -3,6 +3,7 @@ package netmodel
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -185,5 +186,37 @@ func TestPresets(t *testing.T) {
 	// Titan (Gemini) should be slower than Hydra (OmniPath) per message.
 	if Titan().Alpha <= Hydra().Alpha || Titan().Beta <= Hydra().Beta {
 		t.Error("preset cost ordering unexpected")
+	}
+}
+
+// TestRandomModel checks that Random draws valid models and that the draw
+// is a pure function of the rng stream (the determinism the simulation
+// harness replays on).
+func TestRandomModel(t *testing.T) {
+	sawNoise, sawHierarchy := false, false
+	for seed := int64(0); seed < 200; seed++ {
+		m := Random(rand.New(rand.NewSource(seed)))
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.Alpha <= 0 || m.Beta <= 0 {
+			t.Fatalf("seed %d: degenerate costs %+v", seed, m)
+		}
+		if m.Noise != nil {
+			sawNoise = true
+		}
+		if m.Hierarchy != nil {
+			sawHierarchy = true
+			if m.Hierarchy.IntraAlpha >= m.Alpha || m.Hierarchy.IntraBeta >= m.Beta {
+				t.Fatalf("seed %d: intra-node costs not cheaper: %+v", seed, m.Hierarchy)
+			}
+		}
+		again := Random(rand.New(rand.NewSource(seed)))
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("seed %d: replay differs: %+v vs %+v", seed, m, again)
+		}
+	}
+	if !sawNoise || !sawHierarchy {
+		t.Errorf("200 seeds never drew noise (%v) or hierarchy (%v)", sawNoise, sawHierarchy)
 	}
 }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math/rand"
+
+	"cartcc/internal/vec"
+)
+
+// Generate draws the scenario for one seed. The draw is a pure function
+// of the seed — same seed, same scenario, bit for bit — which is what
+// makes every soak failure replayable. The distribution deliberately
+// covers the paper's whole input space plus the hostile corners: torus
+// and mesh topologies, the symmetric stencil families and asymmetric
+// one-offs, duplicate offsets, offsets that wrap a small torus more than
+// once, every block size the cut-off analysis cares about, preset and
+// randomly drawn cost models, and (about a quarter of the time) injected
+// rank crashes.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	d := rng.Intn(3) + 1
+	dims := make([]int, d)
+	procs := 1
+	for i := range dims {
+		dims[i] = rng.Intn(3) + 2 // extents 2..4
+		procs *= dims[i]
+	}
+	for procs > 36 { // cap world size: halve the largest extent
+		max := 0
+		for i, e := range dims {
+			if e > dims[max] {
+				max = i
+			}
+		}
+		procs = procs / dims[max] * 2
+		dims[max] = 2
+	}
+	periods := make([]bool, d)
+	if rng.Intn(4) != 0 { // 3/4 torus, else mesh with random periodicity mix
+		for i := range periods {
+			periods[i] = true
+		}
+	} else {
+		for i := range periods {
+			periods[i] = rng.Intn(2) == 0
+		}
+	}
+
+	nbh := drawNeighborhood(rng, d)
+
+	op := "alltoall"
+	if rng.Intn(2) == 0 {
+		op = "allgather"
+	}
+
+	sc := Scenario{
+		Dims:         dims,
+		Periods:      periods,
+		Neighborhood: nbh,
+		Op:           op,
+		BlockSize:    rng.Intn(8) + 1,
+		ModelSeed:    rng.Int63(),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		sc.Preset = "hydra"
+	case 1:
+		sc.Preset = "titan"
+	case 2:
+		sc.Preset = "titan-noisy"
+		// case 3: Preset stays "", drawing a random model from ModelSeed.
+	}
+	if rng.Intn(4) == 0 {
+		f := &FaultSpec{}
+		for n := rng.Intn(2) + 1; n > 0; n-- {
+			f.Crashes = append(f.Crashes, CrashSpec{
+				Rank: rng.Intn(procs),
+				AtOp: rng.Intn(20) + 1,
+			})
+		}
+		sc.Faults = f
+	}
+	return sc
+}
+
+// drawNeighborhood picks a neighborhood family: the symmetric stencils of
+// the paper, or an adversarial draw with asymmetry, duplicates and
+// offsets larger than the grid extents (multi-wrap on a torus).
+func drawNeighborhood(rng *rand.Rand, d int) [][]int {
+	var n vec.Neighborhood
+	switch rng.Intn(5) {
+	case 0:
+		n, _ = vec.Moore(d, 1)
+	case 1:
+		n, _ = vec.VonNeumann(d, 1)
+	case 2:
+		n, _ = vec.Star(d, rng.Intn(2)+1)
+	default: // 2-in-5: fully random, the adversarial family
+		t := rng.Intn(10) + 1
+		n = make(vec.Neighborhood, 0, t)
+		for i := 0; i < t; i++ {
+			if len(n) > 0 && rng.Intn(5) == 0 {
+				n = append(n, n[rng.Intn(len(n))].Clone()) // duplicate offset
+				continue
+			}
+			v := make(vec.Vec, d)
+			for j := range v {
+				v[j] = rng.Intn(13) - 6 // reaches beyond extent 4: multi-wrap
+			}
+			n = append(n, v)
+		}
+	}
+	out := make([][]int, len(n))
+	for i, v := range n {
+		out[i] = append([]int(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReplayVersion is bumped when the artifact format changes incompatibly.
+const ReplayVersion = 1
+
+// Replay is the failing-case artifact cartsim writes when an oracle
+// trips: the generating seed, any planted mutation, the (shrunk) scenario
+// and the failure it reproduces. `cartsim -replay file.json` re-runs it.
+type Replay struct {
+	Version  int      `json:"version"`
+	Seed     int64    `json:"seed"`
+	Mutation string   `json:"mutation,omitempty"`
+	Scenario Scenario `json:"scenario"`
+	Check    string   `json:"check"`
+	Detail   string   `json:"detail"`
+}
+
+// WriteReplay writes the artifact as indented JSON, atomically enough for
+// CI artifact collection (write then rename).
+func WriteReplay(path string, r Replay) error {
+	r.Version = ReplayVersion
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadReplay loads and validates an artifact.
+func ReadReplay(path string) (Replay, error) {
+	var r Replay
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("sim: parsing replay %s: %w", path, err)
+	}
+	if r.Version != ReplayVersion {
+		return r, fmt.Errorf("sim: replay %s has version %d, this binary speaks %d", path, r.Version, ReplayVersion)
+	}
+	if err := r.Scenario.Validate(); err != nil {
+		return r, fmt.Errorf("sim: replay %s: %w", path, err)
+	}
+	return r, nil
+}

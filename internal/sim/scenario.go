@@ -1,0 +1,165 @@
+// Package sim is the deterministic simulation harness: FoundationDB-style
+// seeded scenario generation, differential oracles that run the same
+// Cartesian collective through every executor the repository has, and a
+// shrinker that minimizes a failing scenario to a replayable artifact.
+//
+// Everything downstream of a Seed is a pure function of it: the scenario
+// drawn, the cost model, the fault plan and the virtual-time execution all
+// replay bit-identically, so a failure found in a soak run is a one-line
+// reproduction (`cartsim -replay file.json`), not a flake.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/vec"
+)
+
+// Scenario is one fully-specified simulation case: a grid, a
+// neighborhood, one collective operation, a cost model and an optional
+// fault plan. It is plain data (JSON-serializable) so a failing case can
+// be written out, shrunk, and replayed.
+type Scenario struct {
+	Dims         []int      `json:"dims"`
+	Periods      []bool     `json:"periods"`
+	Neighborhood [][]int    `json:"neighborhood"`
+	Op           string     `json:"op"` // "alltoall" or "allgather"
+	BlockSize    int        `json:"block_size"`
+	Preset       string     `json:"preset,omitempty"` // netmodel preset; "" draws from ModelSeed
+	ModelSeed    int64      `json:"model_seed"`
+	Faults       *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is the serializable subset of mpi.FaultPlan the generator
+// draws from: deterministic rank crashes at operation counts.
+type FaultSpec struct {
+	Crashes []CrashSpec `json:"crashes"`
+}
+
+// CrashSpec kills one rank before its AtOp-th point-to-point operation.
+type CrashSpec struct {
+	Rank int `json:"rank"`
+	AtOp int `json:"at_op"`
+}
+
+// Procs returns the scenario's world size.
+func (sc *Scenario) Procs() int {
+	p := 1
+	for _, d := range sc.Dims {
+		p *= d
+	}
+	return p
+}
+
+// Torus reports whether every dimension is periodic (the combining
+// schedules' torus path; mesh scenarios route through the mesh compilers).
+func (sc *Scenario) Torus() bool {
+	for _, per := range sc.Periods {
+		if !per {
+			return false
+		}
+	}
+	return true
+}
+
+// nbh converts the serialized offsets into a neighborhood.
+func (sc *Scenario) nbh() vec.Neighborhood {
+	n := make(vec.Neighborhood, len(sc.Neighborhood))
+	for i, off := range sc.Neighborhood {
+		n[i] = append(vec.Vec(nil), off...)
+	}
+	return n
+}
+
+// model resolves the scenario's cost model: a named preset, or a model
+// drawn deterministically from ModelSeed.
+func (sc *Scenario) model() (*netmodel.Model, error) {
+	if sc.Preset != "" {
+		return netmodel.Preset(sc.Preset)
+	}
+	return netmodel.Random(rand.New(rand.NewSource(sc.ModelSeed))), nil
+}
+
+// faultPlan converts the fault spec; nil when the scenario is fault-free.
+func (sc *Scenario) faultPlan() *mpi.FaultPlan {
+	if sc.Faults == nil || len(sc.Faults.Crashes) == 0 {
+		return nil
+	}
+	fp := &mpi.FaultPlan{}
+	for _, c := range sc.Faults.Crashes {
+		fp.Crashes = append(fp.Crashes, mpi.Crash{Rank: c.Rank, AtOp: c.AtOp})
+	}
+	return fp
+}
+
+// Validate checks the scenario is well-formed before any world is built,
+// so a hand-edited replay file fails with a message instead of a panic.
+func (sc *Scenario) Validate() error {
+	if len(sc.Dims) == 0 {
+		return fmt.Errorf("sim: scenario has no dimensions")
+	}
+	for _, d := range sc.Dims {
+		if d < 1 {
+			return fmt.Errorf("sim: dimension extent %d < 1", d)
+		}
+	}
+	if len(sc.Periods) != len(sc.Dims) {
+		return fmt.Errorf("sim: %d periods for %d dims", len(sc.Periods), len(sc.Dims))
+	}
+	if len(sc.Neighborhood) == 0 {
+		return fmt.Errorf("sim: empty neighborhood")
+	}
+	for _, off := range sc.Neighborhood {
+		if len(off) != len(sc.Dims) {
+			return fmt.Errorf("sim: offset %v has %d coords for %d dims", off, len(off), len(sc.Dims))
+		}
+	}
+	if sc.Op != "alltoall" && sc.Op != "allgather" {
+		return fmt.Errorf("sim: unknown op %q", sc.Op)
+	}
+	if sc.BlockSize < 1 {
+		return fmt.Errorf("sim: block size %d < 1", sc.BlockSize)
+	}
+	if _, err := sc.model(); err != nil {
+		return err
+	}
+	p := sc.Procs()
+	if sc.Faults != nil {
+		for _, c := range sc.Faults.Crashes {
+			if c.Rank < 0 || c.Rank >= p {
+				return fmt.Errorf("sim: crash rank %d outside world of %d", c.Rank, p)
+			}
+			if c.AtOp < 1 {
+				return fmt.Errorf("sim: crash at op %d < 1", c.AtOp)
+			}
+		}
+	}
+	return nil
+}
+
+// Fingerprint renders the scenario as one deterministic line for logs:
+// grid, topology, neighborhood size, operation, block size, model, faults.
+func (sc *Scenario) Fingerprint() string {
+	dims := make([]string, len(sc.Dims))
+	for i, d := range sc.Dims {
+		dims[i] = fmt.Sprint(d)
+	}
+	topo := "torus"
+	if !sc.Torus() {
+		topo = "mesh"
+	}
+	model := sc.Preset
+	if model == "" {
+		model = fmt.Sprintf("random(%d)", sc.ModelSeed)
+	}
+	s := fmt.Sprintf("%s[%s] t=%d %s m=%d %s", topo, strings.Join(dims, "x"),
+		len(sc.Neighborhood), sc.Op, sc.BlockSize, model)
+	if sc.Faults != nil && len(sc.Faults.Crashes) > 0 {
+		s += fmt.Sprintf(" crashes=%d", len(sc.Faults.Crashes))
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package sim
+
+import "sort"
+
+// Shrink minimizes a failing scenario while the same oracle keeps
+// tripping: it greedily tries simplifications — fewer dimensions, smaller
+// extents, fewer neighborhood offsets, block size 1, fewer crashes, a
+// plain preset model — re-runs CheckScenario on each candidate, and keeps
+// any candidate that still fails the *same* check. It loops to a fixpoint,
+// so the returned scenario is 1-minimal with respect to the moves below:
+// no single simplification can be applied without losing the failure.
+//
+// Shrinking re-executes the oracles many times; scenarios are small (≤36
+// ranks) so a full shrink stays in the low seconds.
+func Shrink(sc Scenario, opt Options, orig Failure) Scenario {
+	fails := func(cand Scenario) bool {
+		if cand.Validate() != nil {
+			return false
+		}
+		f := CheckScenario(cand, opt)
+		return f != nil && f.Check == orig.Check
+	}
+	for {
+		cand, ok := shrinkStep(sc, fails)
+		if !ok {
+			return sc
+		}
+		sc = cand
+	}
+}
+
+// shrinkStep tries every single simplification of sc in a fixed order and
+// returns the first that still fails; ok is false at the fixpoint.
+func shrinkStep(sc Scenario, fails func(Scenario) bool) (Scenario, bool) {
+	// Drop a whole dimension (with its coordinate in every offset).
+	for k := range sc.Dims {
+		if len(sc.Dims) == 1 {
+			break
+		}
+		if cand := dropDim(sc, k); fails(cand) {
+			return cand, true
+		}
+	}
+	// Shrink an extent toward 2.
+	for k, e := range sc.Dims {
+		for _, smaller := range []int{2, e - 1} {
+			if smaller >= 2 && smaller < e {
+				cand := clone(sc)
+				cand.Dims[k] = smaller
+				cand = clampCrashRanks(cand)
+				if fails(cand) {
+					return cand, true
+				}
+			}
+		}
+	}
+	// Drop a neighborhood offset.
+	for i := range sc.Neighborhood {
+		if len(sc.Neighborhood) == 1 {
+			break
+		}
+		cand := clone(sc)
+		cand.Neighborhood = append(cand.Neighborhood[:i:i], cand.Neighborhood[i+1:]...)
+		if fails(cand) {
+			return cand, true
+		}
+	}
+	// Shrink an offset coordinate toward zero (collapses multi-wraps).
+	for i, off := range sc.Neighborhood {
+		for j, v := range off {
+			if v == 0 {
+				continue
+			}
+			next := v / 2
+			cand := clone(sc)
+			cand.Neighborhood[i][j] = next
+			if fails(cand) {
+				return cand, true
+			}
+		}
+	}
+	// Smaller blocks.
+	if sc.BlockSize > 1 {
+		for _, m := range []int{1, sc.BlockSize / 2} {
+			if m >= 1 && m < sc.BlockSize {
+				cand := clone(sc)
+				cand.BlockSize = m
+				if fails(cand) {
+					return cand, true
+				}
+			}
+		}
+	}
+	// Fewer faults, then none.
+	if sc.Faults != nil {
+		for i := range sc.Faults.Crashes {
+			cand := clone(sc)
+			cand.Faults.Crashes = append(cand.Faults.Crashes[:i:i], cand.Faults.Crashes[i+1:]...)
+			if len(cand.Faults.Crashes) == 0 {
+				cand.Faults = nil
+			}
+			if fails(cand) {
+				return cand, true
+			}
+		}
+	}
+	// A plain preset model instead of a random or noisy one.
+	if sc.Preset != "hydra" {
+		cand := clone(sc)
+		cand.Preset = "hydra"
+		cand.ModelSeed = 0
+		if fails(cand) {
+			return cand, true
+		}
+	}
+	// Full periodicity: a torus is simpler to reason about than a mesh.
+	if !sc.Torus() {
+		cand := clone(sc)
+		for i := range cand.Periods {
+			cand.Periods[i] = true
+		}
+		if fails(cand) {
+			return cand, true
+		}
+	}
+	return sc, false
+}
+
+// dropDim removes dimension k from the grid and every offset, deduping
+// nothing — the oracle tolerates duplicates, and a later step can drop
+// collapsed offsets if the failure survives.
+func dropDim(sc Scenario, k int) Scenario {
+	cand := clone(sc)
+	cand.Dims = append(cand.Dims[:k:k], cand.Dims[k+1:]...)
+	cand.Periods = append(cand.Periods[:k:k], cand.Periods[k+1:]...)
+	for i, off := range cand.Neighborhood {
+		cand.Neighborhood[i] = append(off[:k:k], off[k+1:]...)
+	}
+	return clampCrashRanks(cand)
+}
+
+// clampCrashRanks keeps crash targets inside a shrunken world.
+func clampCrashRanks(sc Scenario) Scenario {
+	if sc.Faults == nil {
+		return sc
+	}
+	p := sc.Procs()
+	for i := range sc.Faults.Crashes {
+		if sc.Faults.Crashes[i].Rank >= p {
+			sc.Faults.Crashes[i].Rank = p - 1
+		}
+	}
+	// Collapsing ranks can create duplicate crashes; dedup for a tidier
+	// artifact (identical (rank, op) crashes are redundant).
+	sort.Slice(sc.Faults.Crashes, func(a, b int) bool {
+		ca, cb := sc.Faults.Crashes[a], sc.Faults.Crashes[b]
+		if ca.Rank != cb.Rank {
+			return ca.Rank < cb.Rank
+		}
+		return ca.AtOp < cb.AtOp
+	})
+	kept := sc.Faults.Crashes[:0]
+	for i, c := range sc.Faults.Crashes {
+		if i == 0 || c != sc.Faults.Crashes[i-1] {
+			kept = append(kept, c)
+		}
+	}
+	sc.Faults.Crashes = kept
+	return sc
+}
+
+// clone deep-copies a scenario so candidate edits never alias the parent.
+func clone(sc Scenario) Scenario {
+	out := sc
+	out.Dims = append([]int(nil), sc.Dims...)
+	out.Periods = append([]bool(nil), sc.Periods...)
+	out.Neighborhood = make([][]int, len(sc.Neighborhood))
+	for i, off := range sc.Neighborhood {
+		out.Neighborhood[i] = append([]int(nil), off...)
+	}
+	if sc.Faults != nil {
+		f := &FaultSpec{Crashes: append([]CrashSpec(nil), sc.Faults.Crashes...)}
+		out.Faults = f
+	}
+	return out
+}

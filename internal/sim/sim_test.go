@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the harness's foundation: a seed maps to
+// exactly one scenario, and every generated scenario is valid.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: %+v then %+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid scenario: %v (%+v)", seed, err, a)
+		}
+		if a.Procs() > 36 {
+			t.Fatalf("seed %d: %d procs exceeds the cap", seed, a.Procs())
+		}
+	}
+}
+
+// TestGenerateCoversFamilies checks the generator actually explores the
+// corners the oracles exist for.
+func TestGenerateCoversFamilies(t *testing.T) {
+	var mesh, torus, faulted, randomModel, duplicates, multiwrap bool
+	for seed := int64(0); seed < 300; seed++ {
+		sc := Generate(seed)
+		if sc.Torus() {
+			torus = true
+		} else {
+			mesh = true
+		}
+		if sc.Faults != nil {
+			faulted = true
+		}
+		if sc.Preset == "" {
+			randomModel = true
+		}
+		seen := map[string]bool{}
+		for _, off := range sc.Neighborhood {
+			key := ""
+			for _, v := range off {
+				key += string(rune(v+100)) + ","
+				if v >= 5 || v <= -5 {
+					multiwrap = true
+				}
+			}
+			if seen[key] {
+				duplicates = true
+			}
+			seen[key] = true
+		}
+	}
+	for name, ok := range map[string]bool{
+		"mesh": mesh, "torus": torus, "faults": faulted,
+		"random model": randomModel, "duplicate offsets": duplicates,
+		"multi-wrap offsets": multiwrap,
+	} {
+		if !ok {
+			t.Errorf("300 seeds never drew %s", name)
+		}
+	}
+}
+
+// TestCheckScenarioCleanSeeds runs the full oracle stack over a block of
+// generated scenarios; the current implementation must pass all of them.
+func TestCheckScenarioCleanSeeds(t *testing.T) {
+	n := int64(12)
+	if testing.Short() {
+		n = 4
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		sc := Generate(seed)
+		if f := CheckScenario(sc, Options{}); f != nil {
+			t.Fatalf("seed %d (%s): %s", seed, sc.Fingerprint(), f)
+		}
+	}
+}
+
+// mutationScenario is a small communicating torus scenario on which the
+// copy-skew mutation is guaranteed to move a delivered block.
+func mutationScenario() Scenario {
+	return Scenario{
+		Dims:         []int{2, 3},
+		Periods:      []bool{true, true},
+		Neighborhood: [][]int{{0, 0}, {0, 1}, {1, 0}, {0, -1}},
+		Op:           "alltoall",
+		BlockSize:    2,
+		Preset:       "hydra",
+	}
+}
+
+// TestMutationCaughtAndShrunk is the in-tree version of CI's mutation
+// smoke: a planted schedule off-by-one must be caught by the payload
+// differential, and shrinking must keep the failure while simplifying the
+// scenario to the floor.
+func TestMutationCaughtAndShrunk(t *testing.T) {
+	sc := mutationScenario()
+	opt := Options{Mutate: "copy-skew"}
+	f := CheckScenario(sc, opt)
+	if f == nil {
+		t.Fatal("planted copy-skew mutation not detected")
+	}
+	if f.Check != "payload-differential" {
+		t.Fatalf("mutation caught by %q, want payload-differential (%s)", f.Check, f.Detail)
+	}
+	if CheckScenario(sc, Options{}) != nil {
+		t.Fatal("scenario fails even without the mutation")
+	}
+
+	shrunk := Shrink(sc, opt, *f)
+	g := CheckScenario(shrunk, opt)
+	if g == nil || g.Check != f.Check {
+		t.Fatalf("shrunk scenario lost the failure: %v", g)
+	}
+	if shrunk.Procs() > sc.Procs() || len(shrunk.Neighborhood) > len(sc.Neighborhood) || shrunk.BlockSize > sc.BlockSize {
+		t.Fatalf("shrink grew the scenario: %+v", shrunk)
+	}
+	if shrunk.BlockSize != 1 {
+		t.Errorf("block size %d survived shrinking, want 1", shrunk.BlockSize)
+	}
+	if len(shrunk.Neighborhood) > 2 {
+		t.Errorf("%d offsets survived shrinking, want ≤ 2 (zero may drop)", len(shrunk.Neighborhood))
+	}
+	t.Logf("shrunk to %s", shrunk.Fingerprint())
+}
+
+// TestCheckScenarioDeterministicFailure pins that a failing scenario
+// reports the identical Failure on every run — the property replay files
+// and the shrinker's same-check predicate rely on.
+func TestCheckScenarioDeterministicFailure(t *testing.T) {
+	sc := mutationScenario()
+	opt := Options{Mutate: "copy-skew"}
+	a, b := CheckScenario(sc, opt), CheckScenario(sc, opt)
+	if a == nil || b == nil || *a != *b {
+		t.Fatalf("failure not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestReplayRoundTrip writes and reloads a failing-case artifact.
+func TestReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "replay.json")
+	in := Replay{
+		Seed:     42,
+		Mutation: "copy-skew",
+		Scenario: mutationScenario(),
+		Check:    "payload-differential",
+		Detail:   "rank 0 element 0",
+	}
+	if err := WriteReplay(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadReplay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Version = ReplayVersion
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: wrote %+v, read %+v", in, out)
+	}
+	if _, err := ReadReplay(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing replay succeeded")
+	}
+}
+
+// TestFaultScenarios runs generated scenarios that carry crash plans; the
+// fault leg must classify the outcome (typed failure or clean survival),
+// never deadlock.
+func TestFaultScenarios(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 400 && checked < 4; seed++ {
+		sc := Generate(seed)
+		if sc.Faults == nil {
+			continue
+		}
+		checked++
+		if f := CheckScenario(sc, Options{}); f != nil {
+			t.Fatalf("seed %d (%s): %s", seed, sc.Fingerprint(), f)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no faulted scenarios in 400 seeds")
+	}
+}

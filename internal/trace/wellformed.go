@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckFlows validates that a completed run's recording describes a
+// physically possible execution. It is one of the simulation harness's
+// differential oracles: the runtime records sends at injection and
+// receives at consumption, so in a clean run the two views must describe
+// the same message flows.
+//
+// Checked, per directed stream (src rank, dst rank, tag):
+//
+//   - every event is internally sane: Start <= End, Start >= 0, ranks and
+//     peers within the recorder's rank count;
+//   - the stream carries the same number of messages in both views;
+//   - the multiset of message sizes matches between senders and receivers;
+//   - no message completes before it could have been injected: matching
+//     within a stream is FIFO, so the k-th smallest receive completion
+//     must be at or after the k-th smallest send completion. (Receives
+//     are recorded in Wait order, which need not be match order, hence
+//     the sorted comparison rather than a positional one.)
+//
+// CheckFlows needs a recording made under a virtual-time model (without
+// one the runtime records nothing, and an empty recording passes
+// trivially).
+func CheckFlows(r *Recorder) error {
+	type key struct {
+		src, dst, tag int
+	}
+	p := r.Ranks()
+	sends := make(map[key][]Event)
+	recvs := make(map[key][]Event)
+	for rank := 0; rank < p; rank++ {
+		for _, e := range r.RankEvents(rank) {
+			if e.Rank != rank {
+				return fmt.Errorf("trace: rank %d recorded an event claiming rank %d", rank, e.Rank)
+			}
+			if e.Peer < 0 || e.Peer >= p {
+				return fmt.Errorf("trace: rank %d %s event has peer %d outside [0,%d)", rank, e.Kind, e.Peer, p)
+			}
+			if e.Start < 0 || e.End < e.Start {
+				return fmt.Errorf("trace: rank %d %s event to/from %d has times [%g,%g]", rank, e.Kind, e.Peer, e.Start, e.End)
+			}
+			if e.Bytes < 0 {
+				return fmt.Errorf("trace: rank %d %s event has negative size %d", rank, e.Kind, e.Bytes)
+			}
+			switch e.Kind {
+			case KindSend:
+				k := key{src: rank, dst: e.Peer, tag: e.Tag}
+				sends[k] = append(sends[k], e)
+			case KindRecv:
+				k := key{src: e.Peer, dst: rank, tag: e.Tag}
+				recvs[k] = append(recvs[k], e)
+			default:
+				return fmt.Errorf("trace: rank %d event has unknown kind %d", rank, e.Kind)
+			}
+		}
+	}
+	for k, ss := range sends {
+		rs := recvs[k]
+		if len(rs) != len(ss) {
+			return fmt.Errorf("trace: stream %d->%d tag %d: %d send(s) but %d recv(s)", k.src, k.dst, k.tag, len(ss), len(rs))
+		}
+		sizes := func(es []Event) []int {
+			out := make([]int, len(es))
+			for i, e := range es {
+				out[i] = e.Bytes
+			}
+			sort.Ints(out)
+			return out
+		}
+		sb, rb := sizes(ss), sizes(rs)
+		for i := range sb {
+			if sb[i] != rb[i] {
+				return fmt.Errorf("trace: stream %d->%d tag %d: sent sizes %v but received sizes %v", k.src, k.dst, k.tag, sb, rb)
+			}
+		}
+		ends := func(es []Event) []float64 {
+			out := make([]float64, len(es))
+			for i, e := range es {
+				out[i] = e.End
+			}
+			sort.Float64s(out)
+			return out
+		}
+		se, re := ends(ss), ends(rs)
+		for i := range se {
+			if re[i] < se[i] {
+				return fmt.Errorf("trace: stream %d->%d tag %d: %d-th completion at %g precedes %d-th injection end %g",
+					k.src, k.dst, k.tag, i, re[i], i, se[i])
+			}
+		}
+	}
+	for k, rs := range recvs {
+		if len(sends[k]) == 0 {
+			return fmt.Errorf("trace: stream %d->%d tag %d: %d recv(s) with no matching send", k.src, k.dst, k.tag, len(rs))
+		}
+	}
+	return nil
+}

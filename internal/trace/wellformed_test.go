@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// rec builds a recorder from a flat event list.
+func rec(p int, events ...Event) *Recorder {
+	r := NewRecorder(p)
+	for _, e := range events {
+		r.Add(e)
+	}
+	return r
+}
+
+func TestCheckFlowsClean(t *testing.T) {
+	// Two matched streams, receives recorded out of match order on rank 1
+	// (Wait order differs from match order) — still well-formed.
+	r := rec(2,
+		Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 8, Tag: 1, Start: 0, End: 1},
+		Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 16, Tag: 1, Start: 1, End: 2},
+		Event{Rank: 1, Kind: KindRecv, Peer: 0, Bytes: 16, Tag: 1, Start: 2, End: 4},
+		Event{Rank: 1, Kind: KindRecv, Peer: 0, Bytes: 8, Tag: 1, Start: 4, End: 5},
+		Event{Rank: 1, Kind: KindSend, Peer: 0, Bytes: 4, Tag: 2, Start: 0, End: 1},
+		Event{Rank: 0, Kind: KindRecv, Peer: 1, Bytes: 4, Tag: 2, Start: 1, End: 2},
+	)
+	if err := CheckFlows(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFlows(NewRecorder(4)); err != nil {
+		t.Fatalf("empty recording: %v", err)
+	}
+}
+
+func TestCheckFlowsViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		r      *Recorder
+		want   string
+	}{
+		{
+			"lost message",
+			rec(2,
+				Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 8, Tag: 1, Start: 0, End: 1},
+			),
+			"1 send(s) but 0 recv(s)",
+		},
+		{
+			"phantom recv",
+			rec(2,
+				Event{Rank: 1, Kind: KindRecv, Peer: 0, Bytes: 8, Tag: 1, Start: 0, End: 1},
+			),
+			"no matching send",
+		},
+		{
+			"size mismatch",
+			rec(2,
+				Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 8, Tag: 1, Start: 0, End: 1},
+				Event{Rank: 1, Kind: KindRecv, Peer: 0, Bytes: 12, Tag: 1, Start: 1, End: 2},
+			),
+			"sizes",
+		},
+		{
+			"time travel",
+			rec(2,
+				Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 8, Tag: 1, Start: 2, End: 3},
+				Event{Rank: 1, Kind: KindRecv, Peer: 0, Bytes: 8, Tag: 1, Start: 0, End: 1},
+			),
+			"precedes",
+		},
+		{
+			"negative interval",
+			rec(2,
+				Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 8, Tag: 1, Start: 3, End: 2},
+			),
+			"times",
+		},
+		{
+			"peer out of range",
+			rec(2,
+				Event{Rank: 0, Kind: KindSend, Peer: 5, Bytes: 8, Tag: 1, Start: 0, End: 1},
+			),
+			"outside",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckFlows(tc.r)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
