@@ -14,10 +14,11 @@ import (
 
 // The chaos experiment sweeps injected-fault scenarios over the Cartesian
 // collectives and reports how the runtime reacts: how fast a failure is
-// detected, how many ranks survive, and whether the survivors manage an
-// ULFM-style recovery (Revoke -> Shrink -> Barrier -> Agree). It doubles
-// as an end-to-end demonstration of the wait-for-graph deadlock monitor on
-// a mismatched schedule.
+// detected, how many ranks survive, whether the self-healing wrapper
+// (cart.Recoverable: consensus shrink, re-embed, re-execute) brings the
+// survivors back, and how long the outage lasted (MTTR). It doubles as an
+// end-to-end demonstration of the wait-for-graph deadlock monitor on a
+// mismatched schedule.
 
 // chaosResult is one scenario row of the report.
 type chaosResult struct {
@@ -26,8 +27,9 @@ type chaosResult struct {
 	outcome   string
 	detect    time.Duration // max over survivors; 0 when nothing failed
 	survivors int
-	recovery  bool // survivors attempted Revoke -> Shrink -> Agree
+	recovery  bool // the scenario exercises shrink-and-re-embed recovery
 	recovered bool
+	mttr      time.Duration // max recovery time over survivors
 	elapsed   time.Duration
 }
 
@@ -41,12 +43,32 @@ func chaosStencil() (vec.Neighborhood, error) {
 	return vec.Stencil(2, 3, -1)
 }
 
+// chaosObs collects per-rank observations from one run (one slot per
+// world rank, no locking needed).
+type chaosObs struct {
+	detect    []time.Duration // first failure observation latency
+	mttr      []time.Duration // wall-clock spent inside recovery
+	alive     []bool          // body completed (possibly after recovery)
+	recovered []bool          // completed with at least one recovery cycle
+	spare     []bool          // survived but left the shrunken grid
+}
+
+func newChaosObs() *chaosObs {
+	return &chaosObs{
+		detect:    make([]time.Duration, chaosProcs),
+		mttr:      make([]time.Duration, chaosProcs),
+		alive:     make([]bool, chaosProcs),
+		recovered: make([]bool, chaosProcs),
+		spare:     make([]bool, chaosProcs),
+	}
+}
+
 // chaosBody runs iters executions of one Cartesian collective on a 3x3
-// torus and, on failure, attempts survivor recovery. Per-rank observations
-// land in the shared slices (one slot per rank, no locking needed).
-func chaosBody(op cart.OpKind, algo cart.Algorithm, iters int,
-	detect []time.Duration, alive, recovered []bool,
-	calibrate func(c *cart.Comm, loopStartOp func() int)) func(w *mpi.Comm) error {
+// torus under the self-healing wrapper: when members crash mid-exchange,
+// cart.Recoverable shrinks the world, re-embeds the grid under policy and
+// restarts the exchange loop on the survivors.
+func chaosBody(op cart.OpKind, algo cart.Algorithm, policy cart.ReembedPolicy, iters int,
+	obs *chaosObs, calibrate func(c *cart.Comm, loopStartOp func() int)) func(w *mpi.Comm) error {
 	return func(w *mpi.Comm) error {
 		nbh, err := chaosStencil()
 		if err != nil {
@@ -54,78 +76,70 @@ func chaosBody(op cart.OpKind, algo cart.Algorithm, iters int,
 		}
 		c, err := cart.NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
 		if err != nil {
+			// Collective failures are not observed uniformly: revoke before
+			// bailing so peers still blocked inside the create fail out too.
+			w.Revoke()
 			return err
 		}
-		t := len(nbh)
-		var plan *cart.Plan
-		if op == cart.OpAllgather {
-			plan, err = cart.AllgatherInit(c, chaosM, algo)
-		} else {
-			plan, err = cart.AlltoallInit(c, chaosM, algo)
-		}
-		if err != nil {
-			return err
-		}
-		sendLen := t * chaosM
-		if op == cart.OpAllgather {
-			sendLen = chaosM
-		}
-		send := make([]int32, sendLen)
-		recv := make([]int32, t*chaosM)
 		if calibrate != nil {
 			calibrate(c, w.OpCount)
 		}
 		rank := w.Rank()
-		for i := 0; i < iters; i++ {
-			iterStart := time.Now()
-			if err := cart.Run(plan, send, recv); err != nil {
-				// A peer died (or the communicator was revoked by another
-				// survivor's recovery): record the detection latency and try
-				// to rebuild on the survivors.
-				detect[rank] = time.Since(iterStart)
-				if !mpi.IsRankFailed(err) && !errors.Is(err, mpi.ErrRevoked) {
+		out, err := cart.Recoverable(c, cart.RecoverConfig{Policy: policy}, func(cur *cart.Comm) error {
+			t := cur.NeighborCount()
+			var plan *cart.Plan
+			var perr error
+			sendLen := t * chaosM
+			if op == cart.OpAllgather {
+				sendLen = chaosM
+				plan, perr = cart.AllgatherInit(cur, chaosM, algo)
+			} else {
+				plan, perr = cart.AlltoallInit(cur, chaosM, algo)
+			}
+			if perr != nil {
+				return perr
+			}
+			send := make([]int32, sendLen)
+			recv := make([]int32, t*chaosM)
+			for i := 0; i < iters; i++ {
+				iterStart := time.Now()
+				if err := cart.Run(plan, send, recv); err != nil {
+					if obs.detect[rank] == 0 {
+						obs.detect[rank] = time.Since(iterStart)
+					}
 					return err
 				}
-				alive[rank] = true
-				// Unblock survivors still waiting inside the broken exchange,
-				// then rebuild: the classic ULFM sequence.
-				c.Base().Revoke()
-				shrunk, serr := w.Shrink()
-				if serr != nil {
-					return fmt.Errorf("shrink after %v: %w", err, serr)
-				}
-				if berr := mpi.Barrier(shrunk); berr != nil {
-					return fmt.Errorf("barrier on shrunk comm: %w", berr)
-				}
-				flag, aerr := shrunk.Agree(1)
-				if aerr != nil {
-					return fmt.Errorf("agree on shrunk comm: %w", aerr)
-				}
-				recovered[rank] = flag == 1
-				return nil
 			}
+			return nil
+		})
+		if out != nil {
+			obs.mttr[rank] = time.Duration(out.RecoveryNs)
+			obs.spare[rank] = out.Spare
+			obs.recovered[rank] = err == nil && out.Recoveries > 0
 		}
-		alive[rank] = true
+		if err != nil {
+			return err
+		}
+		obs.alive[rank] = true
 		return nil
 	}
 }
 
 // chaosCrash runs one crash scenario: calibrate the victim's operation
 // counter against a clean run, then crash it at the requested fraction of
-// the exchange loop and let the survivors recover.
-func chaosCrash(op cart.OpKind, algo cart.Algorithm, iters int, frac float64) (chaosResult, error) {
+// the exchange loop and let the self-healing wrapper rebuild the world.
+func chaosCrash(op cart.OpKind, algo cart.Algorithm, policy cart.ReembedPolicy, iters int, frac float64) (chaosResult, error) {
 	const victim = 4 // torus center: neighbor of every rank in the Moore stencil
 	res := chaosResult{
 		scenario: fmt.Sprintf("crash rank %d at %d%%", victim, int(frac*100)),
-		variant:  fmt.Sprintf("%s/%s", op, algo),
+		variant:  fmt.Sprintf("%s/%s/%s", op, algo, policy),
 	}
 	// Calibration pass: a clean run recording the victim's op count at loop
 	// start and end, so the crash can be placed inside the exchange loop
 	// rather than inside communicator creation.
 	var startOp, endOp int
 	err := mpi.Run(mpi.Config{Procs: chaosProcs, Seed: 7}, func(w *mpi.Comm) error {
-		inner := chaosBody(op, algo, iters, make([]time.Duration, chaosProcs),
-			make([]bool, chaosProcs), make([]bool, chaosProcs),
+		inner := chaosBody(op, algo, policy, iters, newChaosObs(),
 			func(c *cart.Comm, opCount func() int) {
 				if c.Base().Rank() == victim {
 					startOp = opCount()
@@ -147,39 +161,40 @@ func chaosCrash(op cart.OpKind, algo cart.Algorithm, iters int, frac float64) (c
 		atOp = startOp + 1
 	}
 
-	detect := make([]time.Duration, chaosProcs)
-	alive := make([]bool, chaosProcs)
-	recovered := make([]bool, chaosProcs)
+	obs := newChaosObs()
 	t0 := time.Now()
 	err = mpi.Run(mpi.Config{
 		Procs:  chaosProcs,
 		Seed:   7,
 		Faults: &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: atOp}}},
-	}, chaosBody(op, algo, iters, detect, alive, recovered, nil))
+	}, chaosBody(op, algo, policy, iters, obs, nil))
 	res.elapsed = time.Since(t0)
 	switch {
 	case err == nil:
 		res.outcome = "no failure observed"
 	case mpi.IsRankFailed(err):
-		res.outcome = "typed rank-failure"
+		res.outcome = "typed rank-failure, self-healed"
 	default:
 		res.outcome = fmt.Sprintf("error: %.60v", err)
-	}
-	for r := 0; r < chaosProcs; r++ {
-		if r == victim {
-			continue
-		}
-		if alive[r] {
-			res.survivors++
-		}
-		if detect[r] > res.detect {
-			res.detect = detect[r]
-		}
 	}
 	res.recovery = true
 	res.recovered = true
 	for r := 0; r < chaosProcs; r++ {
-		if r != victim && !recovered[r] {
+		if r == victim {
+			continue
+		}
+		if obs.alive[r] {
+			res.survivors++
+		}
+		if obs.detect[r] > res.detect {
+			res.detect = obs.detect[r]
+		}
+		if obs.mttr[r] > res.mttr {
+			res.mttr = obs.mttr[r]
+		}
+		// Spares count as recovered: they survived, joined the consensus
+		// and were deliberately left out of the shrunken grid.
+		if !obs.recovered[r] {
 			res.recovered = false
 		}
 	}
@@ -194,10 +209,10 @@ func chaosStraggler(op cart.OpKind, algo cart.Algorithm, iters int, perOp time.D
 		variant:  fmt.Sprintf("%s/%s", op, algo),
 	}
 	run := func(fp *mpi.FaultPlan) (time.Duration, error) {
-		alive := make([]bool, chaosProcs)
+		obs := newChaosObs()
 		t0 := time.Now()
 		err := mpi.Run(mpi.Config{Procs: chaosProcs, Seed: 7, Faults: fp},
-			chaosBody(op, algo, iters, make([]time.Duration, chaosProcs), alive, make([]bool, chaosProcs), nil))
+			chaosBody(op, algo, cart.CollapseSlab, iters, obs, nil))
 		return time.Since(t0), err
 	}
 	clean, err := run(nil)
@@ -260,17 +275,19 @@ func chaosExperiment(sc bench.Scale) error {
 	if sc.Reps > 0 && sc.Reps < 10 {
 		iters = 10
 	}
-	fmt.Println("Chaos sweep — injected faults vs the Cartesian collectives (3x3 torus, Moore stencil, m=4)")
-	fmt.Println(strings.Repeat("=", 96))
+	fmt.Println("Chaos sweep — injected faults vs self-healing Cartesian collectives (3x3 torus, Moore stencil, m=4)")
+	fmt.Println(strings.Repeat("=", 118))
 	var rows []chaosResult
 	for _, op := range []cart.OpKind{cart.OpAlltoall, cart.OpAllgather} {
 		for _, algo := range []cart.Algorithm{cart.Trivial, cart.Combining} {
-			for _, frac := range []float64{0.1, 0.5} {
-				row, err := chaosCrash(op, algo, iters, frac)
-				if err != nil {
-					return err
+			for _, policy := range []cart.ReembedPolicy{cart.CollapseSlab, cart.DenseRelabel} {
+				for _, frac := range []float64{0.1, 0.5} {
+					row, err := chaosCrash(op, algo, policy, iters, frac)
+					if err != nil {
+						return err
+					}
+					rows = append(rows, row)
 				}
-				rows = append(rows, row)
 			}
 		}
 	}
@@ -284,20 +301,22 @@ func chaosExperiment(sc bench.Scale) error {
 	}
 	rows = append(rows, row)
 
-	fmt.Printf("%-28s %-22s %-28s %9s %10s %9s\n",
-		"scenario", "variant", "outcome", "detect", "survivors", "recovered")
-	fmt.Println(strings.Repeat("-", 96))
-	for _, r := range rows {
-		detect := "-"
-		if r.detect > 0 {
-			detect = fmt.Sprintf("%.1fms", float64(r.detect.Microseconds())/1000)
+	fmt.Printf("%-31s %-34s %-30s %8s %9s %9s %8s\n",
+		"scenario", "variant", "outcome", "detect", "survivors", "recovered", "mttr")
+	fmt.Println(strings.Repeat("-", 118))
+	ms := func(d time.Duration) string {
+		if d <= 0 {
+			return "-"
 		}
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	}
+	for _, r := range rows {
 		recovered := "-"
 		if r.recovery {
 			recovered = fmt.Sprintf("%v", r.recovered)
 		}
-		fmt.Printf("%-28s %-22s %-28s %9s %10d %9s\n",
-			r.scenario, r.variant, r.outcome, detect, r.survivors, recovered)
+		fmt.Printf("%-31s %-34s %-30s %8s %9d %9s %8s\n",
+			r.scenario, r.variant, r.outcome, ms(r.detect), r.survivors, recovered, ms(r.mttr))
 	}
 	return nil
 }

@@ -240,13 +240,14 @@ func pipelineExperiment(sc bench.Scale) error {
 var traceOutPath = "trace.json"
 
 // traceExperiment captures one combining Cart_alltoall on a 4×4 torus
-// (Moore neighborhood) in virtual time and wall clock, writes the unified
-// Perfetto/Chrome trace to the -o path, and prints the metrics and
-// predicted-vs-observed accounting summary. Load the JSON in
-// ui.perfetto.dev (or chrome://tracing) to browse it; `carttrace` prints
-// the same file as text tables.
+// (Moore neighborhood) in virtual time and wall clock, plus a chaos pass
+// that crashes one rank mid-collective and records the self-healing
+// recovery windows, writes the unified Perfetto/Chrome trace to the -o
+// path, and prints the metrics and predicted-vs-observed accounting
+// summary. Load the JSON in ui.perfetto.dev (or chrome://tracing) to
+// browse it; `carttrace` prints the same file as text tables.
 func traceExperiment() error {
-	res, err := bench.RunObserve(bench.ObserveConfig{})
+	res, err := bench.RunObserve(bench.ObserveConfig{Chaos: true})
 	if err != nil {
 		return err
 	}

@@ -32,17 +32,23 @@ func TestRunSmallFigureAllModes(t *testing.T) {
 }
 
 // TestChaosScenarios runs a slice of the chaos sweep directly: one crash
-// scenario with survivor recovery and the deadlock-diagnosis demo.
+// scenario under the self-healing wrapper (both re-embedding policies) and
+// the deadlock-diagnosis demo.
 func TestChaosScenarios(t *testing.T) {
-	res, err := chaosCrash(cart.OpAlltoall, cart.Combining, 10, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.outcome != "typed rank-failure" {
-		t.Fatalf("crash outcome = %q (%+v)", res.outcome, res)
-	}
-	if res.survivors != chaosProcs-1 || !res.recovered {
-		t.Fatalf("survivors = %d recovered = %v", res.survivors, res.recovered)
+	for _, policy := range []cart.ReembedPolicy{cart.CollapseSlab, cart.DenseRelabel} {
+		res, err := chaosCrash(cart.OpAlltoall, cart.Combining, policy, 10, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.outcome != "typed rank-failure, self-healed" {
+			t.Fatalf("%s: crash outcome = %q (%+v)", policy, res.outcome, res)
+		}
+		if res.survivors != chaosProcs-1 || !res.recovered {
+			t.Fatalf("%s: survivors = %d recovered = %v", policy, res.survivors, res.recovered)
+		}
+		if res.mttr <= 0 {
+			t.Fatalf("%s: recovered without recovery time (mttr = %v)", policy, res.mttr)
+		}
 	}
 	dres, err := chaosDeadlock()
 	if err != nil {

@@ -10,12 +10,16 @@
 //	cartsim -seed N [-count K]      check K scenarios from seed N upward
 //	cartsim -soak 90s [-seed N]     check scenarios until the budget ends
 //	cartsim -replay file.json       re-run a failing-case artifact
+//	cartsim -recover [-seed N -count K]   classify crash recovery per seed
 //
 // Flags:
 //
 //	-seed N          base seed (default 1)
 //	-count K         scenarios to check in seed mode (default 1)
 //	-soak D          time budget; overrides -count when set
+//	-recover         run the self-healing oracle instead of the plain
+//	                 differential stack: each crash scenario must end
+//	                 verified-recovered or typed-terminal
 //	-mutate NAME     plant a schedule mutation ("copy-skew") before
 //	                 checking — the oracles must catch it
 //	-artifact PATH   where to write the failing-case replay file
@@ -45,13 +49,14 @@ func main() {
 
 func run() int {
 	var (
-		seed     = flag.Int64("seed", 1, "base scenario seed")
-		count    = flag.Int("count", 1, "scenarios to check from the base seed")
-		soak     = flag.Duration("soak", 0, "time budget; overrides -count when set")
-		replay   = flag.String("replay", "", "re-run a failing-case artifact")
-		mutate   = flag.String("mutate", "", "plant a schedule mutation before checking (copy-skew)")
-		artifact = flag.String("artifact", "sim-failure.json", "failing-case replay file to write")
-		verbose  = flag.Bool("v", false, "print every scenario checked")
+		seed        = flag.Int64("seed", 1, "base scenario seed")
+		count       = flag.Int("count", 1, "scenarios to check from the base seed")
+		soak        = flag.Duration("soak", 0, "time budget; overrides -count when set")
+		recoverMode = flag.Bool("recover", false, "classify crash recovery per seed instead of the plain oracle stack")
+		replay      = flag.String("replay", "", "re-run a failing-case artifact")
+		mutate      = flag.String("mutate", "", "plant a schedule mutation before checking (copy-skew)")
+		artifact    = flag.String("artifact", "sim-failure.json", "failing-case replay file to write")
+		verbose     = flag.Bool("v", false, "print every scenario checked")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -79,16 +84,11 @@ func run() int {
 		return 0
 	}
 
-	check := func(s int64) (*sim.Failure, bool) {
-		sc := sim.Generate(s)
-		f := sim.CheckScenario(sc, opt)
-		if f == nil {
-			if *verbose {
-				fmt.Printf("ok   seed=%d %s\n", s, sc.Fingerprint())
-			}
-			return nil, true
-		}
-		fmt.Printf("FAIL seed=%d %s\n     %s\n", s, sc.Fingerprint(), f)
+	// shrinkAndWrite minimizes a failing scenario and writes the replay
+	// artifact; shared by the plain and -recover sweeps (recovery failures
+	// surface through CheckScenario too, so the shrinker's same-check
+	// predicate holds for both).
+	shrinkAndWrite := func(s int64, sc sim.Scenario, f *sim.Failure) {
 		shrunk := sim.Shrink(sc, opt, *f)
 		g := sim.CheckScenario(shrunk, opt)
 		if g == nil {
@@ -100,9 +100,42 @@ func run() int {
 		rep := sim.Replay{Seed: s, Mutation: opt.Mutate, Scenario: shrunk, Check: g.Check, Detail: g.Detail}
 		if err := sim.WriteReplay(*artifact, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "cartsim: writing %s: %v\n", *artifact, err)
-			return f, false
+			return
 		}
 		fmt.Printf("     shrunk to %s\n     replay written to %s\n", shrunk.Fingerprint(), *artifact)
+	}
+
+	if *recoverMode {
+		counts := map[sim.RecoveryCategory]int{}
+		for s := *seed; s < *seed+int64(*count); s++ {
+			sc := sim.Generate(s)
+			cat, f := sim.CheckRecovery(sc)
+			if f != nil {
+				fmt.Printf("FAIL seed=%d %s\n     %s\n", s, sc.Fingerprint(), f)
+				shrinkAndWrite(s, sc, f)
+				return 1
+			}
+			counts[cat]++
+			if *verbose || cat != sim.RecoveryFaultFree {
+				fmt.Printf("%-10s seed=%d %s\n", cat, s, sc.Fingerprint())
+			}
+		}
+		fmt.Printf("recovery sweep: %d scenario(s) from seed %d: %d fault-free, %d recovered, %d terminal\n",
+			*count, *seed, counts[sim.RecoveryFaultFree], counts[sim.RecoveryRecovered], counts[sim.RecoveryTerminal])
+		return 0
+	}
+
+	check := func(s int64) (*sim.Failure, bool) {
+		sc := sim.Generate(s)
+		f := sim.CheckScenario(sc, opt)
+		if f == nil {
+			if *verbose {
+				fmt.Printf("ok   seed=%d %s\n", s, sc.Fingerprint())
+			}
+			return nil, true
+		}
+		fmt.Printf("FAIL seed=%d %s\n     %s\n", s, sc.Fingerprint(), f)
+		shrinkAndWrite(s, sc, f)
 		return f, false
 	}
 

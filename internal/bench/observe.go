@@ -28,6 +28,10 @@ type ObserveConfig struct {
 	Dims  []int
 	// M is the block size in elements.
 	M int
+	// Chaos adds a third pass: the same collective with one rank crashed
+	// mid-exchange under the self-healing wrapper, so the trace shows the
+	// outage window (the per-rank recovery spans) as its own process group.
+	Chaos bool
 }
 
 // ObserveResult is the capture output.
@@ -38,6 +42,11 @@ type ObserveResult struct {
 	// Stats is rank 0's predicted-vs-observed accounting of the wall-clock
 	// run (identical on every rank of a torus).
 	Stats cart.ExecStats
+	// RecoveryMetrics is the merged snapshot of the chaos pass (recovery
+	// counters, epoch gauge, drained-message counts); zero unless Chaos.
+	RecoveryMetrics metrics.Snapshot
+	// RecoverySpans counts the recovery windows recorded in the chaos pass.
+	RecoverySpans int
 }
 
 // RunObserve performs the capture. The virtual-time pass and the
@@ -138,7 +147,80 @@ func RunObserve(cfg ObserveConfig) (*ObserveResult, error) {
 	}
 	logs.Export(tl, 1)
 
-	return &ObserveResult{Timeline: tl, Metrics: reg.Merged(), Stats: <-statsCh}, nil
+	res := &ObserveResult{Timeline: tl, Metrics: reg.Merged(), Stats: <-statsCh}
+	if cfg.Chaos {
+		if err := observeChaos(cfg, dims, nbh, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// observeChaos is the capture's third pass: crash one rank halfway through
+// the collective and record the survivors' shrink-and-re-embed windows in
+// a RecoveryLog, exported as process 2 so the outage band is visible next
+// to the clean passes in Perfetto.
+func observeChaos(cfg ObserveConfig, dims []int, nbh vec.Neighborhood, res *ObserveResult) error {
+	victim := cfg.Procs / 2
+	body := func(rlog *trace.RecoveryLog, calibrate func(w *mpi.Comm, startOp int)) func(w *mpi.Comm) error {
+		return func(w *mpi.Comm) error {
+			c, err := cart.NeighborhoodCreate(w, dims, []bool{true, true}, nbh, nil)
+			if err != nil {
+				// Collective failures are not observed uniformly: revoke
+				// before bailing so blocked peers fail out too.
+				w.Revoke()
+				return err
+			}
+			if calibrate != nil {
+				calibrate(w, w.OpCount())
+			}
+			_, _, rerr := cart.RunRecoverable(c, cart.RecoverConfig{Log: rlog}, cart.OpAlltoall, cfg.M, cart.Combining)
+			return rerr
+		}
+	}
+	// Calibration: a clean pass recording the victim's op count entering and
+	// leaving the collective, so the crash lands mid-exchange.
+	var startOp, endOp int
+	err := mpi.Run(mpi.Config{Procs: cfg.Procs, Seed: 2, Timeout: time.Minute}, func(w *mpi.Comm) error {
+		if w.Rank() == victim {
+			defer func() { endOp = w.OpCount() }()
+		}
+		return body(nil, func(w *mpi.Comm, op int) {
+			if w.Rank() == victim {
+				startOp = op
+			}
+		})(w)
+	})
+	if err != nil {
+		return err
+	}
+	atOp := (startOp + endOp) / 2
+	if atOp <= startOp {
+		atOp = startOp + 1
+	}
+
+	res.Timeline.SetProcess(2, "chaos (crash + recovery)")
+	rlog := trace.NewRecoveryLog()
+	creg := metrics.NewRegistry(cfg.Procs)
+	err = mpi.Run(mpi.Config{
+		Procs:   cfg.Procs,
+		Seed:    2,
+		Metrics: creg,
+		Timeout: time.Minute,
+		Faults:  &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: atOp}}},
+	}, body(rlog, nil))
+	// The injected crash is the run's expected primary error; anything else
+	// means the self-healing pass itself broke.
+	if err != nil && !mpi.IsRankFailed(err) {
+		return fmt.Errorf("bench: chaos pass: %w", err)
+	}
+	rlog.Export(res.Timeline, 2)
+	res.RecoveryMetrics = creg.Merged()
+	res.RecoverySpans = len(rlog.Spans())
+	if res.RecoverySpans == 0 {
+		return fmt.Errorf("bench: chaos pass recorded no recovery spans (crash at op %d missed the collective?)", atOp)
+	}
+	return nil
 }
 
 // WriteTrace renders the capture's timeline as Chrome trace_event JSON.
@@ -161,5 +243,10 @@ func FormatObserve(r *ObserveResult) string {
 	}
 	b.WriteString("\nmerged runtime metrics (all ranks):\n")
 	b.WriteString(r.Metrics.Format())
+	if r.RecoverySpans > 0 {
+		fmt.Fprintf(&b, "\nchaos pass: %d recovery span(s) recorded — process \"chaos (crash + recovery)\" in the trace\n", r.RecoverySpans)
+		b.WriteString("chaos-pass metrics (all ranks):\n")
+		b.WriteString(r.RecoveryMetrics.Format())
+	}
 	return b.String()
 }

@@ -1,0 +1,588 @@
+package cart
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// freshRecv runs the collective on a clean world of the given shape and
+// returns each rank's received payload — the differential oracle for
+// recovered runs: RunRecoverable seeds sends by current rank, so a
+// recovered world's payloads must equal a fresh world's of the same shape.
+func freshRecv(t *testing.T, dims []int, nbh vec.Neighborhood, op OpKind, m int) [][]int64 {
+	t.Helper()
+	procs := 1
+	for _, d := range dims {
+		procs *= d
+	}
+	res := make([][]int64, procs)
+	err := mpi.Run(mpi.Config{Procs: procs, Timeout: 30 * time.Second}, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		_, recv, err := RunRecoverable(c, RecoverConfig{}, op, m, Trivial)
+		if err != nil {
+			return err
+		}
+		res[w.Rank()] = recv
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("oracle run on %v: %v", dims, err)
+	}
+	return res
+}
+
+// calibrateCrash measures the victim's op count right after communicator
+// creation on a clean run, so an injected crash can be aimed at the start
+// of the exchange (after NeighborhoodCreate's collectives, before the
+// victim has sent to all its neighbors).
+func calibrateCrash(t *testing.T, procs, victim int, dims []int, nbh vec.Neighborhood) int {
+	t.Helper()
+	at, _ := calibrateWindow(t, procs, victim, dims, nbh)
+	return at
+}
+
+// calibrateWindow returns (an op inside the first collective's exchange,
+// the victim's op count after one full RunRecoverable).
+func calibrateWindow(t *testing.T, procs, victim int, dims []int, nbh vec.Neighborhood) (int, int) {
+	t.Helper()
+	var startOp, endOp int
+	err := mpi.Run(mpi.Config{Procs: procs, Timeout: 30 * time.Second}, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == victim {
+			startOp = w.OpCount()
+		}
+		if _, _, err := RunRecoverable(c, RecoverConfig{}, OpAlltoall, 2, Trivial); err != nil {
+			return err
+		}
+		if w.Rank() == victim {
+			endOp = w.OpCount()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("calibration run: %v", err)
+	}
+	if endOp <= startOp+2 {
+		t.Fatalf("calibration found no exchange window (start %d, end %d)", startOp, endOp)
+	}
+	return startOp + 2, endOp
+}
+
+// TestRunRecoverableMatrix is the PR's acceptance scenario: a crash in the
+// middle of a collective on a 3x3 torus must end, for both re-embedding
+// policies and all three executors, with every survivor completing the
+// collective on the shrunk world and payloads identical to a fresh run of
+// that shape.
+func TestRunRecoverableMatrix(t *testing.T) {
+	const procs, victim, m = 9, 4, 2
+	dims := []int{3, 3}
+	nbh, err := vec.Stencil(2, 3, -1) // Moore: every rank neighbors the victim
+	if err != nil {
+		t.Fatal(err)
+	}
+	atOp := calibrateCrash(t, procs, victim, dims, nbh)
+
+	execs := []struct {
+		name string
+		algo Algorithm
+		opts []PlanOption
+	}{
+		{"trivial", Trivial, nil},
+		{"combining-blocking", Combining, []PlanOption{WithBlockingRounds()}},
+		{"pipelined", Combining, nil},
+	}
+	policies := []ReembedPolicy{CollapseSlab, DenseRelabel}
+	// Victim 4 sits at (1,1): CollapseSlab removes row 1 (survivors 3 and 5
+	// become spares) leaving a 2x3; DenseRelabel keeps all 8 survivors on
+	// the largest 2-D grid that fits, 2x4.
+	wantDims := map[ReembedPolicy][]int{CollapseSlab: {2, 3}, DenseRelabel: {2, 4}}
+	wantSpares := map[ReembedPolicy]map[int]bool{CollapseSlab: {3: true, 5: true}, DenseRelabel: {}}
+
+	oracles := map[ReembedPolicy][][]int64{}
+	for _, p := range policies {
+		oracles[p] = freshRecv(t, wantDims[p], nbh, OpAlltoall, m)
+	}
+
+	for _, e := range execs {
+		for _, p := range policies {
+			t.Run(fmt.Sprintf("%s/%s", e.name, p), func(t *testing.T) {
+				outs := make([]*RunOutcome, procs)
+				recvs := make([][]int64, procs)
+				errs := make([]error, procs)
+				done := make(chan error, 1)
+				go func() {
+					done <- mpi.Run(mpi.Config{
+						Procs:   procs,
+						Timeout: 30 * time.Second,
+						Faults:  &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: atOp}}},
+					}, func(w *mpi.Comm) error {
+						c, err := NeighborhoodCreate(w, dims, nil, nbh, nil, WithAlgorithm(e.algo))
+						if err != nil {
+							return err
+						}
+						out, recv, err := RunRecoverable(c, RecoverConfig{Policy: p}, OpAlltoall, m, e.algo, e.opts...)
+						outs[w.Rank()], recvs[w.Rank()], errs[w.Rank()] = out, recv, err
+						return err
+					})
+				}()
+				var runErr error
+				select {
+				case runErr = <-done:
+				case <-time.After(25 * time.Second):
+					t.Fatal("run hung after injected crash")
+				}
+				if !mpi.IsRankFailed(runErr) {
+					t.Fatalf("run error = %v, want the injected RankFailedError", runErr)
+				}
+				oracle := oracles[p]
+				for r := 0; r < procs; r++ {
+					if r == victim {
+						continue
+					}
+					if errs[r] != nil {
+						t.Fatalf("survivor %d failed: %v", r, errs[r])
+					}
+					out := outs[r]
+					if out == nil || out.Recoveries < 1 {
+						t.Fatalf("survivor %d did not recover (out=%+v)", r, out)
+					}
+					if out.Epoch < 1 {
+						t.Fatalf("survivor %d epoch = %d, want >= 1", r, out.Epoch)
+					}
+					if len(out.Dead) != 1 || out.Dead[0] != victim {
+						t.Fatalf("survivor %d dead set = %v, want [%d]", r, out.Dead, victim)
+					}
+					if wantSpares[p][r] {
+						if !out.Spare || out.Comm != nil {
+							t.Fatalf("rank %d should be a spare under %s, got %+v", r, p, out)
+						}
+						continue
+					}
+					if out.Spare || out.Comm == nil {
+						t.Fatalf("rank %d unexpectedly a spare under %s", r, p)
+					}
+					gotDims := out.Comm.Grid().Dims
+					if fmt.Sprint(gotDims) != fmt.Sprint(wantDims[p]) {
+						t.Fatalf("rank %d recovered onto %v, want %v", r, gotDims, wantDims[p])
+					}
+					want := oracle[out.Comm.Rank()]
+					if fmt.Sprint(recvs[r]) != fmt.Sprint(want) {
+						t.Fatalf("rank %d (new rank %d) payload\n got %v\nwant %v",
+							r, out.Comm.Rank(), recvs[r], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRecoverAllgather covers the second regular operation through the
+// same crash-and-recover path.
+func TestRecoverAllgather(t *testing.T) {
+	const procs, victim, m = 9, 4, 3
+	dims := []int{3, 3}
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atOp := calibrateCrash(t, procs, victim, dims, nbh)
+	oracle := freshRecv(t, []int{2, 4}, nbh, OpAllgather, m)
+	outs := make([]*RunOutcome, procs)
+	recvs := make([][]int64, procs)
+	runErr := mpi.Run(mpi.Config{
+		Procs:   procs,
+		Timeout: 30 * time.Second,
+		Faults:  &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: atOp}}},
+	}, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		out, recv, err := RunRecoverable(c, RecoverConfig{Policy: DenseRelabel}, OpAllgather, m, Trivial)
+		outs[w.Rank()], recvs[w.Rank()] = out, recv
+		return err
+	})
+	if !mpi.IsRankFailed(runErr) {
+		t.Fatalf("run error = %v, want the injected RankFailedError", runErr)
+	}
+	for r := 0; r < procs; r++ {
+		if r == victim {
+			continue
+		}
+		out := outs[r]
+		if out == nil || out.Comm == nil || out.Recoveries < 1 {
+			t.Fatalf("survivor %d did not recover: %+v", r, out)
+		}
+		want := oracle[out.Comm.Rank()]
+		if fmt.Sprint(recvs[r]) != fmt.Sprint(want) {
+			t.Fatalf("rank %d payload mismatch\n got %v\nwant %v", r, recvs[r], want)
+		}
+	}
+}
+
+// TestRecoverTwoConcurrentCrashes: two ranks die in the same epoch. All
+// survivors must agree on one dead set (both victims), converge to the
+// same shrunk world, and produce fresh-world payloads on it.
+func TestRecoverTwoConcurrentCrashes(t *testing.T) {
+	const procs, m = 12, 1
+	dims := []int{3, 4}
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Op counts differ per rank inside NeighborhoodCreate (binomial trees),
+	// so each victim's crash is calibrated on its own op clock to land in
+	// the exchange, not communicator creation.
+	atOp5 := calibrateCrash(t, procs, 5, dims, nbh)
+	atOp6 := calibrateCrash(t, procs, 6, dims, nbh)
+	outs := make([]*RunOutcome, procs)
+	recvs := make([][]int64, procs)
+	errs := make([]error, procs)
+	done := make(chan error, 1)
+	go func() {
+		done <- mpi.Run(mpi.Config{
+			Procs:   procs,
+			Timeout: 30 * time.Second,
+			Faults: &mpi.FaultPlan{Crashes: []mpi.Crash{
+				{Rank: 5, AtOp: atOp5},
+				{Rank: 6, AtOp: atOp6},
+			}},
+		}, func(w *mpi.Comm) error {
+			c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+			if err != nil {
+				return err
+			}
+			out, recv, err := RunRecoverable(c, RecoverConfig{Policy: DenseRelabel}, OpAlltoall, m, Trivial)
+			outs[w.Rank()], recvs[w.Rank()], errs[w.Rank()] = out, recv, err
+			return err
+		})
+	}()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(25 * time.Second):
+		t.Fatal("run hung after concurrent crashes")
+	}
+	if !mpi.IsRankFailed(runErr) {
+		t.Fatalf("run error = %v, want a RankFailedError", runErr)
+	}
+	// All survivors must land on one agreed final shape; verify payloads
+	// against a fresh oracle of that shape.
+	var finalDims []int
+	for r := 0; r < procs; r++ {
+		if r == 5 || r == 6 {
+			continue
+		}
+		out := outs[r]
+		if out == nil || out.Comm == nil || out.Recoveries < 1 {
+			t.Fatalf("survivor %d did not recover: %+v (err %v)", r, out, errs[r])
+		}
+		if len(out.Dead) != 2 {
+			t.Fatalf("survivor %d dead set = %v, want both victims", r, out.Dead)
+		}
+		if finalDims == nil {
+			finalDims = out.Comm.Grid().Dims
+		} else if fmt.Sprint(out.Comm.Grid().Dims) != fmt.Sprint(finalDims) {
+			t.Fatalf("survivor %d on %v, others on %v — worlds diverged",
+				r, out.Comm.Grid().Dims, finalDims)
+		}
+	}
+	oracle := freshRecv(t, finalDims, nbh, OpAlltoall, m)
+	for r := 0; r < procs; r++ {
+		if r == 5 || r == 6 {
+			continue
+		}
+		want := oracle[outs[r].Comm.Rank()]
+		if fmt.Sprint(recvs[r]) != fmt.Sprint(want) {
+			t.Fatalf("rank %d payload mismatch\n got %v\nwant %v", r, recvs[r], want)
+		}
+	}
+}
+
+// TestRecoverCrashDuringRecovery: a second rank dies while the first
+// recovery is in flight (its op count places the crash in the revoke /
+// consensus window, not the collective). The consensus must absorb the
+// nested failure — survivors converge to one world excluding both victims
+// with verified payloads.
+func TestRecoverCrashDuringRecovery(t *testing.T) {
+	const procs, m = 9, 2
+	dims := []int{3, 3}
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atOp := calibrateCrash(t, procs, 4, dims, nbh)
+	outs := make([]*RunOutcome, procs)
+	recvs := make([][]int64, procs)
+	errs := make([]error, procs)
+	done := make(chan error, 1)
+	go func() {
+		done <- mpi.Run(mpi.Config{
+			Procs:   procs,
+			Timeout: 30 * time.Second,
+			Faults: &mpi.FaultPlan{Crashes: []mpi.Crash{
+				{Rank: 4, AtOp: atOp},
+				// By +10 ops rank 7 has failed out of the collective and is
+				// inside Revoke/Agree/Shrink traffic: a nested failure.
+				{Rank: 7, AtOp: atOp + 10},
+			}},
+		}, func(w *mpi.Comm) error {
+			c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+			if err != nil {
+				return err
+			}
+			out, recv, err := RunRecoverable(c, RecoverConfig{Policy: DenseRelabel}, OpAlltoall, m, Trivial)
+			outs[w.Rank()], recvs[w.Rank()], errs[w.Rank()] = out, recv, err
+			return err
+		})
+	}()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(25 * time.Second):
+		t.Fatal("run hung on nested crash during recovery")
+	}
+	if !mpi.IsRankFailed(runErr) {
+		t.Fatalf("run error = %v, want a RankFailedError", runErr)
+	}
+	var finalDims []int
+	for r := 0; r < procs; r++ {
+		if r == 4 || r == 7 {
+			continue
+		}
+		out := outs[r]
+		if out == nil || out.Comm == nil || out.Recoveries < 1 {
+			for i := 0; i < procs; i++ {
+				t.Logf("rank %d: out=%+v err=%v", i, outs[i], errs[i])
+			}
+			t.Logf("run error: %v", runErr)
+			t.Fatalf("survivor %d did not recover: %+v (err %v)", r, out, errs[r])
+		}
+		if len(out.Dead) != 2 {
+			t.Fatalf("survivor %d dead set = %v, want both victims", r, out.Dead)
+		}
+		if finalDims == nil {
+			finalDims = out.Comm.Grid().Dims
+		} else if fmt.Sprint(out.Comm.Grid().Dims) != fmt.Sprint(finalDims) {
+			t.Fatalf("worlds diverged: rank %d on %v vs %v", r, out.Comm.Grid().Dims, finalDims)
+		}
+	}
+	oracle := freshRecv(t, finalDims, nbh, OpAlltoall, m)
+	for r := 0; r < procs; r++ {
+		if r == 4 || r == 7 {
+			continue
+		}
+		want := oracle[outs[r].Comm.Rank()]
+		if fmt.Sprint(recvs[r]) != fmt.Sprint(want) {
+			t.Fatalf("rank %d payload mismatch\n got %v\nwant %v", r, recvs[r], want)
+		}
+	}
+}
+
+// TestRecoverToSingleRank: on a 2-rank world the peer's death must shrink
+// all the way down to a 1-rank torus, where every neighbor offset wraps to
+// self and the collective still completes.
+func TestRecoverToSingleRank(t *testing.T) {
+	const procs, victim, m = 2, 1, 2
+	dims := []int{2}
+	nbh, err := vec.Stencil(1, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atOp := calibrateCrash(t, procs, victim, dims, nbh)
+	var out *RunOutcome
+	var recv []int64
+	runErr := mpi.Run(mpi.Config{
+		Procs:   procs,
+		Timeout: 30 * time.Second,
+		Faults:  &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: atOp}}},
+	}, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		o, rv, rerr := RunRecoverable(c, RecoverConfig{Policy: CollapseSlab}, OpAlltoall, m, Trivial)
+		if w.Rank() == 0 {
+			out, recv = o, rv
+		}
+		return rerr
+	})
+	if !mpi.IsRankFailed(runErr) {
+		t.Fatalf("run error = %v, want the injected RankFailedError", runErr)
+	}
+	if out == nil || out.Comm == nil || out.Comm.Size() != 1 {
+		t.Fatalf("survivor did not recover to a 1-rank world: %+v", out)
+	}
+	oracle := freshRecv(t, []int{1}, nbh, OpAlltoall, m)
+	if fmt.Sprint(recv) != fmt.Sprint(oracle[0]) {
+		t.Fatalf("payload mismatch on 1-rank world\n got %v\nwant %v", recv, oracle[0])
+	}
+}
+
+// TestRecoverLastSurvivorDies: the final survivor crashing mid-recovery
+// (or on its shrunken world) must surface as a typed error from the run —
+// never a hang.
+func TestRecoverLastSurvivorDies(t *testing.T) {
+	const procs, m = 2, 1
+	dims := []int{2}
+	nbh, err := vec.Stencil(1, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atOp := calibrateCrash(t, procs, 1, dims, nbh)
+	done := make(chan error, 1)
+	go func() {
+		done <- mpi.Run(mpi.Config{
+			Procs:   procs,
+			Timeout: 20 * time.Second,
+			Faults: &mpi.FaultPlan{Crashes: []mpi.Crash{
+				{Rank: 1, AtOp: atOp},
+				{Rank: 0, AtOp: atOp + 8}, // lands inside rank 0's recovery
+			}},
+		}, func(w *mpi.Comm) error {
+			c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+			if err != nil {
+				return err
+			}
+			_, _, err = RunRecoverable(c, RecoverConfig{Policy: CollapseSlab}, OpAlltoall, m, Trivial)
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if !mpi.IsRankFailed(err) {
+			t.Fatalf("run error = %v, want a typed RankFailedError", err)
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("last-survivor death hung instead of failing typed")
+	}
+}
+
+// TestRecoverableSequentialCalls: the completion agreement must serialize
+// consecutive Recoverable calls on the same communicator — a clean call
+// followed by a faulty one recovers exactly once, and the clean call adds
+// no recoveries.
+func TestRecoverableSequentialCalls(t *testing.T) {
+	const procs, victim, m = 9, 4, 1
+	dims := []int{3, 3}
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startAt, endOp := calibrateWindow(t, procs, victim, dims, nbh)
+	_ = startAt
+	// The victim survives the whole first collective (it crashes early in
+	// the second), so call 1 must complete with zero recoveries everywhere.
+	firstRec := make([]int, procs)
+	secondRec := make([]int, procs)
+	runErr := mpi.Run(mpi.Config{
+		Procs:   procs,
+		Timeout: 30 * time.Second,
+		Faults:  &mpi.FaultPlan{Crashes: []mpi.Crash{{Rank: victim, AtOp: endOp + 2}}},
+	}, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		out1, _, err := RunRecoverable(c, RecoverConfig{Policy: DenseRelabel}, OpAlltoall, m, Trivial)
+		if err != nil {
+			return err
+		}
+		firstRec[w.Rank()] = out1.Recoveries
+		out2, _, err := RunRecoverable(out1.Comm, RecoverConfig{Policy: DenseRelabel}, OpAlltoall, m, Trivial)
+		if err != nil {
+			return err
+		}
+		secondRec[w.Rank()] = out2.Recoveries
+		return nil
+	})
+	if !mpi.IsRankFailed(runErr) {
+		t.Fatalf("run error = %v, want the injected RankFailedError", runErr)
+	}
+	for r := 0; r < procs; r++ {
+		if r == victim {
+			continue
+		}
+		if firstRec[r] != 0 {
+			t.Fatalf("rank %d recovered %d times in the clean first call", r, firstRec[r])
+		}
+		if secondRec[r] < 1 {
+			t.Fatalf("rank %d did not recover in the faulty second call", r)
+		}
+	}
+}
+
+// TestPlanPoliciesPure verifies the membership planners directly: both
+// policies are pure functions of (grid, dead set), assign new ranks
+// monotonically in old rank order, and report impossible patterns as
+// ErrUnrecoverable instead of producing a broken plan.
+func TestPlanPoliciesPure(t *testing.T) {
+	g, err := vec.NewGrid([]int{3, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int]bool{4: true}
+	slab, err := planCollapseSlab(g, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(slab.dims) != "[2 3]" {
+		t.Fatalf("collapse-slab dims = %v, want [2 3]", slab.dims)
+	}
+	// Row 1 removed: ranks 3,4,5 unplaced, everyone else renumbered densely.
+	wantMember := []int{0, 1, 2, -1, -1, -1, 3, 4, 5}
+	if fmt.Sprint(slab.member) != fmt.Sprint(wantMember) {
+		t.Fatalf("collapse-slab member = %v, want %v", slab.member, wantMember)
+	}
+
+	dense, err := planDenseRelabel(g, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(dense.dims) != "[2 4]" {
+		t.Fatalf("dense-relabel dims = %v, want [2 4]", dense.dims)
+	}
+	placed := 0
+	last := -1
+	for r, nr := range dense.member {
+		if r == 4 && nr != -1 {
+			t.Fatal("dense-relabel placed a dead rank")
+		}
+		if nr >= 0 {
+			if nr <= last {
+				t.Fatalf("dense-relabel ranks not monotonic at old rank %d", r)
+			}
+			last = nr
+			placed++
+		}
+	}
+	if placed != 8 {
+		t.Fatalf("dense-relabel placed %d survivors, want 8", placed)
+	}
+
+	// A dead rank in every row and every column: no slab dimension works.
+	allSlabsDead := map[int]bool{0: true, 4: true, 8: true}
+	if _, err := planCollapseSlab(g, allSlabsDead); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("collapse-slab on diagonal deaths = %v, want ErrUnrecoverable", err)
+	}
+	// Dense relabel still fits the 6 survivors.
+	dense, err = planDenseRelabel(g, allSlabsDead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(dense.dims) != "[2 3]" {
+		t.Fatalf("dense-relabel dims after diagonal deaths = %v, want [2 3]", dense.dims)
+	}
+}

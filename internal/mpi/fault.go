@@ -67,6 +67,12 @@ type FaultPlan struct {
 	Stragglers []Straggler
 	// Delays holds back individual message deliveries.
 	Delays []MsgDelay
+	// Drops loses individual messages on the wire (transient faults): the
+	// send completes, the receiver never sees the message.
+	Drops []MsgDrop
+	// Dups delivers individual messages twice; the mailbox's per-sender
+	// sequence dedup must suppress the second copy.
+	Dups []MsgDup
 }
 
 // Crash kills one rank: the rank's goroutine stops at the trigger point
@@ -116,6 +122,37 @@ type MsgDelay struct {
 	DelayV netmodel.Time
 }
 
+// MsgDrop loses matching messages on the wire: the sender's call completes
+// with buffered-send semantics (it cannot tell), the payload's pooled wire
+// is reclaimed, and the receiver never sees the message. Without an
+// end-to-end retransmission layer a dropped message a collective depends on
+// surfaces as a typed deadlock from the watchdog — never a silent hang.
+type MsgDrop struct {
+	// From and To select messages by sender and receiver world rank;
+	// -1 matches any rank.
+	From, To int
+	// Nth drops only the Nth matching message of the sender (1-based).
+	// Zero drops every matching message.
+	Nth int
+	// Prob, if in (0,1), drops each matching message with this probability,
+	// drawn from the sender's seeded generator. Zero means unconditional.
+	Prob float64
+}
+
+// MsgDup delivers matching messages twice, with an independent copy of the
+// payload, exercising the receiver's duplicate suppression.
+type MsgDup struct {
+	// From and To select messages by sender and receiver world rank;
+	// -1 matches any rank.
+	From, To int
+	// Nth duplicates only the Nth matching message of the sender
+	// (1-based). Zero duplicates every matching message.
+	Nth int
+	// Prob, if in (0,1), duplicates each matching message with this
+	// probability. Zero means unconditional.
+	Prob float64
+}
+
 // validate checks the plan's rank references against the run size.
 func (fp *FaultPlan) validate(procs int) error {
 	for _, c := range fp.Crashes {
@@ -134,6 +171,22 @@ func (fp *FaultPlan) validate(procs int) error {
 	for _, d := range fp.Delays {
 		if d.From < -1 || d.From >= procs || d.To < -1 || d.To >= procs {
 			return fmt.Errorf("mpi: fault plan delay names rank outside [-1,%d)", procs)
+		}
+	}
+	for _, d := range fp.Drops {
+		if d.From < -1 || d.From >= procs || d.To < -1 || d.To >= procs {
+			return fmt.Errorf("mpi: fault plan drop names rank outside [-1,%d)", procs)
+		}
+		if d.Nth < 0 {
+			return fmt.Errorf("mpi: fault plan drop has Nth %d < 0", d.Nth)
+		}
+	}
+	for _, d := range fp.Dups {
+		if d.From < -1 || d.From >= procs || d.To < -1 || d.To >= procs {
+			return fmt.Errorf("mpi: fault plan dup names rank outside [-1,%d)", procs)
+		}
+		if d.Nth < 0 {
+			return fmt.Errorf("mpi: fault plan dup has Nth %d < 0", d.Nth)
 		}
 	}
 	return nil
@@ -208,6 +261,61 @@ func (rs *rankState) delayFor(dstWorld int) (time.Duration, netmodel.Time) {
 		virt += d.DelayV
 	}
 	return wall, virt
+}
+
+// dropFor reports whether the message this rank is about to send to
+// dstWorld is to be lost, consuming per-spec counters and seeded
+// randomness.
+func (rs *rankState) dropFor(dstWorld int) bool {
+	fp := rs.world.faults
+	if fp == nil || len(fp.Drops) == 0 {
+		return false
+	}
+	if rs.dropCount == nil {
+		rs.dropCount = make([]int, len(fp.Drops))
+	}
+	drop := false
+	for i, d := range fp.Drops {
+		if (d.From != -1 && d.From != rs.rank) || (d.To != -1 && d.To != dstWorld) {
+			continue
+		}
+		rs.dropCount[i]++
+		if d.Nth > 0 && rs.dropCount[i] != d.Nth {
+			continue
+		}
+		if d.Prob > 0 && d.Prob < 1 && rs.rng.Float64() >= d.Prob {
+			continue
+		}
+		drop = true
+	}
+	return drop
+}
+
+// dupFor reports whether the message this rank is about to send to
+// dstWorld is to be delivered twice.
+func (rs *rankState) dupFor(dstWorld int) bool {
+	fp := rs.world.faults
+	if fp == nil || len(fp.Dups) == 0 {
+		return false
+	}
+	if rs.dupCount == nil {
+		rs.dupCount = make([]int, len(fp.Dups))
+	}
+	dup := false
+	for i, d := range fp.Dups {
+		if (d.From != -1 && d.From != rs.rank) || (d.To != -1 && d.To != dstWorld) {
+			continue
+		}
+		rs.dupCount[i]++
+		if d.Nth > 0 && rs.dupCount[i] != d.Nth {
+			continue
+		}
+		if d.Prob > 0 && d.Prob < 1 && rs.rng.Float64() >= d.Prob {
+			continue
+		}
+		dup = true
+	}
+	return dup
 }
 
 // markDead records a rank's failure and poisons every pending receive

@@ -17,13 +17,21 @@ import (
 // surfaces the error instead of a payload.
 type message struct {
 	ctx     int64
-	src     int // communicator rank of the sender within ctx
+	epoch   int64 // recovery epoch the sender's communicator belonged to
+	src     int   // communicator rank of the sender within ctx
 	tag     int
 	payload any
 	elems   int
 	bytes   int
 	arrive  netmodel.Time
 	fail    error
+	// srcWorld and sseq identify the physical send for duplicate
+	// suppression: srcWorld is the sender's world rank and sseq its
+	// per-sender monotonic send sequence number (0 for messages that
+	// bypass the send path, e.g. poisons and hand-built test messages,
+	// which are exempt from dedup).
+	srcWorld int
+	sseq     uint64
 	// consumeErr is the result of the receiver's consume callback (the
 	// scatter into the user buffer), recorded at match time and surfaced
 	// by the receiver's Wait.
@@ -50,6 +58,7 @@ type message struct {
 // fault layer and the deadlock monitor key on it.
 type pendingRecv struct {
 	ctx      int64
+	epoch    int64
 	src      int // may be AnySource
 	tag      int // may be AnyTag
 	srcWorld int // world rank of src; AnySource for wildcard
@@ -102,9 +111,12 @@ func (r *pendingRecv) handover(m *message) {
 func (r *pendingRecv) wildcard() bool { return r.src == AnySource || r.tag == AnyTag }
 
 // matches reports whether message m satisfies receive r. MPI matching:
-// contexts must be equal; source and tag match exactly or via wildcard.
+// context and recovery epoch must be equal; source and tag match exactly
+// or via wildcard. Carrying the epoch in the match tuple is what makes a
+// resumed collective immune to pre-failure stragglers: a message stamped
+// with an old epoch can never satisfy a receive posted after recovery.
 func (r *pendingRecv) matches(m *message) bool {
-	if r.ctx != m.ctx {
+	if r.ctx != m.ctx || r.epoch != m.epoch {
 		return false
 	}
 	if r.src != AnySource && r.src != m.src {
@@ -116,10 +128,11 @@ func (r *pendingRecv) matches(m *message) bool {
 	return true
 }
 
-// mkey is the exact-match index key: MPI matching is per (context, source,
-// tag).
+// mkey is the exact-match index key: MPI matching is per (context, epoch,
+// source, tag).
 type mkey struct {
 	ctx      int64
+	epoch    int64
 	src, tag int
 }
 
@@ -155,6 +168,22 @@ type mailbox struct {
 	// queues of fully-specified receives.
 	wild  []*pendingRecv
 	exact map[mkey][]*pendingRecv
+
+	// epochFloor is the oldest recovery epoch this rank still accepts.
+	// drainBelowEpoch raises it after a shrink; deliver discards older
+	// messages on arrival, which closes the race with delayed senders that
+	// were already past their fault checks when the drain ran. The
+	// fault-tolerance shadow plane (ftCtxBit contexts) is exempt: recovery
+	// protocols deliberately run on old-epoch communicators (ULFM's Agree
+	// and Shrink must work on a broken world), and an abandoned generation
+	// retries them on the original communicator after the floor has risen.
+	epochFloor int64
+
+	// lastSeq records, per sender world rank, the highest send sequence
+	// number delivered so far. Each sender delivers from a single goroutine
+	// in send order, so any message whose sseq does not advance the counter
+	// is a duplicate and is dropped (its pooled wire released exactly once).
+	lastSeq map[int]uint64
 }
 
 // probeScanned counts arrived-list entries examined by wildcard probes and
@@ -238,7 +267,7 @@ func (b *mailbox) undefer(p *pendingRecv) bool {
 // head of m's exact-key queue or the first matching wildcard, whichever
 // was posted first.
 func (b *mailbox) takeRecvLocked(m *message) *pendingRecv {
-	k := mkey{m.ctx, m.src, m.tag}
+	k := mkey{m.ctx, m.epoch, m.src, m.tag}
 	var exact *pendingRecv
 	if q := b.exact[k]; len(q) > 0 {
 		exact = q[0]
@@ -268,13 +297,54 @@ func (b *mailbox) takeRecvLocked(m *message) *pendingRecv {
 	return nil
 }
 
+// discard drops a message without delivering it — a stale-epoch arrival
+// or a suppressed duplicate. The release hook, if any, is cleared before
+// it runs so the pooled wire goes back exactly once; the detach hook is
+// simply dropped (the payload still aliases the sender's buffer and was
+// never read).
+func (b *mailbox) discard(m *message) {
+	m.detach = nil
+	if rel := m.release; rel != nil {
+		m.release = nil
+		rel(b.w, m)
+	}
+	m.payload = nil
+}
+
 // deliver hands a message to the mailbox: the earliest matching pending
 // receive gets it, otherwise it queues as unexpected. A zero-copy payload
 // that finds no waiting receive is detached — copied into a pooled wire,
 // outside the lock — before queueing, so the sender's buffer is free for
 // reuse the moment the send call returns either way.
+//
+// Two guards run first: messages below the epoch floor (pre-recovery
+// stragglers racing the drain) and messages whose send sequence number
+// does not advance the per-sender counter (injected duplicates) are
+// discarded, returning any pooled wire exactly once.
 func (b *mailbox) deliver(m *message) {
 	b.mu.Lock()
+	if m.epoch < b.epochFloor && m.ctx&ftCtxBit == 0 {
+		b.mu.Unlock()
+		b.discard(m)
+		if b.met != nil {
+			b.met.staleDrained.Inc()
+		}
+		return
+	}
+	if m.sseq > 0 {
+		if last, ok := b.lastSeq[m.srcWorld]; ok && m.sseq <= last {
+			b.mu.Unlock()
+			b.discard(m)
+			if b.met != nil {
+				b.met.dupDropped.Inc()
+			}
+			return
+		}
+		if b.lastSeq == nil {
+			b.lastSeq = make(map[int]uint64)
+		}
+		b.lastSeq[m.srcWorld] = m.sseq
+	}
 	for {
 		if r := b.takeRecvLocked(m); r != nil {
 			b.mu.Unlock()
@@ -297,7 +367,7 @@ func (b *mailbox) deliver(m *message) {
 		// order is unaffected by the unlocked window.
 		b.mu.Lock()
 	}
-	k := mkey{m.ctx, m.src, m.tag}
+	k := mkey{m.ctx, m.epoch, m.src, m.tag}
 	if b.arrivedIdx == nil {
 		b.arrivedIdx = make(map[mkey][]*message)
 	}
@@ -314,7 +384,7 @@ func (b *mailbox) deliver(m *message) {
 // the first matching entry in arrival order for wildcards.
 func (b *mailbox) takeArrivedLocked(r *pendingRecv) *message {
 	if !r.wildcard() {
-		k := mkey{r.ctx, r.src, r.tag}
+		k := mkey{r.ctx, r.epoch, r.src, r.tag}
 		q := b.arrivedIdx[k]
 		if len(q) == 0 {
 			return nil
@@ -335,7 +405,7 @@ func (b *mailbox) takeArrivedLocked(r *pendingRecv) *message {
 		if m.taken || !r.matches(m) {
 			continue
 		}
-		k := mkey{m.ctx, m.src, m.tag}
+		k := mkey{m.ctx, m.epoch, m.src, m.tag}
 		q := b.arrivedIdx[k]
 		for j := range q {
 			if q[j] == m {
@@ -393,7 +463,7 @@ func (b *mailbox) post(r *pendingRecv) {
 		if b.exact == nil {
 			b.exact = make(map[mkey][]*pendingRecv)
 		}
-		k := mkey{r.ctx, r.src, r.tag}
+		k := mkey{r.ctx, r.epoch, r.src, r.tag}
 		b.exact[k] = append(b.exact[k], r)
 	}
 	b.mu.Unlock()
@@ -403,17 +473,17 @@ func (b *mailbox) post(r *pendingRecv) {
 // it, returning its envelope. Mirrors MPI_Iprobe. A fully-specified probe
 // is an O(1) index lookup regardless of the unexpected-queue depth; only
 // wildcard probes scan.
-func (b *mailbox) probe(ctx int64, src, tag int) (found bool, msgSrc, msgTag, elems int) {
+func (b *mailbox) probe(ctx, epoch int64, src, tag int) (found bool, msgSrc, msgTag, elems int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if src != AnySource && tag != AnyTag {
-		if q := b.arrivedIdx[mkey{ctx, src, tag}]; len(q) > 0 {
+		if q := b.arrivedIdx[mkey{ctx, epoch, src, tag}]; len(q) > 0 {
 			m := q[0]
 			return true, m.src, m.tag, m.elems
 		}
 		return false, 0, 0, 0
 	}
-	r := pendingRecv{ctx: ctx, src: src, tag: tag}
+	r := pendingRecv{ctx: ctx, epoch: epoch, src: src, tag: tag}
 	for _, m := range b.arrived {
 		probeScanned.Add(1)
 		if !m.taken && r.matches(m) {
@@ -468,8 +538,65 @@ func (b *mailbox) poisonMatching(cond func(*pendingRecv) error) {
 	}
 	b.mu.Unlock()
 	for i, r := range hit {
-		r.handover(&message{ctx: r.ctx, src: r.src, tag: r.tag, fail: errs[i]})
+		r.handover(&message{ctx: r.ctx, epoch: r.epoch, src: r.src, tag: r.tag, fail: errs[i]})
 	}
+}
+
+// drainBelowEpoch raises the mailbox's epoch floor and discards every
+// unexpected message from an older epoch: pre-failure stragglers that
+// arrived before recovery completed. Each discarded message returns its
+// pooled wire exactly once through the same release hook a normal
+// consume would have used. Pending receives from old epochs are poisoned
+// with ErrCancelled so no request blocks on traffic that can no longer
+// arrive. Fault-tolerance shadow contexts are exempt from both sweeps —
+// consensus retries legitimately reuse the old epoch (see epochFloor).
+// Returns the number of messages drained.
+func (b *mailbox) drainBelowEpoch(epoch int64) int {
+	b.mu.Lock()
+	if epoch <= b.epochFloor {
+		b.mu.Unlock()
+		return 0
+	}
+	b.epochFloor = epoch
+	var stale []*message
+	for _, m := range b.arrived {
+		if m.taken || m.epoch >= epoch || m.ctx&ftCtxBit != 0 {
+			continue
+		}
+		k := mkey{m.ctx, m.epoch, m.src, m.tag}
+		q := b.arrivedIdx[k]
+		for j := range q {
+			if q[j] == m {
+				q = append(q[:j], q[j+1:]...)
+				break
+			}
+		}
+		if len(q) == 0 {
+			delete(b.arrivedIdx, k)
+		} else {
+			b.arrivedIdx[k] = q
+		}
+		m.taken = true
+		b.arrivedTaken++
+		stale = append(stale, m)
+	}
+	b.compactArrivedLocked()
+	b.mu.Unlock()
+	for _, m := range stale {
+		b.discard(m)
+	}
+	if n := len(stale); n > 0 && b.met != nil {
+		b.met.staleDrained.Add(int64(n))
+	}
+	// Defensive: a receive posted under the old epoch can never match
+	// again; fail it now instead of waiting for the watchdog.
+	b.poisonMatching(func(r *pendingRecv) error {
+		if r.epoch < epoch && r.ctx&ftCtxBit == 0 {
+			return fmt.Errorf("stale-epoch receive drained during recovery: %w", ErrCancelled)
+		}
+		return nil
+	})
+	return len(stale)
 }
 
 // cancel removes a still-unmatched pending receive and reports whether it
@@ -506,7 +633,7 @@ func (b *mailbox) removeLocked(p *pendingRecv) bool {
 		}
 		return false
 	}
-	k := mkey{p.ctx, p.src, p.tag}
+	k := mkey{p.ctx, p.epoch, p.src, p.tag}
 	q := b.exact[k]
 	for i, r := range q {
 		if r == p {

@@ -28,6 +28,19 @@ import (
 //	mpi.wait.blocks         blocking waits that actually blocked
 //	mpi.wait.blocked_ns     nanoseconds spent blocked in Wait*/Waitsome
 //
+// Fault-injection and recovery (all zero on a clean run, so the metric
+// conservation laws of invariants.go are unaffected):
+//
+//	mpi.msg.dropped         messages lost by injected MsgDrop faults
+//	mpi.msg.duplicated      messages duplicated by injected MsgDup faults
+//	mpi.msg.dup_dropped     duplicate deliveries suppressed by the
+//	                        per-sender sequence dedup at this receiver
+//	mpi.recovery.shrinks    successful Shrink consensus rounds this rank
+//	                        participated in
+//	mpi.recovery.stale_drained  stale-epoch messages discarded at this
+//	                        rank's mailbox (drain sweep + floor check)
+//	mpi.epoch               the rank's current recovery epoch (gauge)
+//
 // The cart layer registers its schedule-level metrics in the same per-rank
 // set (see cart's accounting) so one snapshot covers the whole stack.
 type mpiMetrics struct {
@@ -46,6 +59,13 @@ type mpiMetrics struct {
 	unexpectedHWM *metrics.Gauge
 	waitBlocks    *metrics.Counter
 	waitBlockedNs *metrics.Counter
+
+	msgDropped    *metrics.Counter
+	msgDuplicated *metrics.Counter
+	dupDropped    *metrics.Counter
+	shrinks       *metrics.Counter
+	staleDrained  *metrics.Counter
+	epochGauge    *metrics.Gauge
 }
 
 // newMPIMetrics resolves the runtime's metric pointers in set.
@@ -65,6 +85,13 @@ func newMPIMetrics(set *metrics.Set) *mpiMetrics {
 		unexpectedHWM: set.Gauge("mpi.unexpected.hwm"),
 		waitBlocks:    set.Counter("mpi.wait.blocks"),
 		waitBlockedNs: set.Counter("mpi.wait.blocked_ns"),
+
+		msgDropped:    set.Counter("mpi.msg.dropped"),
+		msgDuplicated: set.Counter("mpi.msg.duplicated"),
+		dupDropped:    set.Counter("mpi.msg.dup_dropped"),
+		shrinks:       set.Counter("mpi.recovery.shrinks"),
+		staleDrained:  set.Counter("mpi.recovery.stale_drained"),
+		epochGauge:    set.Gauge("mpi.epoch"),
 	}
 }
 

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 	"unsafe"
 
@@ -14,6 +15,19 @@ import (
 func elemBytes[T any]() int {
 	var z T
 	return int(unsafe.Sizeof(z))
+}
+
+// clonePayload deep-copies a message payload (a boxed []T) for duplicate
+// injection. Reflection keeps it generic — this runs only on the injected
+// fault path, never on the hot path.
+func clonePayload(p any) any {
+	v := reflect.ValueOf(p)
+	if v.Kind() != reflect.Slice {
+		return p
+	}
+	out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+	reflect.Copy(out, v)
+	return out.Interface()
 }
 
 // isendRawTag posts a buffered send of an already-packed payload. detach
@@ -33,9 +47,11 @@ func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detac
 		met.sendsPosted.Inc()
 		met.sendBytes.Add(int64(nbytes))
 	}
+	rs.sendSeq++
 	m := &message{
-		ctx: c.ctx, src: c.rank, tag: int(tag), payload: payload,
+		ctx: c.ctx, epoch: c.epoch, src: c.rank, tag: int(tag), payload: payload,
 		elems: elems, bytes: nbytes, detach: detach, release: release,
+		srcWorld: rs.rank, sseq: rs.sendSeq,
 	}
 	dstWorld := c.worldRank(dst)
 	if err := c.opError(dstWorld, "send dst", dst, tag); err != nil {
@@ -46,6 +62,31 @@ func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detac
 			release(c.w, m)
 		}
 		return failedRequest(c, reqSend, err)
+	}
+	if rs.dropFor(dstWorld) {
+		// Injected transient fault: the message is lost on the wire. The
+		// send completes normally (buffered semantics — the sender cannot
+		// tell) and the payload's pooled wire goes straight back.
+		c.rs.box.discard(m)
+		if met := rs.met; met != nil {
+			met.msgDropped.Inc()
+		}
+		return &Request{kind: reqSend, c: c}
+	}
+	// An injected duplicate must carry its own copy of the payload: the
+	// original may be scattered zero-copy into the receiver's buffer the
+	// moment it is delivered, so the copy is taken now, while the payload
+	// is still intact. The duplicate keeps the original's send sequence
+	// number — that is what makes it a duplicate to the receiver's dedup.
+	var dup *message
+	if rs.dupFor(dstWorld) {
+		d := *m
+		d.payload = clonePayload(m.payload)
+		d.detach, d.release = nil, nil
+		dup = &d
+		if met := rs.met; met != nil {
+			met.msgDuplicated.Inc()
+		}
 	}
 	delayWall, delayV := rs.delayFor(dstWorld)
 	if delayWall > 0 && c.w.model == nil {
@@ -70,6 +111,9 @@ func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detac
 		}
 	}
 	c.w.ranks[dstWorld].box.deliver(m)
+	if dup != nil {
+		c.w.ranks[dstWorld].box.deliver(dup)
+	}
 	return &Request{kind: reqSend, c: c}
 }
 
@@ -101,15 +145,16 @@ func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, defe
 	if src != AnySource {
 		srcWorld = c.worldRank(src)
 	}
-	if err := c.opError(srcWorld, "recv src", src, tag); err != nil {
-		return failedRequest(c, reqRecv, err)
-	}
-	p := &pendingRecv{ctx: c.ctx, src: src, tag: int(tag), srcWorld: srcWorld, consume: consume, deferConsume: deferConsume, ready: make(chan *message, 1)}
+	p := &pendingRecv{ctx: c.ctx, epoch: c.epoch, src: src, tag: int(tag), srcWorld: srcWorld, consume: consume, deferConsume: deferConsume, ready: make(chan *message, 1)}
 	req := &Request{kind: reqRecv, c: c, pending: p}
+	// Post first, check faults after: a receive whose message has already
+	// arrived completes even if the sender has since failed (ULFM raises
+	// an error only for operations the failure makes impossible). The
+	// post-then-check order also closes the race with a concurrent failure
+	// or revocation — the fault layer poisons pending receives it finds in
+	// the mailbox, so a fault that slipped between the two steps is caught
+	// by the re-check, which cancels and poisons our own receive.
 	c.rs.box.post(p)
-	// Close the race with a concurrent failure or revocation: the fault
-	// layer poisons pending receives it finds in the mailbox, so re-check
-	// after posting and poison our own receive if it slipped past.
 	if err := c.opError(srcWorld, "recv src", src, tag); err != nil {
 		if removed, n, idx := c.rs.box.cancel(p); removed {
 			// Notify-then-ready, as in the matcher: signal any attached
@@ -118,7 +163,7 @@ func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, defe
 			if n != nil {
 				n <- idx
 			}
-			p.handover(&message{ctx: p.ctx, src: p.src, tag: p.tag, fail: err})
+			p.handover(&message{ctx: p.ctx, epoch: p.epoch, src: p.src, tag: p.tag, fail: err})
 		}
 	}
 	return req
@@ -303,7 +348,7 @@ func Iprobe(c *Comm, src, tag int) (found bool, st Status, err error) {
 			return false, Status{}, err
 		}
 	}
-	found, msgSrc, msgTag, elems := c.rs.box.probe(c.ctx, src, tag)
+	found, msgSrc, msgTag, elems := c.rs.box.probe(c.ctx, c.epoch, src, tag)
 	if !found {
 		return false, Status{}, nil
 	}

@@ -53,8 +53,11 @@ type World struct {
 
 	ranks  []*rankState
 	ctxSeq atomic.Int64
-	abort  chan struct{}
-	failed atomic.Bool
+	// epochSeq allocates recovery epoch numbers; the world starts in epoch
+	// 0 and each successful Shrink consensus advances it (ft.go).
+	epochSeq atomic.Int64
+	abort    chan struct{}
+	failed   atomic.Bool
 
 	// Error aggregation: primary holds every rank's own failure, cascade
 	// the secondary errors caused by the abort tearing down the rest.
@@ -124,8 +127,11 @@ type rankState struct {
 	clock      netmodel.Time
 	rng        *rand.Rand
 	box        mailbox
-	ops        int   // point-to-point operations posted (fault triggers)
-	delayCount []int // per-MsgDelay matching-message counters
+	ops        int    // point-to-point operations posted (fault triggers)
+	sendSeq    uint64 // per-sender send sequence (duplicate suppression)
+	delayCount []int  // per-MsgDelay matching-message counters
+	dropCount  []int  // per-MsgDrop matching-message counters
+	dupCount   []int  // per-MsgDup matching-message counters
 	// blockTimer is the rank's reusable fallback-watchdog timer, armed for
 	// each blocking wait (one at a time per goroutine) instead of
 	// allocating a fresh timer per block.
@@ -337,6 +343,11 @@ type Comm struct {
 	rank int
 	size int
 	ctx  int64
+	// epoch is the recovery epoch the communicator belongs to. The world
+	// communicator and everything derived from it start in epoch 0; Shrink
+	// stamps its survivors' communicator with a fresh epoch, and every
+	// message sent on a communicator carries its epoch in the match tuple.
+	epoch int64
 	// group maps communicator rank to world rank; nil for the world
 	// communicator (identity).
 	group []int
@@ -347,6 +358,13 @@ type Comm struct {
 
 // Rank returns the calling process's rank within the communicator.
 func (c *Comm) Rank() int { return c.rank }
+
+// Epoch returns the communicator's recovery epoch (0 until a Shrink).
+func (c *Comm) Epoch() int64 { return c.epoch }
+
+// WorldRank translates a communicator rank to the underlying world rank —
+// the identity survivors and failed ranks are named by across recoveries.
+func (c *Comm) WorldRank(r int) int { return c.worldRank(r) }
 
 // Size returns the number of processes in the communicator.
 func (c *Comm) Size() int { return c.size }
@@ -436,6 +454,55 @@ func (c *Comm) Remap(newToOld []int) (*Comm, error) {
 		rank:  myNew,
 		size:  c.size,
 		ctx:   ctx,
+		epoch: c.epoch,
+		group: group,
+	}, nil
+}
+
+// SubsetComm returns a communicator over the listed members of c,
+// renumbered 0..len(members)-1 in list order. Collective over all of c:
+// every rank must pass the same strictly increasing list of c-ranks (the
+// context allocation is the one collective step); ranks outside the list
+// participate and receive nil. Unlike Split, the membership is taken from
+// the caller instead of being gathered — recovery uses this to build the
+// survivor communicator from a membership every rank computed locally
+// from agreed data, with exactly one collective to fail atomically on.
+func (c *Comm) SubsetComm(members []int) (*Comm, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("mpi: SubsetComm: empty member list")
+	}
+	prev := -1
+	for _, r := range members {
+		if r < 0 || r >= c.size {
+			return nil, fmt.Errorf("mpi: SubsetComm: member %d outside [0,%d)", r, c.size)
+		}
+		if r <= prev {
+			return nil, fmt.Errorf("mpi: SubsetComm: member list not strictly increasing at %d", r)
+		}
+		prev = r
+	}
+	ctx, err := c.allocCtx(1)
+	if err != nil {
+		return nil, err
+	}
+	group := make([]int, len(members))
+	myNew := -1
+	for i, r := range members {
+		group[i] = c.worldRank(r)
+		if r == c.rank {
+			myNew = i
+		}
+	}
+	if myNew < 0 {
+		return nil, nil
+	}
+	return &Comm{
+		w:     c.w,
+		rs:    c.rs,
+		rank:  myNew,
+		size:  len(members),
+		ctx:   ctx,
+		epoch: c.epoch,
 		group: group,
 	}, nil
 }
@@ -507,6 +574,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		rank:  newRank,
 		size:  len(group),
 		ctx:   ctxBase + ctxOff,
+		epoch: c.epoch,
 		group: group,
 	}, nil
 }

@@ -14,7 +14,8 @@ import (
 // one-offs, duplicate offsets, offsets that wrap a small torus more than
 // once, every block size the cut-off analysis cares about, preset and
 // randomly drawn cost models, and (about a quarter of the time) injected
-// rank crashes.
+// faults — rank crashes, transient message drops and duplicate
+// deliveries, pure and mixed.
 func Generate(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	d := rng.Intn(3) + 1
@@ -71,11 +72,31 @@ func Generate(seed int64) Scenario {
 	}
 	if rng.Intn(4) == 0 {
 		f := &FaultSpec{}
-		for n := rng.Intn(2) + 1; n > 0; n-- {
-			f.Crashes = append(f.Crashes, CrashSpec{
-				Rank: rng.Intn(procs),
-				AtOp: rng.Intn(20) + 1,
-			})
+		// kind 0: crashes only; 1: transient wire faults only; 2: both —
+		// so recovery, dedup and the drop watchdog each get pure and mixed
+		// exposure.
+		kind := rng.Intn(3)
+		if kind != 1 {
+			for n := rng.Intn(2) + 1; n > 0; n-- {
+				f.Crashes = append(f.Crashes, CrashSpec{
+					Rank: rng.Intn(procs),
+					AtOp: rng.Intn(20) + 1,
+				})
+			}
+		}
+		if kind != 0 {
+			for n := rng.Intn(2) + 1; n > 0; n-- {
+				t := TransientSpec{
+					From: rng.Intn(procs),
+					To:   rng.Intn(procs),
+					Nth:  rng.Intn(12) + 1,
+				}
+				if rng.Intn(2) == 0 {
+					f.Drops = append(f.Drops, t)
+				} else {
+					f.Dups = append(f.Dups, t)
+				}
+			}
 		}
 		sc.Faults = f
 	}

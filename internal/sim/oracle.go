@@ -217,8 +217,15 @@ func checkLegInternals(sc *Scenario, leg string, algo cart.Algorithm, out *legOu
 //     matching receive flow).
 //  5. faults — when the scenario carries a fault plan, the reference leg
 //     re-runs under it: the run must either fail with a typed rank
-//     failure (or its cascade) or complete with correct payloads;
-//     watchdog deadlocks and foreign errors are harness catches.
+//     failure (or its cascade) or complete with correct payloads.
+//     Watchdog deadlocks are a legitimate terminal outcome only for
+//     plans that drop messages; dup-only plans must complete cleanly
+//     (the mailbox dedup suppresses the duplicates); everything else is
+//     a harness catch.
+//  6. recovery — crash scenarios re-run under the self-healing wrapper
+//     (cart.Recoverable), once per re-embedding policy: every run must
+//     end verified-recovered (payloads equal a fresh run on the final
+//     shrunken shape) or typed-terminal (see CheckRecovery).
 //
 // Each fault-free leg additionally self-checks: re-execution idempotence,
 // predicted-vs-observed accounting (`Plan.Stats`), and runtime metric
@@ -296,21 +303,37 @@ func CheckScenario(sc Scenario, opt Options) *Failure {
 
 	// Fault leg: the run must fail in a typed, diagnosable way — or
 	// survive with correct data. Hangs are caught by the watchdog and
-	// classified as deadlocks.
-	if sc.Faults != nil && len(sc.Faults.Crashes) > 0 {
+	// classified as deadlocks; a deadlock is a legitimate terminal outcome
+	// only when the plan drops messages (a lost message a collective
+	// depends on has no other honest ending), and duplicate deliveries
+	// must be invisible — the mailbox dedup suppresses them, so a
+	// dup-only plan must complete with clean payloads.
+	if sc.Faults.active() {
 		out, err := runLeg(&sc, cart.Trivial, nil, nil, nil, sc.faultPlan())
+		var dl *mpi.DeadlockError
 		switch {
 		case err == nil:
 			if f := comparePayloads("fault-clean", ref.recv, out.recv); f != nil {
 				return f
 			}
-		case strings.Contains(err.Error(), "deadlock suspected"):
-			return fail("deadlock", "%v", err)
+		case errors.As(err, &dl) || strings.Contains(err.Error(), "deadlock suspected"):
+			if len(sc.Faults.Drops) == 0 {
+				return fail("deadlock", "%v", err)
+			}
 		case mpi.IsRankFailed(err) || errors.Is(err, mpi.ErrAborted):
-			// The expected ULFM-style outcome.
+			if len(sc.Faults.Crashes) == 0 {
+				return fail("fault-unexpected-error", "rank failure without an injected crash: %v", err)
+			}
 		default:
 			return fail("fault-unexpected-error", "%v", err)
 		}
+	}
+
+	// Recovery leg: scenarios with injected crashes additionally run the
+	// collective under the self-healing wrapper; every run must end
+	// verified-recovered or typed-terminal, never silently wrong.
+	if _, f := CheckRecovery(sc); f != nil {
+		return f
 	}
 	return nil
 }

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+)
+
+// RecoveryCategory classifies how one scenario ends under the self-healing
+// wrapper. The contract the chaos sweep enforces: every run is either
+// verified-recovered or typed-terminal — "failed to recover" (silent data
+// corruption, untyped errors, ranks vanishing without cause) is a bug.
+type RecoveryCategory string
+
+const (
+	// RecoveryFaultFree: the scenario injects nothing, the leg does not run.
+	RecoveryFaultFree RecoveryCategory = "fault-free"
+	// RecoveryRecovered: every surviving rank finished on a (possibly
+	// shrunken) world and its payloads match a fresh fault-free run of the
+	// same collective on that world's shape.
+	RecoveryRecovered RecoveryCategory = "recovered"
+	// RecoveryTerminal: the run ended with a typed, diagnosable error on
+	// some rank — unrecoverable survivor sets, recovery budget exhausted,
+	// the whole world dead, or a watchdog deadlock caused by a dropped
+	// message. Terminal is an acceptable ending; silence is not.
+	RecoveryTerminal RecoveryCategory = "terminal"
+)
+
+// recoveryLegs are the policy × executor combinations the recovery oracle
+// drives; between them they cover both re-embeddings and both schedule
+// families (the trivial reference and the combining pipelined executor).
+var recoveryLegs = []struct {
+	name   string
+	policy cart.ReembedPolicy
+	algo   cart.Algorithm
+}{
+	{"dense-trivial", cart.DenseRelabel, cart.Trivial},
+	{"collapse-pipelined", cart.CollapseSlab, cart.Combining},
+}
+
+// recoveryOutcome is what one rank reports from a recoverable run.
+type recoveryOutcome struct {
+	done       bool // body returned (crashed ranks never set this)
+	err        error
+	spare      bool
+	recoveries int
+	dims       []int // final grid shape; nil for spares and errors
+	rank       int   // rank within the final world
+	recv       []int64
+}
+
+// CheckRecovery runs the scenario's collective under cart.Recoverable —
+// once per re-embedding policy — and classifies the ending. A non-nil
+// Failure means the self-healing contract broke: a rank finished with
+// wrong data, an untyped error, or no explanation at all. When both legs
+// run, the pessimistic category wins (any terminal leg makes the scenario
+// terminal).
+func CheckRecovery(sc Scenario) (RecoveryCategory, *Failure) {
+	if err := sc.Validate(); err != nil {
+		return RecoveryFaultFree, fail("invalid-scenario", "%v", err)
+	}
+	// Without a crash there is nothing to recover from; drop/dup-only
+	// scenarios are covered by the plain fault leg.
+	if sc.Faults == nil || len(sc.Faults.Crashes) == 0 {
+		return RecoveryFaultFree, nil
+	}
+	cat := RecoveryRecovered
+	for _, leg := range recoveryLegs {
+		c, f := runRecoveryLeg(&sc, leg.name, leg.policy, leg.algo)
+		if f != nil {
+			return c, f
+		}
+		if c == RecoveryTerminal {
+			cat = RecoveryTerminal
+		}
+	}
+	return cat, nil
+}
+
+// runRecoveryLeg executes one policy × executor combination under the
+// scenario's fault plan and verifies every completed rank's payloads
+// against a fresh fault-free run on the same final shape (shapes differ
+// across runs only in which crashes the consensus absorbed together, so
+// the oracle is keyed by shape, not assumed globally).
+func runRecoveryLeg(sc *Scenario, leg string, policy cart.ReembedPolicy, algo cart.Algorithm) (RecoveryCategory, *Failure) {
+	p := sc.Procs()
+	nbh := sc.nbh()
+	m := sc.BlockSize
+	op := cart.OpAlltoall
+	if sc.Op == "allgather" {
+		op = cart.OpAllgather
+	}
+	outs := make([]*recoveryOutcome, p)
+	crashed := make(map[int]bool)
+	for _, c := range sc.Faults.Crashes {
+		crashed[c.Rank] = true
+	}
+	runErr := mpi.Run(mpi.Config{
+		Procs:   p,
+		Timeout: 30 * time.Second,
+		Seed:    sc.ModelSeed,
+		Faults:  sc.faultPlan(),
+	}, func(w *mpi.Comm) error {
+		ro := &recoveryOutcome{}
+		outs[w.Rank()] = ro
+		cc, err := cart.NeighborhoodCreate(w, sc.Dims, sc.Periods, nbh, nil)
+		if err != nil {
+			// ULFM discipline: a failed collective is not observed
+			// uniformly, so revoke before bailing — peers still blocked
+			// inside the create are poisoned out with a typed error
+			// instead of deadlocking on a member that already left.
+			w.Revoke()
+			ro.err, ro.done = err, true
+			return nil
+		}
+		out, recv, err := cart.RunRecoverable(cc, cart.RecoverConfig{Policy: policy}, op, m, algo)
+		ro.err = err
+		if out != nil {
+			ro.spare = out.Spare
+			ro.recoveries = out.Recoveries
+			if err == nil && out.Comm != nil {
+				ro.dims = append([]int(nil), out.Comm.Grid().Dims...)
+				ro.rank = out.Comm.Rank()
+				ro.recv = recv
+			}
+		}
+		ro.done = true
+		// Always nil: the injected crash stays the run's only primary
+		// error, and classification works off the per-rank outcomes.
+		return nil
+	})
+
+	// The run's primary error is the injected crash itself (recorded
+	// without aborting the run); everything else classification needs is
+	// in the per-rank outcomes. The one whole-run check: a watchdog
+	// deadlock is only an honest ending when the plan drops messages —
+	// crashes alone must always resolve through typed recovery.
+	var dl *mpi.DeadlockError
+	if errors.As(runErr, &dl) && len(sc.Faults.Drops) == 0 {
+		return RecoveryTerminal, fail("recovery", "%s: deadlock without injected message drops: %v", leg, runErr)
+	}
+	cat := RecoveryRecovered
+	oracles := map[string][][]int64{}
+	for r, ro := range outs {
+		switch {
+		case ro == nil || !ro.done:
+			if !crashed[r] {
+				return cat, fail("recovery", "%s: rank %d vanished without a crash or an error", leg, r)
+			}
+		case ro.err != nil:
+			if !terminalRecoveryErr(ro.err, sc) {
+				return cat, fail("recovery", "%s: rank %d failed to recover: %v", leg, r, ro.err)
+			}
+			cat = RecoveryTerminal
+		case ro.spare:
+			// Survived, left the grid; nothing to verify.
+		case ro.dims == nil:
+			return cat, fail("recovery", "%s: rank %d returned no error, no world and no spare flag", leg, r)
+		default:
+			key := fmt.Sprint(ro.dims)
+			want, ok := oracles[key]
+			if !ok {
+				fresh, f := freshRecovery(sc, leg, ro.dims, op, m, policy, algo)
+				if f != nil {
+					return cat, f
+				}
+				oracles[key], want = fresh, fresh
+			}
+			if !reflect.DeepEqual(ro.recv, want[ro.rank]) {
+				return cat, fail("recovery", "%s: world rank %d (rank %d of recovered %v): recovered payloads %v, fresh run has %v",
+					leg, r, ro.rank, ro.dims, ro.recv, want[ro.rank])
+			}
+		}
+	}
+	return cat, nil
+}
+
+// terminalRecoveryErr reports whether a rank's final error is an
+// acceptable typed ending for this scenario: the ULFM failure classes,
+// recovery giving up for a stated reason, or — only when the plan drops
+// messages — a watchdog deadlock diagnosis.
+func terminalRecoveryErr(err error, sc *Scenario) bool {
+	var dl *mpi.DeadlockError
+	if errors.As(err, &dl) ||
+		strings.Contains(err.Error(), "deadlock suspected") ||
+		strings.Contains(err.Error(), "deadlock detected") {
+		return len(sc.Faults.Drops) > 0
+	}
+	return mpi.IsRankFailed(err) ||
+		errors.Is(err, mpi.ErrAborted) ||
+		errors.Is(err, mpi.ErrRevoked) ||
+		errors.Is(err, mpi.ErrRecoveryFailed) ||
+		errors.Is(err, cart.ErrUnrecoverable)
+}
+
+// freshRecovery computes the differential oracle for one recovered shape:
+// the same collective, block size and executor on a fresh fault-free world
+// of exactly that shape. Payload convention matches RunRecoverable
+// (send[i] = rank*1_000_000 + i), so a recovered rank's buffers must be
+// byte-identical to its counterpart's here.
+func freshRecovery(sc *Scenario, leg string, dims []int, op cart.OpKind, m int, policy cart.ReembedPolicy, algo cart.Algorithm) ([][]int64, *Failure) {
+	procs := 1
+	for _, d := range dims {
+		procs *= d
+	}
+	recvs := make([][]int64, procs)
+	err := mpi.Run(mpi.Config{Procs: procs, Timeout: 30 * time.Second}, func(w *mpi.Comm) error {
+		cc, err := cart.NeighborhoodCreate(w, dims, sc.Periods, sc.nbh(), nil)
+		if err != nil {
+			return err
+		}
+		_, recv, err := cart.RunRecoverable(cc, cart.RecoverConfig{Policy: policy}, op, m, algo)
+		if err != nil {
+			return err
+		}
+		recvs[w.Rank()] = recv
+		return nil
+	})
+	if err != nil {
+		return nil, fail("recovery", "%s: fresh-world oracle for shape %v failed: %v", leg, dims, err)
+	}
+	return recvs, nil
+}

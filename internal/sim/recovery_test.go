@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// TestCheckRecoverySweep pins the self-healing contract over a block of
+// generated scenarios: every crash scenario must end verified-recovered or
+// typed-terminal — never a Failure — and the classification must be
+// deterministic, since CI replays failing seeds by number.
+func TestCheckRecoverySweep(t *testing.T) {
+	n := int64(120)
+	if testing.Short() {
+		n = 30
+	}
+	counts := map[RecoveryCategory]int{}
+	for seed := int64(0); seed < n; seed++ {
+		sc := Generate(seed)
+		cat, f := CheckRecovery(sc)
+		if f != nil {
+			t.Fatalf("seed %d (%s): %s", seed, sc.Fingerprint(), f)
+		}
+		again, f := CheckRecovery(sc)
+		if f != nil || again != cat {
+			t.Fatalf("seed %d: classification not deterministic: %s then %s (%v)", seed, cat, again, f)
+		}
+		counts[cat]++
+	}
+	if counts[RecoveryRecovered] == 0 {
+		t.Errorf("%d seeds never produced a verified recovery: %v", n, counts)
+	}
+	if !testing.Short() && counts[RecoveryTerminal] == 0 {
+		t.Errorf("%d seeds never produced a typed-terminal ending: %v", n, counts)
+	}
+	t.Logf("recovery sweep over %d seeds: %v", n, counts)
+}
+
+// TestCheckRecoveryCrashRecovered is the acceptance scenario in miniature:
+// one rank of a 2×3 torus crashes mid-collective, and both policy ×
+// executor legs must shrink, re-embed, re-execute and verify payloads
+// against a fresh world of the recovered shape.
+func TestCheckRecoveryCrashRecovered(t *testing.T) {
+	sc := Scenario{
+		Dims:         []int{2, 3},
+		Periods:      []bool{true, true},
+		Neighborhood: [][]int{{0, 1}, {1, 0}, {0, -1}},
+		Op:           "alltoall",
+		BlockSize:    2,
+		Preset:       "hydra",
+		Faults:       &FaultSpec{Crashes: []CrashSpec{{Rank: 4, AtOp: 30}}},
+	}
+	cat, f := CheckRecovery(sc)
+	if f != nil {
+		t.Fatalf("crafted crash scenario failed to recover: %s", f)
+	}
+	if cat != RecoveryRecovered {
+		t.Fatalf("crafted crash scenario classified %s, want %s", cat, RecoveryRecovered)
+	}
+}
+
+// TestCheckRecoveryFaultFree pins that the recovery leg stays out of the
+// way for scenarios with nothing to recover from: no faults at all, and
+// transient-only plans (those are the plain fault leg's job).
+func TestCheckRecoveryFaultFree(t *testing.T) {
+	sc := mutationScenario()
+	if cat, f := CheckRecovery(sc); f != nil || cat != RecoveryFaultFree {
+		t.Fatalf("clean scenario: got %s, %v", cat, f)
+	}
+	sc.Faults = &FaultSpec{Drops: []TransientSpec{{From: 0, To: 1, Nth: 1}}}
+	if cat, f := CheckRecovery(sc); f != nil || cat != RecoveryFaultFree {
+		t.Fatalf("transient-only scenario: got %s, %v", cat, f)
+	}
+}

@@ -35,15 +35,34 @@ type Scenario struct {
 }
 
 // FaultSpec is the serializable subset of mpi.FaultPlan the generator
-// draws from: deterministic rank crashes at operation counts.
+// draws from: deterministic rank crashes at operation counts, plus
+// transient wire faults — message drops and duplicate deliveries — pinned
+// to the Nth matching message so the injection replays bit-identically
+// (no probabilistic triggers in the simulator; determinism is the point).
 type FaultSpec struct {
-	Crashes []CrashSpec `json:"crashes"`
+	Crashes []CrashSpec     `json:"crashes,omitempty"`
+	Drops   []TransientSpec `json:"drops,omitempty"`
+	Dups    []TransientSpec `json:"dups,omitempty"`
 }
 
 // CrashSpec kills one rank before its AtOp-th point-to-point operation.
 type CrashSpec struct {
 	Rank int `json:"rank"`
 	AtOp int `json:"at_op"`
+}
+
+// TransientSpec selects the Nth message a sender delivers to a receiver
+// (1-based, counted at the sender) for a transient fault: lost on the wire
+// for a drop, delivered twice for a duplicate.
+type TransientSpec struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Nth  int `json:"nth"`
+}
+
+// active reports whether the spec injects anything at all.
+func (f *FaultSpec) active() bool {
+	return f != nil && (len(f.Crashes) > 0 || len(f.Drops) > 0 || len(f.Dups) > 0)
 }
 
 // Procs returns the scenario's world size.
@@ -86,12 +105,18 @@ func (sc *Scenario) model() (*netmodel.Model, error) {
 
 // faultPlan converts the fault spec; nil when the scenario is fault-free.
 func (sc *Scenario) faultPlan() *mpi.FaultPlan {
-	if sc.Faults == nil || len(sc.Faults.Crashes) == 0 {
+	if !sc.Faults.active() {
 		return nil
 	}
 	fp := &mpi.FaultPlan{}
 	for _, c := range sc.Faults.Crashes {
 		fp.Crashes = append(fp.Crashes, mpi.Crash{Rank: c.Rank, AtOp: c.AtOp})
+	}
+	for _, d := range sc.Faults.Drops {
+		fp.Drops = append(fp.Drops, mpi.MsgDrop{From: d.From, To: d.To, Nth: d.Nth})
+	}
+	for _, d := range sc.Faults.Dups {
+		fp.Dups = append(fp.Dups, mpi.MsgDup{From: d.From, To: d.To, Nth: d.Nth})
 	}
 	return fp
 }
@@ -137,6 +162,19 @@ func (sc *Scenario) Validate() error {
 				return fmt.Errorf("sim: crash at op %d < 1", c.AtOp)
 			}
 		}
+		for _, kind := range []struct {
+			name  string
+			specs []TransientSpec
+		}{{"drop", sc.Faults.Drops}, {"dup", sc.Faults.Dups}} {
+			for _, t := range kind.specs {
+				if t.From < 0 || t.From >= p || t.To < 0 || t.To >= p {
+					return fmt.Errorf("sim: %s names rank outside world of %d", kind.name, p)
+				}
+				if t.Nth < 1 {
+					return fmt.Errorf("sim: %s with Nth %d < 1 would not replay deterministically", kind.name, t.Nth)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -160,6 +198,12 @@ func (sc *Scenario) Fingerprint() string {
 		len(sc.Neighborhood), sc.Op, sc.BlockSize, model)
 	if sc.Faults != nil && len(sc.Faults.Crashes) > 0 {
 		s += fmt.Sprintf(" crashes=%d", len(sc.Faults.Crashes))
+	}
+	if sc.Faults != nil && len(sc.Faults.Drops) > 0 {
+		s += fmt.Sprintf(" drops=%d", len(sc.Faults.Drops))
+	}
+	if sc.Faults != nil && len(sc.Faults.Dups) > 0 {
+		s += fmt.Sprintf(" dups=%d", len(sc.Faults.Dups))
 	}
 	return s
 }

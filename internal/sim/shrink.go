@@ -96,7 +96,27 @@ func shrinkStep(sc Scenario, fails func(Scenario) bool) (Scenario, bool) {
 		for i := range sc.Faults.Crashes {
 			cand := clone(sc)
 			cand.Faults.Crashes = append(cand.Faults.Crashes[:i:i], cand.Faults.Crashes[i+1:]...)
-			if len(cand.Faults.Crashes) == 0 {
+			if !cand.Faults.active() {
+				cand.Faults = nil
+			}
+			if fails(cand) {
+				return cand, true
+			}
+		}
+		for i := range sc.Faults.Drops {
+			cand := clone(sc)
+			cand.Faults.Drops = append(cand.Faults.Drops[:i:i], cand.Faults.Drops[i+1:]...)
+			if !cand.Faults.active() {
+				cand.Faults = nil
+			}
+			if fails(cand) {
+				return cand, true
+			}
+		}
+		for i := range sc.Faults.Dups {
+			cand := clone(sc)
+			cand.Faults.Dups = append(cand.Faults.Dups[:i:i], cand.Faults.Dups[i+1:]...)
+			if !cand.Faults.active() {
 				cand.Faults = nil
 			}
 			if fails(cand) {
@@ -139,7 +159,7 @@ func dropDim(sc Scenario, k int) Scenario {
 	return clampCrashRanks(cand)
 }
 
-// clampCrashRanks keeps crash targets inside a shrunken world.
+// clampCrashRanks keeps fault targets inside a shrunken world.
 func clampCrashRanks(sc Scenario) Scenario {
 	if sc.Faults == nil {
 		return sc
@@ -148,6 +168,16 @@ func clampCrashRanks(sc Scenario) Scenario {
 	for i := range sc.Faults.Crashes {
 		if sc.Faults.Crashes[i].Rank >= p {
 			sc.Faults.Crashes[i].Rank = p - 1
+		}
+	}
+	for _, specs := range [][]TransientSpec{sc.Faults.Drops, sc.Faults.Dups} {
+		for i := range specs {
+			if specs[i].From >= p {
+				specs[i].From = p - 1
+			}
+			if specs[i].To >= p {
+				specs[i].To = p - 1
+			}
 		}
 	}
 	// Collapsing ranks can create duplicate crashes; dedup for a tidier
@@ -179,8 +209,11 @@ func clone(sc Scenario) Scenario {
 		out.Neighborhood[i] = append([]int(nil), off...)
 	}
 	if sc.Faults != nil {
-		f := &FaultSpec{Crashes: append([]CrashSpec(nil), sc.Faults.Crashes...)}
-		out.Faults = f
+		out.Faults = &FaultSpec{
+			Crashes: append([]CrashSpec(nil), sc.Faults.Crashes...),
+			Drops:   append([]TransientSpec(nil), sc.Faults.Drops...),
+			Dups:    append([]TransientSpec(nil), sc.Faults.Dups...),
+		}
 	}
 	return out
 }

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RecoveryLog records shrink-and-re-embed recovery windows so a capture of
+// a faulty run shows the outage: one span per (rank, recovery), from the
+// moment the rank entered recovery to the moment it resumed on the new
+// epoch's communicator. Ranks record concurrently (recovery is inherently
+// concurrent), so unlike Recorder/RoundLog the log is mutex-guarded; the
+// nanoseconds of lock overhead are irrelevant next to a consensus round.
+type RecoveryLog struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []RecoverySpan
+}
+
+// RecoverySpan is one rank's recovery window.
+type RecoverySpan struct {
+	Rank  int
+	Epoch int64         // epoch the rank recovered INTO
+	Dead  []int         // world ranks declared dead by this recovery
+	Start time.Duration // offsets from the log's creation
+	End   time.Duration
+}
+
+// NewRecoveryLog starts a log; span offsets are relative to this call, so
+// create it alongside the RoundLogs that share the wall clock.
+func NewRecoveryLog() *RecoveryLog {
+	return &RecoveryLog{start: time.Now()}
+}
+
+// Now returns the current offset on the log's clock.
+func (l *RecoveryLog) Now() time.Duration { return time.Since(l.start) }
+
+// Add records one recovery window. Safe for concurrent use.
+func (l *RecoveryLog) Add(s RecoverySpan) {
+	l.mu.Lock()
+	l.spans = append(l.spans, s)
+	l.mu.Unlock()
+}
+
+// Spans returns a snapshot of the recorded windows.
+func (l *RecoveryLog) Spans() []RecoverySpan {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]RecoverySpan(nil), l.spans...)
+}
+
+// Export replays the recovery windows into the timeline: one thread per
+// rank, a "recovery" slice per window named with the epoch entered and the
+// dead set, so the outage is visible as a distinct band in Perfetto.
+func (l *RecoveryLog) Export(tl *Timeline, pid int) {
+	for _, s := range l.Spans() {
+		tr := Track{pid, s.Rank}
+		tl.SetThread(tr, fmt.Sprintf("rank %d", s.Rank))
+		tl.AddSpan(Span{
+			Track:   tr,
+			Name:    fmt.Sprintf("recovery→epoch %d (dead %v)", s.Epoch, s.Dead),
+			Cat:     "recovery",
+			StartNs: s.Start.Nanoseconds(),
+			DurNs:   (s.End - s.Start).Nanoseconds(),
+			Peer:    len(s.Dead),
+			Tag:     int(s.Epoch),
+		})
+	}
+}
