@@ -40,6 +40,7 @@ import (
 	"cartcc/internal/mpi"
 	"cartcc/internal/netmodel"
 	"cartcc/internal/stencil"
+	"cartcc/internal/tune"
 	"cartcc/internal/vec"
 )
 
@@ -226,11 +227,15 @@ type Comm = cart.Comm
 // Trivial (Listing 4) or Auto (analytic cut-off per operation).
 type Algorithm = cart.Algorithm
 
-// Schedule families.
+// Schedule families. AlgorithmAuto is the self-tuning selector — the
+// default of NeighborhoodCreate — which picks Trivial or Combining per
+// (operation, neighborhood, block size) from a calibrated machine
+// profile; Auto is its short alias.
 const (
-	Combining = cart.Combining
-	Trivial   = cart.Trivial
-	Auto      = cart.Auto
+	Combining     = cart.Combining
+	Trivial       = cart.Trivial
+	Auto          = cart.Auto
+	AlgorithmAuto = cart.Auto
 )
 
 // ProcNull marks a missing neighbor on a non-periodic mesh.
@@ -382,6 +387,89 @@ type ScheduleStats = cart.Stats
 
 // ComputeStats derives the Table 1 quantities from a neighborhood.
 func ComputeStats(nbh Neighborhood) ScheduleStats { return cart.ComputeStats(nbh) }
+
+// ---------------------------------------------------------------------
+// Self-tuning algorithm selection and the compiled-plan cache.
+// ---------------------------------------------------------------------
+
+// Decision records one Auto algorithm selection: the inputs, both
+// predicted costs, the crossover block size and the pick. Retrieve it
+// from a plan with (*Plan).Decision after its first execution.
+type Decision = cart.Decision
+
+// OpKind names a collective operation family in selection records.
+type OpKind = cart.OpKind
+
+// Collective operation kinds.
+const (
+	OpAlltoall  = cart.OpAlltoall
+	OpAllgather = cart.OpAllgather
+)
+
+// MachineProfile holds the calibrated machine constants the Auto
+// selector uses: α (per-message latency), β (per-byte transfer time) and
+// the send/receive CPU overheads, all in seconds.
+type MachineProfile = tune.Profile
+
+// CalibrateConfig bounds a calibration: probe count and the large-probe
+// payload size.
+type CalibrateConfig = tune.CalibrateConfig
+
+// DefaultMachineProfile returns the built-in fallback constants (the
+// paper's Hydra system), used when no cost model and no measured
+// profile is available.
+func DefaultMachineProfile() MachineProfile { return tune.Default() }
+
+// Calibrate estimates the machine constants from seeded micro-probes
+// over the live world (collective over c): ping-pongs for α and β, a
+// nonblocking burst for the send/receive overheads. Under a virtual-time
+// cost model it returns the model's constants deterministically. Install
+// the result with SetMachineProfile to steer Auto selections.
+func Calibrate(c *ProcComm, cfgs ...CalibrateConfig) (MachineProfile, error) {
+	return tune.Calibrate(c, cfgs...)
+}
+
+// SetMachineProfile installs p as the process-wide measured profile;
+// Auto selections on worlds without a cost model use it.
+func SetMachineProfile(p MachineProfile) error { return tune.SetMachine(p) }
+
+// MachineProfileInstalled returns the installed measured profile, if any.
+func MachineProfileInstalled() (MachineProfile, bool) { return tune.Machine() }
+
+// ClearMachineProfile removes the installed profile; Auto falls back to
+// the built-in default constants.
+func ClearMachineProfile() { tune.ClearMachine() }
+
+// SaveMachineProfile persists a profile as JSON.
+func SaveMachineProfile(path string, p MachineProfile) error { return tune.Save(path, p) }
+
+// LoadMachineProfile reads a profile saved by SaveMachineProfile.
+func LoadMachineProfile(path string) (MachineProfile, error) { return tune.Load(path) }
+
+// DecideAlgorithm evaluates the selection model directly: given the
+// operation, the neighborhood statistics (t trivial rounds, c combining
+// rounds, v combining volume in blocks, d grid dimensions), the mean
+// block size in bytes and a machine profile, it returns the full
+// decision record. Pure — cartinfo uses it to print selection tables
+// without building a world.
+func DecideAlgorithm(op OpKind, t, c, v, d int, blockBytes float64, prof MachineProfile) Decision {
+	return cart.Decide(op, t, c, v, d, blockBytes, prof)
+}
+
+// PlanCacheStats is a snapshot of the shared compiled-plan cache:
+// occupancy, capacity, retained bytes and hit/miss/eviction counters.
+type PlanCacheStats = cart.PlanCacheStats
+
+// SnapshotPlanCache returns the current plan-cache statistics.
+func SnapshotPlanCache() PlanCacheStats { return cart.SnapshotPlanCache() }
+
+// SetPlanCacheCapacity bounds the shared plan cache to n entries
+// (0 disables caching), evicting least-recently-used entries as needed;
+// it returns the previous capacity.
+func SetPlanCacheCapacity(n int) int { return cart.SetPlanCacheCapacity(n) }
+
+// ResetPlanCache discards every cached plan and zeroes the statistics.
+func ResetPlanCache() { cart.ResetPlanCache() }
 
 // ---------------------------------------------------------------------
 // Cost models (the evaluation substrate).

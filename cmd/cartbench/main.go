@@ -11,7 +11,9 @@
 // charts of one exchange), scaling (p-independence check), mesh
 // (non-periodic pruned schedules), reduce and reorder (the implemented
 // extensions), predict (analytic model), chaos (injected-fault sweep with
-// survivor recovery and deadlock diagnosis), trace (Perfetto/Chrome trace
+// survivor recovery and deadlock diagnosis), allocs and pipeline
+// (perf-trajectory records BENCH_P2/P3), autotune (Auto vs fixed
+// algorithms with the 1.05x perf gate, BENCH_P7), trace (Perfetto/Chrome trace
 // capture with metrics and predicted-vs-observed accounting; -o sets the
 // output path), and all.
 //
@@ -74,7 +76,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos trace all")
+		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos allocs pipeline autotune trace all")
 		os.Exit(2)
 	}
 	mode := renderText
@@ -153,6 +155,8 @@ func run(name string, sc bench.Scale, mode renderMode) error {
 		return allocsExperiment(sc)
 	case "pipeline":
 		return pipelineExperiment(sc)
+	case "autotune":
+		return autotuneExperiment(sc)
 	case "trace":
 		return traceExperiment()
 	default:
@@ -234,6 +238,41 @@ func pipelineExperiment(sc bench.Scale) error {
 	}
 	fmt.Println("wrote BENCH_P3.json")
 	return nil
+}
+
+// autotuneExperiment sweeps the Auto-selected schedule against both
+// fixed algorithms under the hydra cost model — (op, stencil, block
+// size) — records the sweep in BENCH_P7.json, and enforces the perf
+// gate: at every swept point the autotuned virtual time must be within
+// bench.AutotuneGateRatio of the best fixed algorithm.
+func autotuneExperiment(sc bench.Scale) error {
+	cfg := bench.AutotuneConfig{}
+	if sc.Reps > 0 && sc.Reps < bench.DefaultScale.Reps {
+		cfg.Iters = 2 // quick scale
+	}
+	rep, err := bench.RunAutotuneBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatAutotuneReport(rep))
+	rec := &bench.BenchP7{
+		Description: "Self-tuning algorithm selection: virtual-time ns/op (hydra model) of Algorithm Auto vs fixed trivial/combining for Cart_alltoall and Cart_allgather on 2-d and 3-d stencil tori (int32 blocks), with the selector's pick and predicted crossover per point; the gate demands auto within 1.05x of the best fixed algorithm everywhere.",
+		After:       rep,
+	}
+	// Track the trajectory: the previous sweep (its baseline if it had one,
+	// else its result) becomes the "before" of this record.
+	if prev, err := bench.ReadBenchP7("BENCH_P7.json"); err == nil && prev != nil {
+		if prev.Before != nil {
+			rec.Before = prev.Before
+		} else {
+			rec.Before = prev.After
+		}
+	}
+	if err := bench.WriteBenchP7("BENCH_P7.json", rec); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_P7.json")
+	return bench.GateAutotune(rep)
 }
 
 // traceOutPath is the -o flag value, bound in main.

@@ -10,6 +10,7 @@
 //	cartinfo -offsets "0,1;1,0;-1,-1" # explicit offset list (d inferred)
 //	cartinfo -d 3 -moore 2            # Moore neighborhood of radius 2
 //	cartinfo -d 4 -vonneumann 1       # von Neumann (2d+1-point) stencil
+//	cartinfo -d 2 -n 3 -select       # Auto selection table + live cache demo
 package main
 
 import (
@@ -22,7 +23,9 @@ import (
 	"strings"
 
 	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
 	"cartcc/internal/netmodel"
+	"cartcc/internal/tune"
 	"cartcc/internal/vec"
 )
 
@@ -34,6 +37,9 @@ func main() {
 	vonNeumann := flag.Int("vonneumann", 0, "von Neumann neighborhood radius (with -d)")
 	offsets := flag.String("offsets", "", "explicit neighborhood: offsets separated by ';', coordinates by ','")
 	schedule := flag.Bool("schedule", false, "print the full round-by-round schedules and the allgather tree")
+	sel := flag.Bool("select", false, "print the Auto selection table per (op, block size) and a live plan-cache demo")
+	modelName := flag.String("model", "hydra", "machine constants for -select: a netmodel preset, or \"default\"")
+	profilePath := flag.String("profile", "", "machine profile JSON for -select (overrides -model; see tune.Save)")
 	asJSON := flag.Bool("json", false, "emit the stats and schedules as JSON")
 	flag.Parse()
 
@@ -50,6 +56,15 @@ func main() {
 		return
 	}
 	report(nbh)
+	if *sel {
+		prof, err := resolveSelectionProfile(*profilePath, *modelName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cartinfo:", err)
+			os.Exit(2)
+		}
+		fmt.Println()
+		reportSelection(nbh, prof)
+	}
 	if *schedule {
 		fmt.Println()
 		fmt.Print(cart.AlltoallSchedule(nbh).Describe())
@@ -58,6 +73,23 @@ func main() {
 		fmt.Println()
 		fmt.Print(cart.BuildAllgatherTree(nbh, nil).DescribeTree())
 	}
+}
+
+// resolveSelectionProfile picks the machine constants the -select report
+// uses: a saved calibration file, a netmodel preset, or the built-in
+// default — mirroring the runtime's own precedence.
+func resolveSelectionProfile(path, model string) (tune.Profile, error) {
+	if path != "" {
+		return tune.Load(path)
+	}
+	if model == "default" {
+		return tune.Default(), nil
+	}
+	m, err := netmodel.Preset(model)
+	if err != nil {
+		return tune.Profile{}, err
+	}
+	return tune.FromModel(m), nil
 }
 
 func buildNeighborhood(d, n, f, moore, vonNeumann int, offsets string) (vec.Neighborhood, error) {
@@ -173,4 +205,115 @@ func report(nbh vec.Neighborhood) {
 	if s.VolAllgather <= s.TComm {
 		fmt.Println("  allgather combining wins at every block size (V <= t)")
 	}
+}
+
+// reportSelection prints the Auto selector's view of the neighborhood:
+// the predicted crossover per operation under the given machine profile,
+// the decision table over a sweep of block sizes, and a live two-Init
+// demonstration of the shared plan cache.
+func reportSelection(nbh vec.Neighborhood, prof tune.Profile) {
+	d := nbh.Dims()
+	fmt.Printf("auto selection (profile %s: α=%.3gs β=%.3gs/B o=%.3gs)\n",
+		prof.Source, prof.Alpha, prof.Beta, prof.Overhead())
+	sweep := []int{8, 64, 512, 4 << 10, 32 << 10, 256 << 10, 1 << 20}
+	for _, op := range []cart.OpKind{cart.OpAlltoall, cart.OpAllgather} {
+		t, _ := cart.Predicted(nbh, op, cart.Trivial)
+		c, v := cart.Predicted(nbh, op, cart.Combining)
+		probe := cart.Decide(op, t, c, v, d, 8, prof)
+		cross := "+inf (combining wins at every size)"
+		if !math.IsInf(probe.CrossoverBytes, 1) {
+			cross = fmt.Sprintf("%.0f B", probe.CrossoverBytes)
+		}
+		fmt.Printf("\n  %s: t=%d C=%d V=%d, predicted crossover %s\n", op, t, c, v, cross)
+		fmt.Printf("    %10s  %-9s  %12s  %12s\n", "block", "chosen", "T_trivial", "T_combining")
+		for _, mB := range sweep {
+			dec := cart.Decide(op, t, c, v, d, float64(mB), prof)
+			fmt.Printf("    %9dB  %-9s  %10.3gs  %10.3gs\n",
+				mB, algoLabel(dec.Chosen), dec.CostTrivial, dec.CostCombining)
+		}
+	}
+	fmt.Println()
+	if err := cacheDemo(nbh, prof); err != nil {
+		fmt.Printf("  plan-cache demo skipped: %v\n", err)
+	}
+}
+
+func algoLabel(a cart.Algorithm) string {
+	if a == cart.Trivial {
+		return "trivial"
+	}
+	return "combining"
+}
+
+// cacheDemo builds the smallest torus that carries the neighborhood,
+// runs the same Auto AlltoallInit twice and reports the cache
+// provenance of each plan: the first compiles (miss), the second binds
+// from the shared cache (hit).
+func cacheDemo(nbh vec.Neighborhood, prof tune.Profile) error {
+	d := nbh.Dims()
+	dims := make([]int, d)
+	procs := 1
+	for k := 0; k < d; k++ {
+		ext := 1
+		for _, v := range nbh {
+			if a := v[k]; a > ext {
+				ext = a
+			} else if -a > ext {
+				ext = -a
+			}
+		}
+		dims[k] = 2*ext + 1
+		procs *= dims[k]
+	}
+	if procs > 512 {
+		return fmt.Errorf("demo world needs %d ranks (> 512)", procs)
+	}
+	if err := tune.SetMachine(prof); err != nil {
+		return err
+	}
+	defer tune.ClearMachine()
+	cart.ResetPlanCache()
+	return mpi.Run(mpi.Config{Procs: procs}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		const m = 64
+		report := func(label string, p *cart.Plan) error {
+			send := make([]byte, len(nbh)*m)
+			recv := make([]byte, len(nbh)*m)
+			if err := cart.Run(p, send, recv); err != nil {
+				return err
+			}
+			if w.Rank() != 0 {
+				return nil
+			}
+			prov := "compiled (cache miss)"
+			if p.FromCache() {
+				prov = "bound from cache (hit)"
+			}
+			st := cart.SnapshotPlanCache()
+			fmt.Printf("  %s AlltoallInit(m=%dB, Auto) on %v world: %s — cache %d entries, %d hits / %d misses\n",
+				label, m, dims, prov, st.Entries, st.Hits, st.Misses)
+			if dec, ok := p.Decision(); ok {
+				fmt.Printf("    decision: %s\n", dec)
+			}
+			return nil
+		}
+		first, err := cart.AlltoallInit(c, m, cart.Auto)
+		if err != nil {
+			return err
+		}
+		if err := report("first ", first); err != nil {
+			return err
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		second, err := cart.AlltoallInit(c, m, cart.Auto)
+		if err != nil {
+			return err
+		}
+		return report("second", second)
+	})
 }

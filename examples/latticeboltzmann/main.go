@@ -99,7 +99,7 @@ func main() {
 			}
 		}
 		c, err := cartcc.NeighborhoodCreate(w, []int{procRows, procCols}, nil, nbh, nil,
-			cartcc.WithAlgorithm(cartcc.Combining))
+			cartcc.WithAlgorithm(cartcc.AlgorithmAuto))
 		if err != nil {
 			return err
 		}
@@ -119,7 +119,7 @@ func main() {
 				sendL[k] = regionLayout(sr, sc)
 				recvL[k] = regionLayout(rr, rc)
 			}
-			p, err := cartcc.AlltoallwInit(c, sendL, recvL, cartcc.Combining)
+			p, err := cartcc.AlltoallwInit(c, sendL, recvL, cartcc.AlgorithmAuto)
 			if err != nil {
 				return fmt.Errorf("population %d: %w", q, err)
 			}

@@ -48,7 +48,7 @@ func main() {
 			return err
 		}
 		dst, _ := cartcc.NewGrid2D[float64](nx, ny, 1)
-		ex, err := cartcc.NewExchanger2D(w, []int{procRows, procCols}, src, true, cartcc.Combining)
+		ex, err := cartcc.NewExchanger2D(w, []int{procRows, procCols}, src, true, cartcc.AlgorithmAuto)
 		if err != nil {
 			return err
 		}

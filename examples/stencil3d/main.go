@@ -29,7 +29,7 @@ func main() {
 			return err
 		}
 		dst, _ := cartcc.NewGrid3D[float64](local, local, local, 1)
-		ex, err := cartcc.NewExchanger3D(w, []int{px, py, pz}, src, true, cartcc.Combining)
+		ex, err := cartcc.NewExchanger3D(w, []int{px, py, pz}, src, true, cartcc.AlgorithmAuto)
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"cartcc"
 )
@@ -18,7 +19,7 @@ func TestFacadeAllCollectiveWrappers(t *testing.T) {
 	}
 	tn := len(nbh)
 	err = cartcc.Launch(9, func(w *cartcc.ProcComm) error {
-		c, err := cartcc.NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil, cartcc.WithAlgorithm(cartcc.Combining))
+		c, err := cartcc.NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil, cartcc.WithAlgorithm(cartcc.AlgorithmAuto))
 		if err != nil {
 			return err
 		}
@@ -42,7 +43,7 @@ func TestFacadeAllCollectiveWrappers(t *testing.T) {
 				return fmt.Errorf("alltoall block %d: %d", i, recv[i])
 			}
 		}
-		plan, err := cartcc.AlltoallInit(c, 1, cartcc.Trivial)
+		plan, err := cartcc.AlltoallInit(c, 1, cartcc.AlgorithmAuto)
 		if err != nil {
 			return err
 		}
@@ -67,7 +68,7 @@ func TestFacadeAllCollectiveWrappers(t *testing.T) {
 				return fmt.Errorf("allgather block %d: %d", i, ag[i])
 			}
 		}
-		if _, err := cartcc.AllgatherInit(c, 1, cartcc.Combining); err != nil {
+		if _, err := cartcc.AllgatherInit(c, 1, cartcc.AlgorithmAuto); err != nil {
 			return err
 		}
 
@@ -84,10 +85,10 @@ func TestFacadeAllCollectiveWrappers(t *testing.T) {
 		if err := cartcc.Allgatherv(c, []int{w.Rank()}, ag, counts, displs); err != nil {
 			return err
 		}
-		if _, err := cartcc.AlltoallvInit(c, counts, displs, counts, displs, cartcc.Trivial); err != nil {
+		if _, err := cartcc.AlltoallvInit(c, counts, displs, counts, displs, cartcc.AlgorithmAuto); err != nil {
 			return err
 		}
-		if _, err := cartcc.AllgathervInit(c, 1, counts, displs, cartcc.Trivial); err != nil {
+		if _, err := cartcc.AllgathervInit(c, 1, counts, displs, cartcc.AlgorithmAuto); err != nil {
 			return err
 		}
 
@@ -103,10 +104,10 @@ func TestFacadeAllCollectiveWrappers(t *testing.T) {
 		if err := cartcc.Allgatherw(c, []int{w.Rank()}, cartcc.Contiguous(0, 1), ag, recvL); err != nil {
 			return err
 		}
-		if _, err := cartcc.AlltoallwInit(c, sendL, recvL, cartcc.Combining); err != nil {
+		if _, err := cartcc.AlltoallwInit(c, sendL, recvL, cartcc.AlgorithmAuto); err != nil {
 			return err
 		}
-		if _, err := cartcc.AllgatherwInit(c, cartcc.Contiguous(0, 1), recvL, cartcc.Combining); err != nil {
+		if _, err := cartcc.AllgatherwInit(c, cartcc.Contiguous(0, 1), recvL, cartcc.AlgorithmAuto); err != nil {
 			return err
 		}
 
@@ -118,7 +119,7 @@ func TestFacadeAllCollectiveWrappers(t *testing.T) {
 		if sum[0] != float64(tn) {
 			return fmt.Errorf("reduce sum %v", sum[0])
 		}
-		rp, err := cartcc.NeighborReduceInit(c, 1, cartcc.Trivial)
+		rp, err := cartcc.NeighborReduceInit(c, 1, cartcc.AlgorithmAuto)
 		if err != nil {
 			return err
 		}
@@ -256,7 +257,7 @@ func TestFacadeMeshExchangers(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		ex, err := cartcc.NewExchanger2DOn(w, []int{2, 2}, []bool{false, false}, g, true, cartcc.Trivial)
+		ex, err := cartcc.NewExchanger2DOn(w, []int{2, 2}, []bool{false, false}, g, true, cartcc.AlgorithmAuto)
 		if err != nil {
 			return err
 		}
@@ -336,6 +337,107 @@ func TestFacadeKernels(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeAutoSelectionAndPlanCache exercises the self-tuning surface
+// end to end through the public API: an AlgorithmAuto plan decides after
+// its first execution and exposes the Decision record; a second
+// identical *Init binds from the shared plan cache (FromCache reports
+// it, the hit counter increments and the miss counter does not move);
+// and the tuning helpers (Calibrate under a cost model, profile
+// install/clear, DecideAlgorithm) round-trip.
+func TestFacadeAutoSelectionAndPlanCache(t *testing.T) {
+	cartcc.ResetPlanCache()
+	t.Cleanup(cartcc.ResetPlanCache)
+	nbh, err := cartcc.Stencil(2, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := cartcc.ModelPreset("hydra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cartcc.Run(cartcc.RunConfig{Procs: 9, Model: model, Timeout: time.Minute}, func(w *cartcc.ProcComm) error {
+		c, err := cartcc.NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		first, err := cartcc.AlltoallInit(c, 4, cartcc.AlgorithmAuto)
+		if err != nil {
+			return err
+		}
+		send := make([]int64, len(nbh)*4)
+		recv := make([]int64, len(nbh)*4)
+		if err := cartcc.RunPlan(first, send, recv); err != nil {
+			return err
+		}
+		dec, ok := first.Decision()
+		if !ok {
+			return fmt.Errorf("Auto plan exposes no Decision after Run")
+		}
+		if dec.Chosen != cartcc.Combining || first.Effective() != cartcc.Combining {
+			return fmt.Errorf("32B blocks under hydra: chose %v (effective %v), want combining", dec.Chosen, first.Effective())
+		}
+		if err := cartcc.Barrier(w); err != nil {
+			return err
+		}
+		// The second identical Init must be a cache hit, not a recompile.
+		before := cartcc.SnapshotPlanCache()
+		second, err := cartcc.AlltoallInit(c, 4, cartcc.AlgorithmAuto)
+		if err != nil {
+			return err
+		}
+		if !second.FromCache() {
+			return fmt.Errorf("second identical AlltoallInit recompiled instead of binding from cache")
+		}
+		after := cartcc.SnapshotPlanCache()
+		if after.Hits <= before.Hits {
+			return fmt.Errorf("plan-cache hits did not increment: %d -> %d", before.Hits, after.Hits)
+		}
+		if after.Misses != before.Misses {
+			return fmt.Errorf("second Init recorded a miss: %d -> %d", before.Misses, after.Misses)
+		}
+		if err := cartcc.RunPlan(second, send, recv); err != nil {
+			return err
+		}
+		// Calibrate under the virtual-time model returns the model's
+		// constants on every rank, deterministically.
+		prof, err := cartcc.Calibrate(w)
+		if err != nil {
+			return err
+		}
+		if prof.Source != "model" || prof.Alpha != model.Alpha {
+			return fmt.Errorf("calibration under model: %+v", prof)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Profile helpers (outside the world: process-global state).
+	def := cartcc.DefaultMachineProfile()
+	if def.Beta <= 0 {
+		t.Fatalf("default profile has no bandwidth term: %+v", def)
+	}
+	if err := cartcc.SetMachineProfile(def); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cartcc.MachineProfileInstalled(); !ok || got.Alpha != def.Alpha {
+		t.Fatalf("installed profile did not round-trip: %+v ok=%v", got, ok)
+	}
+	cartcc.ClearMachineProfile()
+	if _, ok := cartcc.MachineProfileInstalled(); ok {
+		t.Fatal("profile still installed after ClearMachineProfile")
+	}
+	// The pure selection model: the Moore fixture crosses over, so tiny
+	// blocks pick combining and huge blocks pick trivial.
+	if d := cartcc.DecideAlgorithm(cartcc.OpAlltoall, 8, 4, 12, 2, 8, def); d.Chosen != cartcc.Combining {
+		t.Errorf("DecideAlgorithm 8B: %v, want combining (%s)", d.Chosen, d)
+	}
+	if d := cartcc.DecideAlgorithm(cartcc.OpAlltoall, 8, 4, 12, 2, 1<<20, def); d.Chosen != cartcc.Trivial {
+		t.Errorf("DecideAlgorithm 1MiB: %v, want trivial (%s)", d.Chosen, d)
 	}
 }
 

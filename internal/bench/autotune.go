@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/vec"
+)
+
+// This file implements the `cartbench autotune` experiment and
+// BENCH_P7.json: virtual-time ns/op of the Auto-selected schedule
+// against both fixed algorithms, swept over (operation, stencil, block
+// size) under the hydra cost model. The record doubles as the perf gate
+// of the self-tuning work: at every swept point the autotuned time must
+// stay within AutotuneGateRatio of the best fixed algorithm — the
+// selector is allowed to tie the winner, never to lose the trade.
+
+// AutotuneGateRatio bounds autotuned time relative to the best fixed
+// algorithm at each swept point.
+const AutotuneGateRatio = 1.05
+
+// AutotuneConfig parameterizes the sweep.
+type AutotuneConfig struct {
+	// Iters is the number of timed operations per cell; zero means 4
+	// (virtual time is deterministic, repetitions only amortize the
+	// barrier fences).
+	Iters int
+	// Profile is the cost-model preset; empty means "hydra".
+	Profile string
+}
+
+// AutotuneSample is one measured (op, stencil, block size, series) cell:
+// the worst per-rank virtual time per operation, and — for the auto
+// series — the selector's pick and predicted crossover.
+type AutotuneSample struct {
+	Op         string  `json:"op"`
+	Stencil    string  `json:"stencil"`
+	Procs      int     `json:"procs"`
+	BlockElems int     `json:"block_elems"`
+	BlockBytes int     `json:"block_bytes"`
+	Series     string  `json:"series"`
+	NsPerOp    float64 `json:"vtime_ns_per_op"`
+	// Chosen and CrossoverBytes are recorded for the auto series only.
+	Chosen         string  `json:"chosen,omitempty"`
+	CrossoverBytes float64 `json:"crossover_bytes,omitempty"` // -1 encodes +Inf
+}
+
+// AutotuneReport is one full sweep plus its gate verdict.
+type AutotuneReport struct {
+	Profile string           `json:"profile"`
+	Iters   int              `json:"iters"`
+	Gate    float64          `json:"gate_ratio"`
+	Worst   float64          `json:"worst_auto_over_best"`
+	Samples []AutotuneSample `json:"samples"`
+}
+
+// autotuneCases are the swept topologies: the 2-d Moore stencil (whose
+// alltoall genuinely crosses over under hydra) and the 3-d 27-point
+// stencil (denser combining, different crossover).
+var autotuneCases = []struct {
+	d, n, procs int
+}{
+	{2, 3, 16},
+	{3, 3, 27},
+}
+
+// autotuneBlockElems sweeps int32 block sizes from 4 B to 256 KiB,
+// straddling the hydra crossovers of both stencils.
+var autotuneBlockElems = []int{1, 256, 4096, 16384, 65536}
+
+// RunAutotuneBench sweeps Auto against both fixed algorithms and
+// records the virtual-time cost of every cell.
+func RunAutotuneBench(cfg AutotuneConfig) (*AutotuneReport, error) {
+	if cfg.Iters == 0 {
+		cfg.Iters = 4
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = "hydra"
+	}
+	model, err := netmodel.Preset(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	rep := &AutotuneReport{Profile: cfg.Profile, Iters: cfg.Iters, Gate: AutotuneGateRatio}
+	for _, tc := range autotuneCases {
+		nbh, err := vec.Stencil(tc.d, tc.n, -1)
+		if err != nil {
+			return nil, err
+		}
+		dims, err := vec.DimsCreate(tc.procs, tc.d)
+		if err != nil {
+			return nil, err
+		}
+		stencilName := fmt.Sprintf("d=%d n=%d", tc.d, tc.n)
+		for _, op := range []cart.OpKind{cart.OpAlltoall, cart.OpAllgather} {
+			for _, m := range autotuneBlockElems {
+				for _, series := range []struct {
+					name string
+					algo cart.Algorithm
+				}{
+					{"trivial", cart.Trivial},
+					{"combining", cart.Combining},
+					{"auto", cart.Auto},
+				} {
+					s, err := measureAutotune(model, cfg.Iters, op, dims, nbh, tc.procs, m, series.algo)
+					if err != nil {
+						return nil, fmt.Errorf("%s %s m=%d %s: %w", opName(op), stencilName, m, series.name, err)
+					}
+					s.Op = opName(op)
+					s.Stencil = stencilName
+					s.Procs = tc.procs
+					s.Series = series.name
+					rep.Samples = append(rep.Samples, s)
+				}
+			}
+		}
+	}
+	rep.Worst = worstAutoRatio(rep)
+	return rep, nil
+}
+
+func opName(op cart.OpKind) string {
+	if op == cart.OpAllgather {
+		return "allgather"
+	}
+	return "alltoall"
+}
+
+// measureAutotune runs iters back-to-back plan executions under the cost
+// model and returns the worst per-rank virtual time per operation. The
+// warm-up execution resolves the Auto decision (and fills plan scratch)
+// before the timed window opens.
+func measureAutotune(model *netmodel.Model, iters int, op cart.OpKind,
+	dims []int, nbh vec.Neighborhood, procs, m int, algo cart.Algorithm) (AutotuneSample, error) {
+
+	sample := AutotuneSample{BlockElems: m, BlockBytes: m * 4}
+	deltas := make([]float64, procs)
+	err := mpi.Run(mpi.Config{Procs: procs, Model: model, Seed: 1, Timeout: 5 * time.Minute}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, dims, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		t := len(nbh)
+		var plan *cart.Plan
+		sendLen := t * m
+		if op == cart.OpAllgather {
+			sendLen = m
+			plan, err = cart.AllgatherInit(c, m, algo)
+		} else {
+			plan, err = cart.AlltoallInit(c, m, algo)
+		}
+		if err != nil {
+			return err
+		}
+		send := make([]int32, sendLen)
+		recv := make([]int32, t*m)
+		if err := cart.Run(plan, send, recv); err != nil {
+			return err
+		}
+		if w.Rank() == 0 && algo == cart.Auto {
+			if dec, ok := plan.Decision(); ok {
+				sample.Chosen = dec.Chosen.String()
+				sample.CrossoverBytes = dec.CrossoverBytes
+				if math.IsInf(dec.CrossoverBytes, 1) {
+					sample.CrossoverBytes = -1 // JSON has no +Inf
+				}
+			}
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		v0 := w.VTime()
+		for i := 0; i < iters; i++ {
+			if err := cart.Run(plan, send, recv); err != nil {
+				return err
+			}
+		}
+		deltas[w.Rank()] = w.VTime() - v0
+		return nil
+	})
+	if err != nil {
+		return AutotuneSample{}, err
+	}
+	worst := 0.0
+	for _, d := range deltas {
+		if d > worst {
+			worst = d
+		}
+	}
+	sample.NsPerOp = worst * 1e9 / float64(iters)
+	return sample, nil
+}
+
+// worstAutoRatio scans the report for the largest auto/best-fixed ratio.
+func worstAutoRatio(rep *AutotuneReport) float64 {
+	worst := 0.0
+	forEachAutotunePoint(rep, func(_ AutotuneSample, ratio float64) {
+		if ratio > worst {
+			worst = ratio
+		}
+	})
+	return worst
+}
+
+// forEachAutotunePoint groups the samples by (op, stencil, block size)
+// and reports each point's auto series with its ratio to the best fixed
+// algorithm.
+func forEachAutotunePoint(rep *AutotuneReport, f func(auto AutotuneSample, ratio float64)) {
+	type key struct {
+		op, stencil string
+		m           int
+	}
+	best := make(map[key]float64)
+	autos := make(map[key]AutotuneSample)
+	for _, s := range rep.Samples {
+		k := key{s.Op, s.Stencil, s.BlockElems}
+		switch s.Series {
+		case "auto":
+			autos[k] = s
+		default:
+			if b, ok := best[k]; !ok || s.NsPerOp < b {
+				best[k] = s.NsPerOp
+			}
+		}
+	}
+	for k, a := range autos {
+		if b, ok := best[k]; ok && b > 0 {
+			f(a, a.NsPerOp/b)
+		}
+	}
+}
+
+// GateAutotune enforces the perf gate: at every swept point the
+// autotuned time must be within rep.Gate of the best fixed algorithm.
+func GateAutotune(rep *AutotuneReport) error {
+	var firstErr error
+	forEachAutotunePoint(rep, func(a AutotuneSample, ratio float64) {
+		if ratio > rep.Gate && firstErr == nil {
+			firstErr = fmt.Errorf("autotune gate: %s %s m=%d elems: auto %.0f ns/op is %.3fx the best fixed algorithm (gate %.2fx)",
+				a.Op, a.Stencil, a.BlockElems, a.NsPerOp, ratio, rep.Gate)
+		}
+	})
+	return firstErr
+}
+
+// BenchP7 is the persisted perf-trajectory record (BENCH_P7.json): the
+// autotuned-vs-fixed sweep of the self-tuning selection work.
+type BenchP7 struct {
+	Description string          `json:"description"`
+	Before      *AutotuneReport `json:"before,omitempty"`
+	After       *AutotuneReport `json:"after"`
+}
+
+// ReadBenchP7 loads a persisted record; a missing file is (nil, error).
+func ReadBenchP7(path string) (*BenchP7, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchP7
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// WriteBenchP7 serializes the record to path with stable formatting.
+func WriteBenchP7(path string, rec *BenchP7) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatAutotuneReport renders the sweep as a text table, one row per
+// swept point with all three series and the gate ratio.
+func FormatAutotuneReport(rep *AutotuneReport) string {
+	type key struct {
+		op, stencil string
+		m           int
+	}
+	cells := make(map[key]map[string]AutotuneSample)
+	var order []key
+	for _, s := range rep.Samples {
+		k := key{s.Op, s.Stencil, s.BlockElems}
+		if cells[k] == nil {
+			cells[k] = make(map[string]AutotuneSample)
+			order = append(order, k)
+		}
+		cells[k][s.Series] = s
+	}
+	out := fmt.Sprintf("Auto vs fixed algorithms — virtual-time ns/op (%s model, %d iters, int32 blocks)\n", rep.Profile, rep.Iters)
+	out += fmt.Sprintf("%-10s %-9s %9s %12s %12s %12s  %-10s %8s\n",
+		"op", "stencil", "m(elems)", "trivial", "combining", "auto", "picked", "auto/best")
+	for _, k := range order {
+		row := cells[k]
+		a := row["auto"]
+		best := math.Min(row["trivial"].NsPerOp, row["combining"].NsPerOp)
+		ratio := 0.0
+		if best > 0 {
+			ratio = a.NsPerOp / best
+		}
+		out += fmt.Sprintf("%-10s %-9s %9d %12.0f %12.0f %12.0f  %-10s %8.3f\n",
+			k.op, k.stencil, k.m, row["trivial"].NsPerOp, row["combining"].NsPerOp, a.NsPerOp, a.Chosen, ratio)
+	}
+	out += fmt.Sprintf("worst auto/best ratio: %.3f (gate %.2f)\n", rep.Worst, rep.Gate)
+	return out
+}

@@ -154,26 +154,48 @@ type cartMetrics struct {
 	blocksFwd  *metrics.Counter
 	prepostHWM *metrics.Gauge
 	retireNs   *metrics.Histogram
+
+	// Shared-plan-cache and autotune-selection accounting (plancache.go,
+	// select.go). The cache is process-global; the counters attribute
+	// each event to the rank whose Init triggered it.
+	pcHit         *metrics.Counter
+	pcMiss        *metrics.Counter
+	pcEvict       *metrics.Counter
+	pcBytes       *metrics.Gauge
+	pickTrivial   *metrics.Counter
+	pickCombining *metrics.Counter
 }
 
 // newCartMetrics registers (or resolves) the cart-layer metrics on a
 // rank's set. Names:
 //
-//	cart.runs        counter  completed plan executions
-//	cart.rounds      counter  rounds this rank participated in
-//	cart.blocks.fwd  counter  schedule blocks forwarded (observed volume)
-//	cart.prepost.hwm gauge    pipelined receive pre-post window high-water
-//	cart.retire.ns   histogram wall-clock ns from receive post to retire
+//	cart.runs                counter   completed plan executions
+//	cart.rounds              counter   rounds this rank participated in
+//	cart.blocks.fwd          counter   schedule blocks forwarded (observed volume)
+//	cart.prepost.hwm         gauge     pipelined receive pre-post window high-water
+//	cart.retire.ns           histogram wall-clock ns from receive post to retire
+//	cart.plancache.hit       counter   shared-plan-cache hits on *Init
+//	cart.plancache.miss      counter   shared-plan-cache misses (compiles)
+//	cart.plancache.evict     counter   LRU evictions this rank triggered
+//	cart.plancache.bytes     gauge     estimated cache footprint after this rank's inserts
+//	cart.tune.pick.trivial   counter   Auto selections that chose the trivial schedule
+//	cart.tune.pick.combining counter   Auto selections that chose a combining schedule
 func newCartMetrics(set *metrics.Set) *cartMetrics {
 	if set == nil {
 		return nil
 	}
 	return &cartMetrics{
-		runs:       set.Counter("cart.runs"),
-		rounds:     set.Counter("cart.rounds"),
-		blocksFwd:  set.Counter("cart.blocks.fwd"),
-		prepostHWM: set.Gauge("cart.prepost.hwm"),
-		retireNs:   set.Histogram("cart.retire.ns"),
+		runs:          set.Counter("cart.runs"),
+		rounds:        set.Counter("cart.rounds"),
+		blocksFwd:     set.Counter("cart.blocks.fwd"),
+		prepostHWM:    set.Gauge("cart.prepost.hwm"),
+		retireNs:      set.Histogram("cart.retire.ns"),
+		pcHit:         set.Counter("cart.plancache.hit"),
+		pcMiss:        set.Counter("cart.plancache.miss"),
+		pcEvict:       set.Counter("cart.plancache.evict"),
+		pcBytes:       set.Gauge("cart.plancache.bytes"),
+		pickTrivial:   set.Counter("cart.tune.pick.trivial"),
+		pickCombining: set.Counter("cart.tune.pick.combining"),
 	}
 }
 

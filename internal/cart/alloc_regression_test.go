@@ -219,6 +219,79 @@ func TestLoggedRunStaysAllocationFree(t *testing.T) {
 	}
 }
 
+// TestRepeatInitIsCacheHit is the plan-cache allocation gate: after one
+// warm-up *Init, every further identical *Init must bind from the shared
+// plan cache — no schedule recompilation, no DAG rebuild. The hit path is
+// a key probe plus one Plan bind plus the geometry closures: a fixed
+// handful of small allocations, orders of magnitude below a compile
+// (thousands of allocs on this stencil, per BENCH_P2). Only rank 0
+// measures, bracketed by barriers; the peers sit blocked and the world is
+// created with the watchdog and deadlock monitor off so no background
+// goroutine allocates into the measurement.
+func TestRepeatInitIsCacheHit(t *testing.T) {
+	ResetPlanCache()
+	t.Cleanup(ResetPlanCache)
+	err := mpi.Run(mpi.Config{
+		Procs:        9,
+		Timeout:      -1,
+		DeadlockPoll: -1,
+	}, func(w *mpi.Comm) error {
+		nbh, err := vec.Stencil(2, 3, -1)
+		if err != nil {
+			return err
+		}
+		c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		// Warm-up: compile and publish both Auto legs for this rank.
+		if _, err := AlltoallInit(c, 32, Auto); err != nil {
+			return err
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			before := SnapshotPlanCache()
+			var initErr error
+			var last *Plan
+			allocs := testing.AllocsPerRun(100, func() {
+				p, err := AlltoallInit(c, 32, Auto)
+				if err != nil {
+					initErr = err
+					return
+				}
+				last = p
+			})
+			if initErr != nil {
+				return initErr
+			}
+			if last == nil || !last.FromCache() || !last.alt.FromCache() {
+				return fmt.Errorf("measured Inits did not bind from cache")
+			}
+			after := SnapshotPlanCache()
+			if after.Hits <= before.Hits {
+				return fmt.Errorf("cart.plancache hits did not increment: %d -> %d", before.Hits, after.Hits)
+			}
+			if after.Misses != before.Misses {
+				return fmt.Errorf("measured Inits recompiled: misses %d -> %d", before.Misses, after.Misses)
+			}
+			t.Logf("cache-hit *Init (Auto, both legs): %.1f allocs/op; %d hits recorded", allocs, after.Hits-before.Hits)
+			// Compiling this plan costs thousands of allocations; the hit
+			// path is two binds plus the geometry closures. The bound is
+			// deliberately loose against Go-version drift while still
+			// catching any reintroduced compile work.
+			if allocs > 24 {
+				return fmt.Errorf("cache-hit Init allocates like a compile: %.1f allocs/op (want <= 24)", allocs)
+			}
+		}
+		return mpi.Barrier(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // algoName renders the algorithm for subtest names.
 func algoName(a Algorithm) string {
 	switch a {

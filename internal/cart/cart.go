@@ -30,9 +30,10 @@ const (
 	Combining Algorithm = iota
 	// Trivial uses the t-round send-receive schedule of Listing 4.
 	Trivial
-	// Auto chooses per operation using the analytic cut-off
-	// m < (α/β)·(t−C)/(V−t) when the run has a cost model, and Combining
-	// otherwise.
+	// Auto chooses per operation at first execution using the
+	// executor-consistent crossover of select.go, with machine constants
+	// from the run's cost model, an installed tune.Machine profile, or
+	// the built-in defaults — in that order.
 	Auto
 )
 
@@ -74,6 +75,18 @@ type Comm struct {
 	// Cached executable plans for the regular operations, keyed by
 	// (operation, algorithm, block size).
 	plans map[planKey]*Plan
+
+	// cmet caches the cart-layer metric handles of this rank's registry
+	// set once per communicator (nil when metrics are off), shared by
+	// every plan bound to it.
+	cmet *cartMetrics
+	// flatNbh, shapeHash and nbhHash are the precomputed fingerprint
+	// inputs of the shared plan cache (plancache.go): the flattened
+	// ordered offsets, and FNV hashes of (dims, periods) and of the
+	// offsets.
+	flatNbh   []int
+	shapeHash uint64
+	nbhHash   uint64
 }
 
 type planKey struct {
@@ -177,7 +190,24 @@ func NeighborhoodCreate(base *mpi.Comm, dims []int, periods []bool, neighborhood
 		weights: append([]int(nil), weights...),
 		algo:    o.algo,
 		plans:   make(map[planKey]*Plan),
+		cmet:    newCartMetrics(comm.MetricsSet()),
 	}
+	c.flatNbh = c.nbh.Flatten()
+	h := fnvInt(fnvOffset, len(dims))
+	for i, dim := range dims {
+		h = fnvInt(h, dim)
+		p := 0
+		if grid.Periods[i] {
+			p = 1
+		}
+		h = fnvInt(h, p)
+	}
+	c.shapeHash = h
+	h = fnvInt(fnvOffset, len(c.flatNbh))
+	for _, x := range c.flatNbh {
+		h = fnvInt(h, x)
+	}
+	c.nbhHash = h
 	c.targets = make([]int, len(c.nbh))
 	c.sources = make([]int, len(c.nbh))
 	for i, rel := range c.nbh {

@@ -184,6 +184,7 @@ func (c *Comm) compileMesh(geom BlockGeometry) (*Plan, error) {
 		algo:   Combining,
 		rounds: sched.Rounds,
 		volume: sched.Volume,
+		cmet:   c.cmet,
 	}
 	d := c.nbh.Dims()
 	t := len(c.nbh)

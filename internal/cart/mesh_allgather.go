@@ -101,7 +101,7 @@ func (c *Comm) compileMeshAllgather(geom BlockGeometry) (*Plan, error) {
 	tr := mi.tree
 	d := c.nbh.Dims()
 	rank := c.comm.Rank()
-	p := &Plan{comm: c, op: OpAllgather, algo: Combining}
+	p := &Plan{comm: c, op: OpAllgather, algo: Combining, cmet: c.cmet}
 
 	// Per-node landing bookkeeping for THIS process (as receiver/holder).
 	type landing struct {

@@ -95,8 +95,9 @@ func (c *Comm) scheduleFor(op OpKind, algo Algorithm) (*Schedule, error) {
 
 // newPlan compiles (op, algo, geometry) for this communicator. Auto
 // compiles both families and defers the choice to execution time, when the
-// element size and the run's cost model are known (the analytic cut-off of
-// Section 3.1).
+// element size is known (the executor-consistent cut-off of select.go).
+// Fingerprintable geometries go through the shared plan cache
+// (plancache.go): a hit binds the cached master instead of recompiling.
 func (c *Comm) newPlan(op OpKind, algo Algorithm, geom BlockGeometry, avgBlockElems float64, opts ...PlanOption) (*Plan, error) {
 	var po planOptions
 	for _, o := range opts {
@@ -116,12 +117,33 @@ func (c *Comm) newPlan(op OpKind, algo Algorithm, geom BlockGeometry, avgBlockEl
 		main.avgBlockElems = avgBlockElems
 		return main, nil
 	}
+
+	// Execution-style plan options are per-instance executor settings,
+	// not compile inputs, so they stay out of the cache key; schedule
+	// transforms (mutation smoke) change the compile itself and bypass
+	// the cache, as do geometries the cache cannot fingerprint.
+	blocking := po.forceBlocking
+	if algo == Trivial {
+		blocking = true
+	}
+	cacheable := po.transform == nil && geom.sig.kind != geomNone
+	var key planCacheKey
+	if cacheable {
+		key = c.cacheKey(op, algo, geom.sig)
+		if master, ok := sharedPlanCache.get(key, c, geom.sig); ok {
+			p := master.bind(c, blocking)
+			p.avgBlockElems = avgBlockElems
+			po.apply(p)
+			return p, nil
+		}
+	}
+
+	var p *Plan
+	var err error
 	if algo == Combining && !c.IsPeriodic() {
 		// The mesh-aware combining schedules (mesh.go,
 		// mesh_allgather.go): per-process plans derived locally,
 		// deadlock-free by the shared predicate.
-		var p *Plan
-		var err error
 		if op == OpAlltoall {
 			p, err = c.compileMesh(geom)
 		} else {
@@ -131,24 +153,25 @@ func (c *Comm) newPlan(op OpKind, algo Algorithm, geom BlockGeometry, avgBlockEl
 			return nil, err
 		}
 		p.blocking = po.forceBlocking
-		p.avgBlockElems = avgBlockElems
-		po.apply(p)
-		return p, nil
-	}
-	sched, err := c.scheduleFor(op, algo)
-	if err != nil {
-		return nil, err
-	}
-	if po.transform != nil {
-		sched = sched.Clone()
-		po.transform(sched)
-	}
-	blocking := algo == Trivial || po.forceBlocking
-	p, err := c.compile(sched, geom, blocking)
-	if err != nil {
-		return nil, err
+	} else {
+		var sched *Schedule
+		sched, err = c.scheduleFor(op, algo)
+		if err != nil {
+			return nil, err
+		}
+		if po.transform != nil {
+			sched = sched.Clone()
+			po.transform(sched)
+		}
+		p, err = c.compile(sched, geom, blocking)
+		if err != nil {
+			return nil, err
+		}
 	}
 	p.avgBlockElems = avgBlockElems
+	if cacheable {
+		sharedPlanCache.put(key, c, geom.sig, p.detach())
+	}
 	po.apply(p)
 	return p, nil
 }
@@ -246,6 +269,7 @@ func AlltoallvInit(c *Comm, sendCounts, sendDispls, recvCounts, recvDispls []int
 		SendAt: func(i int) datatype.Layout { return datatype.Contiguous(sendDispls[i], sendCounts[i]) },
 		RecvAt: func(i int) datatype.Layout { return datatype.Contiguous(recvDispls[i], recvCounts[i]) },
 		TempAt: func(i int) datatype.Layout { return datatype.Contiguous(tempOff[i], sendCounts[i]) },
+		sig:    vectorSig(sendCounts, sendDispls, recvDispls),
 	}
 	p, err := c.newPlan(OpAlltoall, algo, geom, float64(total)/float64(max(t, 1)), opts...)
 	if err != nil {
@@ -275,6 +299,7 @@ func AllgathervInit(c *Comm, sendCount int, recvCounts, recvDispls []int, algo A
 		SendAt: func(int) datatype.Layout { return datatype.Contiguous(0, sendCount) },
 		RecvAt: func(i int) datatype.Layout { return datatype.Contiguous(recvDispls[i], recvCounts[i]) },
 		TempAt: func(i int) datatype.Layout { return datatype.Contiguous(i*sendCount, sendCount) },
+		sig:    vectorSig([]int{sendCount}, recvCounts, recvDispls),
 	}
 	p, err := c.newPlan(OpAllgather, algo, geom, float64(sendCount), opts...)
 	if err != nil {

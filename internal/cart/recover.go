@@ -335,6 +335,11 @@ func (c *Comm) Recover(policy ReembedPolicy) (*Recovered, error) {
 		ok2 := 1
 		var cerr error
 		if member {
+			// Plans compiled for this generation key on sub's bumped
+			// recovery epoch (plancache.go), so *Init after a re-embedding
+			// can never bind a pre-recovery cache entry — even when the
+			// recovered shape and neighborhood are identical to the old
+			// world's. Stale-epoch entries age out via LRU.
 			ncart, cerr = NeighborhoodCreate(sub, plan.dims, plan.periods, c.nbh, c.weights, WithAlgorithm(c.algo))
 			if cerr != nil {
 				ok2 = 0

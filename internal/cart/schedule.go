@@ -238,6 +238,12 @@ type BlockGeometry struct {
 	SendAt func(i int) datatype.Layout
 	RecvAt func(i int) datatype.Layout
 	TempAt func(i int) datatype.Layout
+
+	// sig is the geometry's canonical fingerprint for the shared plan
+	// cache (plancache.go). The zero value (geomNone) marks a geometry the
+	// cache cannot fingerprint — caller-supplied Layout closures of the
+	// w-variants — and disables caching for the plan.
+	sig geomSig
 }
 
 // uniformGeometry is the geometry of the regular operations: block i of m
@@ -247,6 +253,7 @@ func uniformGeometry(op OpKind, m int) BlockGeometry {
 	g := BlockGeometry{
 		RecvAt: func(i int) datatype.Layout { return datatype.Contiguous(i*m, m) },
 		TempAt: func(i int) datatype.Layout { return datatype.Contiguous(i*m, m) },
+		sig:    geomSig{kind: geomUniform, m: m},
 	}
 	if op == OpAllgather {
 		g.SendAt = func(int) datatype.Layout { return datatype.Contiguous(0, m) }
@@ -361,10 +368,18 @@ type Plan struct {
 	cmet      *cartMetrics
 
 	// Auto plans carry the trivial alternative and the mean block size in
-	// elements; Run applies the paper's analytic cut-off once the element
-	// size and the run's cost model are known.
+	// elements; Run applies the executor-consistent cut-off (select.go)
+	// once the element size is known, memoized in decided/decidedElem and
+	// recorded in decision.
 	alt           *Plan
 	avgBlockElems float64
+	decided       *Plan
+	decidedElem   int
+	decision      *Decision
+
+	// fromCache marks a plan bound from a shared-plan-cache master
+	// (plancache.go) rather than freshly compiled.
+	fromCache bool
 }
 
 // Rounds returns the number of communication rounds C of the plan.
@@ -420,7 +435,7 @@ func (c *Comm) compile(s *Schedule, geom BlockGeometry, blocking bool) (*Plan, e
 		blocking: blocking,
 		rounds:   s.Rounds,
 		volume:   s.Volume,
-		cmet:     newCartMetrics(c.comm.MetricsSet()),
+		cmet:     c.cmet,
 	}
 	rank := c.comm.Rank()
 	t := len(c.nbh)
@@ -742,26 +757,6 @@ func runRoundBlocking[T any](comm *mpi.Comm, r *execRound, bufs [][]T, deferScat
 		}
 	}
 	return mpi.Waitall(sreq, rreq)
-}
-
-// choose resolves an Auto plan: with a cost model, compare the analytic
-// cost of the combining schedule (Cα + βVmB, plus per-message overheads)
-// against the trivial one (t(α + βmB)) at the actual block size in bytes;
-// without a model, prefer combining (the latency-bound regime motivating
-// the paper).
-func (p *Plan) choose(elemSize int) *Plan {
-	model := p.comm.comm.Model()
-	if model == nil {
-		return p
-	}
-	mBytes := p.avgBlockElems * float64(elemSize)
-	perMsg := model.Alpha + model.SendOverhead + model.RecvOverhead
-	combining := float64(p.rounds)*perMsg + model.Beta*float64(p.volume)*mBytes
-	trivial := float64(p.alt.rounds)*perMsg + model.Beta*float64(p.alt.volume)*mBytes
-	if trivial < combining {
-		return p.alt
-	}
-	return p
 }
 
 // elemBytesOf returns the in-memory size of one element of type T.

@@ -1,0 +1,231 @@
+package cart
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cartcc/internal/mpi"
+	"cartcc/internal/netmodel"
+	"cartcc/internal/tune"
+	"cartcc/internal/vec"
+)
+
+// mooreStats returns (t, C, V, d) of the radius-1 Moore stencil on a 3×3
+// torus — the selection-model fixture: t=8 trivial rounds, C=4 combining
+// rounds, V=12 blocks, so the families genuinely cross over.
+func mooreStats(t *testing.T) (tt, c, v, d int) {
+	t.Helper()
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, v = Predicted(nbh, OpAlltoall, Combining)
+	tt, _ = Predicted(nbh, OpAlltoall, Trivial)
+	return tt, c, v, 2
+}
+
+// TestDecideCrossoverMoore: below the analytic crossover combining wins,
+// above it trivial wins, and the crossover itself satisfies the defining
+// equation (the two modeled costs tie there).
+func TestDecideCrossoverMoore(t *testing.T) {
+	tt, c, v, d := mooreStats(t)
+	prof := tune.FromModel(netmodel.Hydra())
+	small := Decide(OpAlltoall, tt, c, v, d, 8, prof)
+	if small.Chosen != Combining {
+		t.Errorf("8B blocks: chose %v, want combining (%+v)", small.Chosen, small)
+	}
+	large := Decide(OpAlltoall, tt, c, v, d, 1<<20, prof)
+	if large.Chosen != Trivial {
+		t.Errorf("1MiB blocks: chose %v, want trivial (%+v)", large.Chosen, large)
+	}
+	cross := small.CrossoverBytes
+	if math.IsInf(cross, 1) || cross <= 0 {
+		t.Fatalf("crossover = %v, want finite positive (V=%d > t=%d)", cross, v, tt)
+	}
+	at := Decide(OpAlltoall, tt, c, v, d, cross, prof)
+	if diff := math.Abs(at.CostTrivial - at.CostCombining); diff > 1e-12 {
+		t.Errorf("costs at the crossover differ by %g: %+v", diff, at)
+	}
+	// Selection must be monotone: combining strictly below, trivial
+	// strictly above.
+	if below := Decide(OpAlltoall, tt, c, v, d, cross*0.9, prof); below.Chosen != Combining {
+		t.Errorf("just below crossover: chose %v", below.Chosen)
+	}
+	if above := Decide(OpAlltoall, tt, c, v, d, cross*1.1, prof); above.Chosen != Trivial {
+		t.Errorf("just above crossover: chose %v", above.Chosen)
+	}
+}
+
+// TestDecideVolumeFreeCombiningAlwaysWins: when V ≤ t the combining
+// schedule saves rounds at no volume penalty, so it wins at every block
+// size and the crossover is +Inf (the 1D ±1 stencil: t=2, C=2, V=2, d=1).
+func TestDecideVolumeFreeCombiningAlwaysWins(t *testing.T) {
+	prof := tune.FromModel(netmodel.Hydra())
+	for _, mB := range []float64{1, 1 << 10, 1 << 30} {
+		dec := Decide(OpAlltoall, 2, 2, 2, 1, mB, prof)
+		if dec.Chosen != Combining {
+			t.Errorf("mB=%g: chose %v, want combining (V<=t)", mB, dec.Chosen)
+		}
+		if !math.IsInf(dec.CrossoverBytes, 1) {
+			t.Errorf("mB=%g: crossover = %v, want +Inf", mB, dec.CrossoverBytes)
+		}
+	}
+}
+
+// TestAutoPlanDecidesUnderModel: an Auto plan on a virtual-time world
+// resolves through Decide at first Run — small blocks execute the
+// combining variant, huge blocks the trivial one — and the Decision
+// record is exposed with the model as profile source.
+func TestAutoPlanDecidesUnderModel(t *testing.T) {
+	cases := []struct {
+		m    int
+		want Algorithm
+	}{
+		{1, Combining},
+		{1 << 16, Trivial}, // 512 KiB int64 blocks, far above the Hydra crossover
+	}
+	for _, tc := range cases {
+		err := mpi.Run(mpi.Config{Procs: 9, Model: netmodel.Hydra(), Timeout: 60 * time.Second}, func(w *mpi.Comm) error {
+			nbh, err := vec.Stencil(2, 3, -1)
+			if err != nil {
+				return err
+			}
+			c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+			if err != nil {
+				return err
+			}
+			p, err := AlltoallInit(c, tc.m, Auto)
+			if err != nil {
+				return err
+			}
+			if _, ok := p.Decision(); ok {
+				t.Errorf("m=%d: Decision available before first Run", tc.m)
+			}
+			if got := p.Effective(); got != Auto {
+				t.Errorf("m=%d: Effective before Run = %v, want Auto", tc.m, got)
+			}
+			send := make([]int64, len(nbh)*tc.m)
+			recv := make([]int64, len(nbh)*tc.m)
+			if err := Run(p, send, recv); err != nil {
+				return err
+			}
+			dec, ok := p.Decision()
+			if !ok {
+				t.Fatalf("m=%d: no Decision after Run", tc.m)
+			}
+			if dec.Chosen != tc.want || p.Effective() != tc.want {
+				t.Errorf("m=%d: chose %v (effective %v), want %v — %s", tc.m, dec.Chosen, p.Effective(), tc.want, dec)
+			}
+			if dec.ProfileSource != "model" {
+				t.Errorf("m=%d: profile source %q, want model", tc.m, dec.ProfileSource)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAutoUsesInstalledMachineProfile: without a cost model the selection
+// falls back to tune.Machine() — install a profile with absurdly cheap
+// latency (trivial should win even at m=1) and verify both the pick and
+// the reported provenance; clear it and the built-in default picks
+// combining at tiny blocks again.
+func TestAutoUsesInstalledMachineProfile(t *testing.T) {
+	tune.ClearMachine()
+	t.Cleanup(tune.ClearMachine)
+	cheapLatency := tune.Profile{Alpha: 0, Beta: 1e-9, SendOverhead: 0, RecvOverhead: 0, Source: "measured"}
+	if err := tune.SetMachine(cheapLatency); err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(wantAlgo Algorithm, wantSource string) error {
+		return mpi.Run(mpi.Config{Procs: 9, Timeout: 60 * time.Second}, func(w *mpi.Comm) error {
+			nbh, err := vec.Stencil(2, 3, -1)
+			if err != nil {
+				return err
+			}
+			c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+			if err != nil {
+				return err
+			}
+			p, err := AlltoallInit(c, 1, Auto)
+			if err != nil {
+				return err
+			}
+			send := make([]int64, len(nbh))
+			recv := make([]int64, len(nbh))
+			if err := Run(p, send, recv); err != nil {
+				return err
+			}
+			dec, ok := p.Decision()
+			if !ok {
+				t.Error("no Decision after Run")
+				return nil
+			}
+			if dec.Chosen != wantAlgo {
+				t.Errorf("chose %v, want %v (%s)", dec.Chosen, wantAlgo, dec)
+			}
+			if dec.ProfileSource != wantSource {
+				t.Errorf("profile source %q, want %q", dec.ProfileSource, wantSource)
+			}
+			return nil
+		})
+	}
+	// α = o = 0: messages are free, only volume costs — trivial's V=t
+	// beats combining's V=12 at any size.
+	if err := runOnce(Trivial, "measured"); err != nil {
+		t.Fatal(err)
+	}
+	tune.ClearMachine()
+	// Default constants are latency-heavy: combining wins at m=1.
+	if err := runOnce(Combining, "default"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoDecisionMemoized: repeated Runs at one element size decide
+// once; the memo is per-element-size, so a different element width
+// re-decides.
+func TestAutoDecisionMemoized(t *testing.T) {
+	err := mpi.Run(mpi.Config{Procs: 9, Model: netmodel.Hydra(), Timeout: 60 * time.Second}, func(w *mpi.Comm) error {
+		nbh, err := vec.Stencil(2, 3, -1)
+		if err != nil {
+			return err
+		}
+		c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		// m chosen so int64 blocks sit above the crossover but byte
+		// blocks sit below it: the pick must flip with the element size.
+		const m = 8192
+		p, err := AlltoallInit(c, m, Auto)
+		if err != nil {
+			return err
+		}
+		s64 := make([]int64, len(nbh)*m)
+		r64 := make([]int64, len(nbh)*m)
+		for i := 0; i < 2; i++ {
+			if err := Run(p, s64, r64); err != nil {
+				return err
+			}
+		}
+		if got := p.Effective(); got != Trivial {
+			t.Errorf("int64 blocks (64KiB): effective %v, want trivial", got)
+		}
+		s8 := make([]byte, len(nbh)*m)
+		r8 := make([]byte, len(nbh)*m)
+		if err := Run(p, s8, r8); err != nil {
+			return err
+		}
+		if got := p.Effective(); got != Combining {
+			t.Errorf("byte blocks (8KiB): effective %v, want combining", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

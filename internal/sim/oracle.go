@@ -210,19 +210,24 @@ func checkLegInternals(sc *Scenario, leg string, algo cart.Algorithm, out *legOu
 //     classic phase-barrier executor; payloads must equal leg 1.
 //  3. combining-pipelined — the dependency-DAG pipelined executor;
 //     payloads must equal leg 1.
-//  4. virtual time — leg 2 re-run under the scenario's cost model with a
+//  4. auto-selected — the same collective with Algorithm Auto: the
+//     self-tuning selector resolves to whichever family its cost model
+//     picks, and the payloads must equal leg 1 regardless of the pick
+//     (selection may only change performance, never results).
+//     Re-execution must stay idempotent across the memoized decision.
+//  5. virtual time — leg 2 re-run under the scenario's cost model with a
 //     trace recorder, twice: both runs must produce identical per-rank
 //     clocks and event streams (determinism), the payloads must still
 //     match, and the trace must be well-formed (every send slice has a
 //     matching receive flow).
-//  5. faults — when the scenario carries a fault plan, the reference leg
+//  6. faults — when the scenario carries a fault plan, the reference leg
 //     re-runs under it: the run must either fail with a typed rank
 //     failure (or its cascade) or complete with correct payloads.
 //     Watchdog deadlocks are a legitimate terminal outcome only for
 //     plans that drop messages; dup-only plans must complete cleanly
 //     (the mailbox dedup suppresses the duplicates); everything else is
 //     a harness catch.
-//  6. recovery — crash scenarios re-run under the self-healing wrapper
+//  7. recovery — crash scenarios re-run under the self-healing wrapper
 //     (cart.Recoverable), once per re-embedding policy: every run must
 //     end verified-recovered (payloads equal a fresh run on the final
 //     shrunken shape) or typed-terminal (see CheckRecovery).
@@ -269,6 +274,28 @@ func CheckScenario(sc Scenario, opt Options) *Failure {
 		if f := comparePayloads(leg.name, ref.recv, out.recv); f != nil {
 			return f
 		}
+	}
+
+	// Auto leg: the self-tuning selector must be payload-invisible —
+	// whichever family it resolves to, the buffers equal the trivial
+	// reference, and re-execution across the memoized decision stays
+	// idempotent. The per-leg accounting oracle is skipped here by design:
+	// stats accrue on the chosen variant, whose identity is the selector's
+	// to decide.
+	auto, err := runLeg(&sc, cart.Auto, nil, nil, nil, nil)
+	if err != nil {
+		return fail("auto-error", "%v", err)
+	}
+	for r := range auto.recv {
+		if !reflect.DeepEqual(auto.recv[r], auto.rerun[r]) {
+			return fail("rerun-payload", "auto-selected: rank %d: first run %v, second run %v", r, auto.recv[r], auto.rerun[r])
+		}
+	}
+	if f := comparePayloads("auto-selected", ref.recv, auto.recv); f != nil {
+		return f
+	}
+	if err := mpi.CheckMetricInvariants(auto.met); err != nil {
+		return fail("metric-invariants", "auto-selected: %v", err)
 	}
 
 	// Virtual-time leg: determinism, payload agreement, trace flows.
