@@ -350,13 +350,37 @@ func RunPlan[T any](p *Plan, send, recv []T) error { return cart.Run(p, send, re
 // deadlock-free. On a torus it matches AlltoallInit with Combining.
 func MeshAlltoallInit(c *Comm, m int) (*Plan, error) { return cart.MeshAlltoallInit(c, m) }
 
-// Handle is an in-flight nonblocking plan execution.
+// Future is an in-flight nonblocking collective committed to the
+// communicator's progress engine: Wait blocks for completion, Test polls,
+// Err reports without blocking, Cancel requests local abandonment.
+// Multiple futures may be in flight per communicator; all ranks must
+// start them in the same order.
+type Future = cart.Future
+
+// Handle is the historical name of Future.
 type Handle = cart.Handle
 
-// StartPlan begins a nonblocking execution of a plan (wall-clock runs
-// only); complete it with the handle's Wait.
-func StartPlan[T any](p *Plan, send, recv []T) (*Handle, error) {
+// ErrFutureCancelled is the typed completion error of a cancelled future
+// (it also matches mpi.ErrCancelled under errors.Is).
+var ErrFutureCancelled = cart.ErrFutureCancelled
+
+// StartPlan begins a nonblocking execution of a plan on the progress
+// engine (wall-clock runs only); complete it with the future's Wait.
+func StartPlan[T any](p *Plan, send, recv []T) (*Future, error) {
 	return cart.Start(p, send, recv)
+}
+
+// IcartAlltoall starts the nonblocking regular Cartesian alltoall
+// (the paper's Cart_alltoall as a nonblocking collective): the plan comes
+// from the communicator's cache, the rounds run on the per-world progress
+// engine, and the returned future completes the operation.
+func IcartAlltoall[T any](c *Comm, send, recv []T) (*Future, error) {
+	return cart.IcartAlltoall(c, send, recv)
+}
+
+// IcartAllgather starts the nonblocking regular Cartesian allgather.
+func IcartAllgather[T any](c *Comm, send, recv []T) (*Future, error) {
+	return cart.IcartAllgather(c, send, recv)
 }
 
 // ReducePlan is a precomputed Cartesian neighborhood reduction plan (the

@@ -13,7 +13,9 @@
 // extensions), predict (analytic model), chaos (injected-fault sweep with
 // survivor recovery and deadlock diagnosis), allocs and pipeline
 // (perf-trajectory records BENCH_P2/P3), autotune (Auto vs fixed
-// algorithms with the 1.05x perf gate, BENCH_P7), trace (Perfetto/Chrome trace
+// algorithms with the 1.05x perf gate, BENCH_P7), concurrent (async
+// futures vs blocking execution across W tenant worlds with throughput
+// and latency gates, BENCH_P8), trace (Perfetto/Chrome trace
 // capture with metrics and predicted-vs-observed accounting; -o sets the
 // output path), and all.
 //
@@ -76,7 +78,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos allocs pipeline autotune trace all")
+		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos allocs pipeline autotune concurrent trace all")
 		os.Exit(2)
 	}
 	mode := renderText
@@ -157,6 +159,8 @@ func run(name string, sc bench.Scale, mode renderMode) error {
 		return pipelineExperiment(sc)
 	case "autotune":
 		return autotuneExperiment(sc)
+	case "concurrent":
+		return concurrentExperiment(sc)
 	case "trace":
 		return traceExperiment()
 	default:
@@ -273,6 +277,47 @@ func autotuneExperiment(sc bench.Scale) error {
 	}
 	fmt.Println("wrote BENCH_P7.json")
 	return bench.GateAutotune(rep)
+}
+
+// concurrentExperiment benchmarks the asynchronous progress engine
+// against blocking execution — aggregate throughput across W tenant
+// worlds with K futures in flight, and single-collective latency at a
+// large block size — records the run in BENCH_P8.json, and enforces both
+// perf gates: >=2x aggregate ops/s at the largest world count where
+// overlap is measurable (default scale, multi-core rig; quick scale and
+// serial rigs demand parity — see bench.RunConcurrentBench) and async
+// latency within 1.05x of blocking Run.
+func concurrentExperiment(sc bench.Scale) error {
+	cfg := bench.ConcurrentConfig{}
+	if sc.Reps > 0 && sc.Reps < bench.DefaultScale.Reps {
+		cfg.Iters = 16 // quick scale
+		cfg.LatencyIters = 100
+		cfg.Rounds = 4
+		cfg.ThroughputGate = 1.0
+	}
+	rep, err := bench.RunConcurrentBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrentReport(rep))
+	rec := &bench.BenchP8{
+		Description: "Async collective futures vs blocking execution (wall clock): aggregate Cart_alltoall throughput of W independent worlds with K futures in flight through the per-world progress engine against serialized blocking loops, and single-collective Start+Wait latency vs Run at 8 KiB blocks; gates demand >=2x aggregate throughput at W=8 (parity on single-core rigs, where blocking parks are already backfilled by co-tenant worlds) and latency within 1.05x.",
+		After:       rep,
+	}
+	// Track the trajectory: the previous run (its baseline if it had one,
+	// else its result) becomes the "before" of this record.
+	if prev, err := bench.ReadBenchP8("BENCH_P8.json"); err == nil && prev != nil {
+		if prev.Before != nil {
+			rec.Before = prev.Before
+		} else {
+			rec.Before = prev.After
+		}
+	}
+	if err := bench.WriteBenchP8("BENCH_P8.json", rec); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_P8.json")
+	return bench.GateConcurrent(rep)
 }
 
 // traceOutPath is the -o flag value, bound in main.

@@ -17,11 +17,12 @@ import (
 // per execution equal the schedule's C and the observed blocks equal the
 // schedule's volume V.
 //
-// The observed counters are plain int64 fields on the Plan: a plan is
-// single-goroutine by contract, so the increments are unsynchronized adds
-// on memory the executor already touches — always on, no allocation, and
-// cheap enough that the instrumentation-off benchmark budget (≤2% ns/op)
-// is not spent here.
+// The observed counters are atomic int64 fields on the Plan: an inline
+// async commit posts (and counts) on the caller's goroutine while the
+// progress-engine driver retires an earlier execution of the same plan,
+// so the adds must be lock-free. Uncontended atomic adds cost a few
+// nanoseconds — always on, no allocation, and cheap enough that the
+// instrumentation-off benchmark budget (≤2% ns/op) is not spent here.
 
 // ExecStats is one plan's predicted-vs-observed accounting, from the
 // perspective of the local rank.
@@ -63,12 +64,12 @@ func (p *Plan) Stats() ExecStats {
 		Algo:            p.algo,
 		PredictedRounds: p.rounds,
 		PredictedVolume: p.volume,
-		Executions:      p.obsRuns,
-		RoundsActive:    p.obsRounds,
-		MessagesSent:    p.obsMsgs,
-		ReceivesRetired: p.obsRecvs,
-		BlocksForwarded: p.obsBlocks,
-		ElementsSent:    p.obsElems,
+		Executions:      p.obsRuns.Load(),
+		RoundsActive:    p.obsRounds.Load(),
+		MessagesSent:    p.obsMsgs.Load(),
+		ReceivesRetired: p.obsRecvs.Load(),
+		BlocksForwarded: p.obsBlocks.Load(),
+		ElementsSent:    p.obsElems.Load(),
 	}
 	for _, rounds := range p.phases {
 		for i := range rounds {
@@ -164,6 +165,12 @@ type cartMetrics struct {
 	pcBytes       *metrics.Gauge
 	pickTrivial   *metrics.Counter
 	pickCombining *metrics.Counter
+
+	// Progress-engine accounting (engine.go, future.go).
+	asyncStarts   *metrics.Counter
+	asyncCancels  *metrics.Counter
+	asyncInflight *metrics.Gauge
+	futureNs      *metrics.Histogram
 }
 
 // newCartMetrics registers (or resolves) the cart-layer metrics on a
@@ -180,6 +187,10 @@ type cartMetrics struct {
 //	cart.plancache.bytes     gauge     estimated cache footprint after this rank's inserts
 //	cart.tune.pick.trivial   counter   Auto selections that chose the trivial schedule
 //	cart.tune.pick.combining counter   Auto selections that chose a combining schedule
+//	cart.async.started       counter   futures committed to the progress engine
+//	cart.async.cancelled     counter   futures whose Cancel was requested
+//	cart.async.inflight      gauge     peak committed, unretired futures (per communicator pool)
+//	cart.async.future.ns     histogram wall-clock ns from commit to future completion
 func newCartMetrics(set *metrics.Set) *cartMetrics {
 	if set == nil {
 		return nil
@@ -196,15 +207,19 @@ func newCartMetrics(set *metrics.Set) *cartMetrics {
 		pcBytes:       set.Gauge("cart.plancache.bytes"),
 		pickTrivial:   set.Counter("cart.tune.pick.trivial"),
 		pickCombining: set.Counter("cart.tune.pick.combining"),
+		asyncStarts:   set.Counter("cart.async.started"),
+		asyncCancels:  set.Counter("cart.async.cancelled"),
+		asyncInflight: set.Gauge("cart.async.inflight"),
+		futureNs:      set.Histogram("cart.async.future.ns"),
 	}
 }
 
 // countSend records one posted send on the plan's observed accounting
 // (and the metrics registry when attached).
 func (p *Plan) countSend(r *execRound) {
-	p.obsMsgs++
-	p.obsBlocks += int64(r.blocks)
-	p.obsElems += int64(r.sendElems)
+	p.obsMsgs.Add(1)
+	p.obsBlocks.Add(int64(r.blocks))
+	p.obsElems.Add(int64(r.sendElems))
 	if m := p.cmet; m != nil {
 		m.blocksFwd.Add(int64(r.blocks))
 	}
@@ -223,7 +238,7 @@ func (p *Plan) countRecvPost() {
 }
 
 func (p *Plan) countRoundActive() {
-	p.obsRounds++
+	p.obsRounds.Add(1)
 	if m := p.cmet; m != nil {
 		m.rounds.Inc()
 	}
@@ -231,12 +246,12 @@ func (p *Plan) countRoundActive() {
 
 // countRetire records one retired (completed) receive.
 func (p *Plan) countRetire() {
-	p.obsRecvs++
+	p.obsRecvs.Add(1)
 }
 
 // countRun records one completed execution.
 func (p *Plan) countRun() {
-	p.obsRuns++
+	p.obsRuns.Add(1)
 	if m := p.cmet; m != nil {
 		m.runs.Inc()
 	}

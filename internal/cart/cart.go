@@ -16,8 +16,10 @@ package cart
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cartcc/internal/mpi"
+	"cartcc/internal/trace"
 	"cartcc/internal/vec"
 )
 
@@ -87,6 +89,13 @@ type Comm struct {
 	flatNbh   []int
 	shapeHash uint64
 	nbhHash   uint64
+
+	// eng is the communicator's progress engine (engine.go), created
+	// lazily at the first Start; alog is the optional per-future trace
+	// log its workers record into (atomic: workers read it while the
+	// owning goroutine may attach one).
+	eng  *engine
+	alog atomic.Pointer[trace.AsyncLog]
 }
 
 type planKey struct {

@@ -2,6 +2,7 @@ package cart
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"cartcc/internal/mpi"
@@ -67,12 +68,11 @@ type pipeState struct {
 	nLive  int // receives with successors: the WaitSet-driven set
 }
 
-// pipeScratch returns the plan's executor scratch, allocating it on first
-// use.
-func (p *Plan) pipeScratch() *pipeState {
-	if p.pipe != nil {
-		return p.pipe
-	}
+// newPipeState allocates one execution's worth of scratch for the plan.
+// withWS attaches a plan-owned WaitSet for the synchronous executor; the
+// progress engine's executions pass false and attach their worker's
+// multiplexed set per execution instead (engine.go).
+func newPipeState(p *Plan, withWS bool) *pipeState {
 	n := len(p.flat)
 	st := &pipeState{
 		sendLeft:   make([]int32, n),
@@ -99,21 +99,69 @@ func (p *Plan) pipeScratch() *pipeState {
 			st.nSends++
 		}
 	}
-	st.ws = mpi.NewWaitSet(p.comm.comm, st.nLive)
-	p.pipe = st
+	if withWS {
+		st.ws = mpi.NewWaitSet(p.comm.comm, st.nLive)
+	}
 	return st
 }
 
-// pipeExec is one execution's live state over the plan scratch.
+// pipeScratch returns the plan's executor scratch, allocating it on first
+// use.
+func (p *Plan) pipeScratch() *pipeState {
+	if p.pipe == nil {
+		p.pipe = newPipeState(p, true)
+	}
+	return p.pipe
+}
+
+// reset rearms the scratch for one execution of p.
+func (st *pipeState) reset(p *Plan) {
+	st.stack = st.stack[:0]
+	for i := 0; i < len(p.flat); i++ {
+		st.sendLeft[i] = p.deps[i].sendDeps
+		st.scatLeft[i] = p.deps[i].scatDeps
+		st.deferred[i] = false
+		st.arrived[i] = false
+		st.retired[i] = false
+		st.sendPosted[i] = false
+		st.recvPosted[i] = false
+		st.reqs[i] = nil
+	}
+}
+
+// pipeExec is one execution's live state over a pipeState. The
+// synchronous executor drives it to completion on the caller's goroutine
+// over the plan-owned scratch; the progress engine (engine.go) embeds it
+// in an asyncExec and drives the same state machine from completion
+// events, with a per-execution tag offset (concurrent futures of one
+// communicator must not match each other's messages), the worker's shared
+// WaitSet, and an owner base that routes completions back to this
+// execution.
 type pipeExec[T any] struct {
-	p        *Plan
-	st       *pipeState
-	bufs     [][]T
-	comm     *mpi.Comm
-	posted   int // posted, unretired live receives (window occupancy)
+	p         *Plan
+	st        *pipeState
+	bufs      [][]T
+	comm      *mpi.Comm
+	ws        *mpi.WaitSet        // completion set receives attach to (synchronous runs)
+	sink      *mpi.CompletionSink // engine completion sink (async runs; takes precedence)
+	tagOff    int                 // added to every round tag (0 for synchronous runs)
+	ownerBase int                 // completion token base (0 for synchronous runs)
+	// leafGate, when non-nil (engine executions with leaf rounds),
+	// coalesces every leaf receive's completion into one sentinel token:
+	// leaves stay out of the window and the completion set — no
+	// per-message wakeup, exactly like the synchronous bulk tail — and
+	// the gate posts the execution's leaf sentinel once the last leaf
+	// (and the attach-time bias) has been accounted.
+	leafGate *atomic.Int32
+	// quiet suppresses round-log events: the plan's RoundLog is
+	// single-goroutine, and an async execution posts from the committing
+	// caller concurrently with the engine driver (AsyncLog is the async
+	// trace story).
+	quiet    bool
+	posted   int // posted, unretired tracked receives (window occupancy)
 	nextPost int // next flat index to consider for receive posting
 	remRecv  int
-	remLive  int // unretired live (WaitSet-driven) receives
+	remLive  int // unretired tracked (WaitSet-driven) receives
 	remSend  int
 }
 
@@ -124,18 +172,8 @@ func runPipelined[T any](p *Plan, bufs [][]T) error {
 	st := p.pipeScratch()
 	n := len(p.flat)
 	st.ws.Reset()
-	st.stack = st.stack[:0]
-	for i := 0; i < n; i++ {
-		st.sendLeft[i] = p.deps[i].sendDeps
-		st.scatLeft[i] = p.deps[i].scatDeps
-		st.deferred[i] = false
-		st.arrived[i] = false
-		st.retired[i] = false
-		st.sendPosted[i] = false
-		st.recvPosted[i] = false
-		st.reqs[i] = nil
-	}
-	e := &pipeExec[T]{p: p, st: st, bufs: bufs, comm: p.comm.comm, remRecv: st.nRecvs, remLive: st.nLive, remSend: st.nSends}
+	st.reset(p)
+	e := &pipeExec[T]{p: p, st: st, bufs: bufs, comm: p.comm.comm, ws: st.ws, remRecv: st.nRecvs, remLive: st.nLive, remSend: st.nSends}
 
 	// Receives first (window depth), then every barrier-free send.
 	if err := e.fillWindow(); err != nil {
@@ -191,7 +229,7 @@ func runPipelined[T any](p *Plan, bufs [][]T) error {
 		}
 		st.retired[i] = true
 		e.remRecv--
-		p.logRound(p.deps[i].phase, p.deps[i].idx, p.flat[i].recvFrom, trace.RoundRecvDone)
+		e.logRound(p.deps[i].phase, p.deps[i].idx, p.flat[i].recvFrom, trace.RoundRecvDone)
 		p.countRetire()
 		if m := p.cmet; m != nil {
 			m.retireNs.Observe(time.Now().UnixNano() - st.postNs[i])
@@ -224,14 +262,14 @@ func (e *pipeExec[T]) fillWindow() error {
 			continue
 		}
 		st.deferred[i] = st.scatLeft[i] > 0
-		req, err := mpi.IrecvComposite(e.comm, e.bufs, &r.recv, r.recvFrom, r.tag, st.deferred[i])
+		req, err := mpi.IrecvComposite(e.comm, e.bufs, &r.recv, r.recvFrom, r.tag+e.tagOff, st.deferred[i])
 		if err != nil {
 			return e.abortDrain(p.phaseError(p.deps[i].phase, p.deps[i].idx, r.recvWhat, err))
 		}
 		st.reqs[i] = req
 		st.recvPosted[i] = true
 		e.nextPost++
-		p.logRound(p.deps[i].phase, p.deps[i].idx, r.recvFrom, trace.RoundRecvPost)
+		e.logRound(p.deps[i].phase, p.deps[i].idx, r.recvFrom, trace.RoundRecvPost)
 		p.countRecvPost()
 		if m := p.cmet; m != nil {
 			st.postNs[i] = time.Now().UnixNano()
@@ -241,7 +279,13 @@ func (e *pipeExec[T]) fillWindow() error {
 			if m := p.cmet; m != nil {
 				m.prepostHWM.SetMax(int64(e.posted))
 			}
-			st.ws.Add(req, i)
+			if e.sink != nil {
+				e.sink.Add(req, e.ownerBase+i)
+			} else {
+				e.ws.Add(req, e.ownerBase+i)
+			}
+		} else if e.leafGate != nil {
+			e.sink.AddGated(req, e.ownerBase|ownerMask, e.leafGate)
 		}
 	}
 	return nil
@@ -267,7 +311,7 @@ func (e *pipeExec[T]) drainSends() error {
 func (e *pipeExec[T]) postSend(i int32) error {
 	p, st := e.p, e.st
 	r := p.flat[i]
-	req, err := mpi.IsendComposite(e.comm, e.bufs, &r.send, r.sendTo, r.tag)
+	req, err := mpi.IsendComposite(e.comm, e.bufs, &r.send, r.sendTo, r.tag+e.tagOff)
 	if err == nil {
 		_, err = req.Wait()
 	}
@@ -276,7 +320,7 @@ func (e *pipeExec[T]) postSend(i int32) error {
 	}
 	st.sendPosted[i] = true
 	e.remSend--
-	p.logRound(p.deps[i].phase, p.deps[i].idx, r.sendTo, trace.RoundSendPost)
+	e.logRound(p.deps[i].phase, p.deps[i].idx, r.sendTo, trace.RoundSendPost)
 	p.countSend(r)
 	for _, s := range p.deps[i].warSucc {
 		st.scatLeft[s]--
@@ -317,7 +361,7 @@ func (e *pipeExec[T]) tryRetire(i int32) error {
 	e.posted--
 	e.remRecv--
 	e.remLive--
-	p.logRound(p.deps[i].phase, p.deps[i].idx, p.flat[i].recvFrom, trace.RoundRecvDone)
+	e.logRound(p.deps[i].phase, p.deps[i].idx, p.flat[i].recvFrom, trace.RoundRecvDone)
 	p.countRetire()
 	if m := p.cmet; m != nil {
 		m.retireNs.Observe(time.Now().UnixNano() - st.postNs[i])
@@ -354,18 +398,8 @@ func (e *pipeExec[T]) tryRetire(i int32) error {
 func runPipelinedModel[T any](p *Plan, bufs [][]T) error {
 	st := p.pipeScratch()
 	n := len(p.flat)
-	st.stack = st.stack[:0]
-	for i := 0; i < n; i++ {
-		st.sendLeft[i] = p.deps[i].sendDeps
-		st.scatLeft[i] = p.deps[i].scatDeps
-		st.deferred[i] = false
-		st.arrived[i] = false
-		st.retired[i] = false
-		st.sendPosted[i] = false
-		st.recvPosted[i] = false
-		st.reqs[i] = nil
-	}
-	e := &pipeExec[T]{p: p, st: st, bufs: bufs, comm: p.comm.comm, remRecv: st.nRecvs, remLive: st.nRecvs, remSend: st.nSends}
+	st.reset(p)
+	e := &pipeExec[T]{p: p, st: st, bufs: bufs, comm: p.comm.comm, ws: st.ws, remRecv: st.nRecvs, remLive: st.nRecvs, remSend: st.nSends}
 
 	// Post every receive upfront (posting is free on the virtual clock and
 	// keeps the match-time-consume path hitting), then every barrier-free
@@ -382,7 +416,7 @@ func runPipelinedModel[T any](p *Plan, bufs [][]T) error {
 		}
 		st.reqs[i] = req
 		st.recvPosted[i] = true
-		p.logRound(p.deps[i].phase, p.deps[i].idx, r.recvFrom, trace.RoundRecvPost)
+		e.logRound(p.deps[i].phase, p.deps[i].idx, r.recvFrom, trace.RoundRecvPost)
 		p.countRecvPost()
 		if m := p.cmet; m != nil {
 			st.postNs[i] = time.Now().UnixNano()
@@ -479,6 +513,14 @@ func (e *pipeExec[T]) abortDrain(attributed error) error {
 func (p *Plan) logRound(phase, round, peer int, kind trace.RoundKind) {
 	if p.rlog != nil {
 		p.rlog.Add(phase, round, peer, kind)
+	}
+}
+
+// logRound forwards to the plan's round log unless the execution is quiet
+// (async executions: the RoundLog is single-goroutine).
+func (e *pipeExec[T]) logRound(phase, round, peer int, kind trace.RoundKind) {
+	if !e.quiet {
+		e.p.logRound(phase, round, peer, kind)
 	}
 }
 

@@ -3,6 +3,8 @@ package cart
 import (
 	"fmt"
 	"reflect"
+	"sync"
+	"sync/atomic"
 
 	"cartcc/internal/datatype"
 	"cartcc/internal/mpi"
@@ -351,20 +353,34 @@ type Plan struct {
 	pipe      *pipeState
 	barriered bool
 	window    int
+
+	// Progress-engine scratch pool (future.go): detached pipeStates and
+	// temp buffers for committed executions, so several futures of one
+	// plan can be in flight at once and steady-state Start/Wait cycles
+	// stay allocation-free. The mutex also guards asyncMaxTag, the
+	// memoized tag-span bound (commits happen on the caller's goroutine,
+	// releases on engine workers).
+	asyncMu     sync.Mutex
+	asyncFree   []*asyncScratch
+	asyncMaxTag int
+	// tagFit memoizes asyncTagFits lock-free: 0 unknown, 1 fits, 2 not.
+	tagFit atomic.Int32
 	// rlog, when set, records wall-clock per-round post/complete events
 	// from the executors (trace.RoundLog).
 	rlog *trace.RoundLog
 
-	// Observed accounting (accounting.go): plain fields, single-goroutine
-	// like the plan, accumulated across executions at the executors' post
-	// and retire sites. cmet mirrors a subset into the rank's metrics
+	// Observed accounting (accounting.go), accumulated across executions
+	// at the executors' post and retire sites. Atomic because an inline
+	// async commit (Start posts the first window on the caller) counts
+	// concurrently with the engine driver retiring an earlier execution of
+	// the same plan. cmet mirrors a subset into the rank's metrics
 	// registry when one is attached to the runtime (nil otherwise).
-	obsRuns   int64
-	obsRounds int64
-	obsMsgs   int64
-	obsRecvs  int64
-	obsBlocks int64
-	obsElems  int64
+	obsRuns   atomic.Int64
+	obsRounds atomic.Int64
+	obsMsgs   atomic.Int64
+	obsRecvs  atomic.Int64
+	obsBlocks atomic.Int64
+	obsElems  atomic.Int64
 	cmet      *cartMetrics
 
 	// Auto plans carry the trivial alternative and the mean block size in
@@ -693,50 +709,6 @@ func (p *Plan) phaseError(phase, round int, what string, err error) error {
 func (p *Plan) roundError(phase, round int, r *execRound, err error) error {
 	return fmt.Errorf("cart: %s(%s): phase %d/%d round %d (send to %d, recv from %d): %w",
 		p.op, p.algo, phase+1, len(p.phases), round, r.sendTo, r.recvFrom, err)
-}
-
-// Handle is an in-flight nonblocking plan execution started with Start —
-// the nonblocking persistent collectives the paper anticipates from the
-// MPI Forum ("non-blocking, persistent versions of the Cartesian
-// collectives"). Wait blocks until the collective has completed locally.
-type Handle struct {
-	done chan error
-	err  error
-	fin  bool
-}
-
-// Wait blocks until the started collective completes and returns its
-// error. Waiting twice returns the recorded result.
-func (h *Handle) Wait() error {
-	if !h.fin {
-		h.err = <-h.done
-		h.fin = true
-	}
-	return h.err
-}
-
-// Start begins a nonblocking execution of the plan: the schedule runs in a
-// background goroutine and the returned handle's Wait completes it. The
-// caller must not touch send, recv, or the plan until Wait returns, and
-// must not start two executions of one plan concurrently (the temporary
-// buffer is cached on the plan).
-//
-// Start is only available in wall-clock runs: under a virtual-time cost
-// model the rank's clock is owned by its goroutine, and overlapping
-// communication with the caller's progress has no defined virtual
-// semantics (MPI libraries face the same progress-modeling question).
-func Start[T any](p *Plan, send, recv []T) (*Handle, error) {
-	if p.alt != nil {
-		p = p.choose(elemBytesOf[T]())
-	}
-	if p.comm.comm.Model() != nil {
-		return nil, fmt.Errorf("cart: Start requires a wall-clock run (no cost model)")
-	}
-	h := &Handle{done: make(chan error, 1)}
-	go func() {
-		h.done <- Run(p, send, recv)
-	}()
-	return h, nil
 }
 
 // runRoundBlocking performs one round as a blocking exchange, handling

@@ -197,10 +197,11 @@ func (fp *FaultPlan) validate(procs int) error {
 type crashSignal struct{ err error }
 
 // opTick runs the rank's fault-plan actions at a point-to-point operation
-// boundary: straggler delay first, then the crash check. Called from the
-// rank's own goroutine before each posted send or receive.
+// boundary: straggler delay first, then the crash check. Called before each
+// posted send or receive — usually from the rank's own goroutine, but a
+// progress engine posts on the rank's behalf too, so the counter is atomic.
 func (rs *rankState) opTick() {
-	rs.ops++
+	ops := rs.ops.Add(1)
 	w := rs.world
 	fp := w.faults
 	if fp == nil {
@@ -221,8 +222,8 @@ func (rs *rankState) opTick() {
 		if c.Rank != rs.rank {
 			continue
 		}
-		if (c.AtOp > 0 && rs.ops >= c.AtOp) || (c.AtVTime > 0 && w.model != nil && rs.clock >= c.AtVTime) {
-			err := &RankFailedError{Rank: rs.rank, Op: fmt.Sprintf("injected crash at op %d", rs.ops)}
+		if (c.AtOp > 0 && ops >= int64(c.AtOp)) || (c.AtVTime > 0 && w.model != nil && rs.clock >= c.AtVTime) {
+			err := &RankFailedError{Rank: rs.rank, Op: fmt.Sprintf("injected crash at op %d", ops)}
 			w.markDead(rs.rank, err)
 			panic(crashSignal{err})
 		}
@@ -232,7 +233,24 @@ func (rs *rankState) opTick() {
 // OpCount returns how many point-to-point operations this rank has posted
 // so far — the unit in which Crash.AtOp counts. Chaos harnesses use it to
 // calibrate crash points against a fault-free run of the same program.
-func (c *Comm) OpCount() int { return c.rs.ops }
+func (c *Comm) OpCount() int { return int(c.rs.ops.Load()) }
+
+// RecoverCrash converts a recovered panic value from an injected rank
+// crash into its typed error; nil when the value is something else (the
+// caller must re-panic). Run recognizes the signal on the rank's own
+// goroutine; a progress engine that posts operations on the rank's behalf
+// recovers with this instead of dying with the simulated process, so it
+// can fail its in-flight work with the typed error. The crash is recorded
+// with the run exactly as the rank goroutine's recovery would record it —
+// the run's error reports the injected crash without aborting the world.
+func (c *Comm) RecoverCrash(r any) error {
+	cs, ok := r.(crashSignal)
+	if !ok {
+		return nil
+	}
+	c.w.record(c.rank, cs.err)
+	return cs.err
+}
 
 // delayFor returns the injected hold-back for a message from this rank to
 // dstWorld, consuming per-spec counters and seeded randomness.

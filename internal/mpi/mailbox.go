@@ -84,24 +84,31 @@ type pendingRecv struct {
 	// alone cannot, because the receiver may have consumed the message and
 	// then been preempted before deregistering its blocked state.
 	delivered atomic.Bool
-	// notify, when non-nil, receives notifyIdx exactly once, immediately
-	// before the ready handoff — the completion channel of a WaitSet
+	// notify, when non-nil, is posted notifyIdx exactly once, immediately
+	// before the ready handoff — the completion sink of a WaitSet
 	// (Waitsome). It is attached under the mailbox lock (attachNotify) and
 	// only while the receive is still undelivered, so the handoff's read is
-	// ordered after the attach by the lock; the signal-before-ready order
+	// ordered after the attach by the lock; the post-before-ready order
 	// guarantees the notification is queued by the time any Wait on the
-	// receive returns. The channel is buffered by its WaitSet to hold every
-	// attached notification, so the signal never blocks.
-	notify    chan int
+	// receive returns. The sink is unbounded, so the post never blocks.
+	notify    *notifySink
 	notifyIdx int
+	// notifyGate, when non-nil, coalesces a group of completions into one
+	// notification: each member's completion decrements the gate and only
+	// the one that reaches zero posts notifyIdx. Attached with the sink
+	// (attachNotifyGated); cancellation decrements like a completion.
+	notifyGate *atomic.Int32
 }
 
-// handover signals the attached WaitSet, if any, then hands the matched
-// message (or poison) to the receive's ready channel. Every delivery path
-// funnels through here so a completion-channel waiter never misses a match.
+// handover posts to the attached WaitSet sink, if any, then hands the
+// matched message (or poison) to the receive's ready channel. Every
+// delivery path funnels through here so a completion waiter never misses a
+// match.
 func (r *pendingRecv) handover(m *message) {
 	if n := r.notify; n != nil {
-		n <- r.notifyIdx
+		if g := r.notifyGate; g == nil || g.Add(-1) == 0 {
+			n.post(r.notifyIdx)
+		}
 	}
 	r.ready <- m
 }
@@ -180,9 +187,10 @@ type mailbox struct {
 	epochFloor int64
 
 	// lastSeq records, per sender world rank, the highest send sequence
-	// number delivered so far. Each sender delivers from a single goroutine
-	// in send order, so any message whose sseq does not advance the counter
-	// is a duplicate and is dropped (its pooled wire released exactly once).
+	// number delivered so far. Each sender delivers in send-sequence order
+	// (its posters serialize on rankState.sendMu), so any message whose
+	// sseq does not advance the counter is a duplicate and is dropped (its
+	// pooled wire released exactly once).
 	lastSeq map[int]uint64
 }
 
@@ -225,21 +233,30 @@ func (b *mailbox) finish(r *pendingRecv, m *message) {
 	r.handover(m)
 }
 
-// attachNotify attaches a completion channel to a still-undelivered pending
+// attachNotify attaches a completion sink to a still-undelivered pending
 // receive and reports whether it attached: false means a message or poison
 // has already been matched (its handoff may still be in flight) and the
 // caller must treat the receive as already complete. The delivered check and
-// the channel store happen under the mailbox lock, the same lock every
+// the sink store happen under the mailbox lock, the same lock every
 // matcher holds when it sets delivered, so a successful attach is visible to
 // whichever goroutine later performs the handover.
-func (b *mailbox) attachNotify(p *pendingRecv, ch chan int, idx int) bool {
+func (b *mailbox) attachNotify(p *pendingRecv, sink *notifySink, idx int) bool {
+	return b.attachNotifyGated(p, sink, idx, nil)
+}
+
+// attachNotifyGated is attachNotify with a completion-coalescing gate:
+// the receive's completion (or cancellation) decrements gate and posts
+// idx only on reaching zero. A false return means the receive already
+// completed — the caller owns the decrement for it.
+func (b *mailbox) attachNotifyGated(p *pendingRecv, sink *notifySink, idx int, gate *atomic.Int32) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if p.delivered.Load() {
 		return false
 	}
-	p.notify = ch
+	p.notify = sink
 	p.notifyIdx = idx
+	p.notifyGate = gate
 	return true
 }
 
@@ -604,21 +621,38 @@ func (b *mailbox) drainBelowEpoch(epoch int64) int {
 // over and the receive must still be waited on. A successful cancel is a
 // completion: the receive is marked delivered — so a later attachNotify
 // refuses and treats it as already complete — and notify/idx carry any
-// attached WaitSet slot the CALLER must signal (n <- idx), so a Waitsome
+// attached WaitSet slot the CALLER must post (n.post(idx)), so a Waitsome
 // over a set whose receives were all cancelled returns instead of blocking
-// until the watchdog. The signal is the caller's job, not cancel's, so the
+// until the watchdog. The post is the caller's job, not cancel's, so the
 // caller can finish the request (Request.Cancel records ErrCancelled)
 // before the notification can wake a Waitsome in another goroutine — the
-// channel send is what publishes those writes to the set's owner.
-func (b *mailbox) cancel(p *pendingRecv) (removed bool, notify chan int, idx int) {
+// sink post is what publishes those writes to the set's owner.
+func (b *mailbox) cancel(p *pendingRecv) (removed bool, notify *notifySink, idx int) {
 	b.mu.Lock()
 	removed = b.removeLocked(p)
 	if removed {
 		p.delivered.Store(true)
 		notify, idx = p.notify, p.notifyIdx
+		if g := p.notifyGate; notify != nil && g != nil && g.Add(-1) != 0 {
+			// Gated completion that didn't close the group: no post due.
+			notify = nil
+		}
 	}
 	b.mu.Unlock()
 	return removed, notify, idx
+}
+
+// pendingPosted counts posted-and-unmatched receives still registered in
+// the mailbox, and unexpected messages still queued — the state an
+// abandoned collective would leak. Test/diagnostic introspection.
+func (b *mailbox) pendingPosted() (recvs, unexpected int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recvs = len(b.wild)
+	for _, q := range b.exact {
+		recvs += len(q)
+	}
+	return recvs, len(b.arrived) - b.arrivedTaken
 }
 
 // removeLocked unlinks a pending receive from the wildcard list or its

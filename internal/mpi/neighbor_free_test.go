@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Regression: an Ineighbor_* aggregate that is never waited on used to pin
+// its unmatched pending receives in the mailbox forever — Cancel was a
+// no-op on aggregates — so a later send with the same (source, tag) would
+// scatter into the abandoned buffers. Cancel must now reach into the
+// aggregate, and Free must drain the remainder deterministically.
+func TestAbandonedNeighborCollectiveDoesNotLeak(t *testing.T) {
+	const (
+		syncGo   = 6 // rank 0 -> 1: phase 1 done, send your block
+		syncSent = 7 // rank 1 -> 0: block is on the wire
+	)
+	run(t, 2, func(c *Comm) error {
+		// Directed edge 1 -> 0: rank 0 has a source that never sends in
+		// phase 1 (rank 1 does not enter the collective).
+		var sources, targets []int
+		if c.Rank() == 0 {
+			sources = []int{1}
+		} else {
+			targets = []int{0}
+		}
+		g, err := DistGraphCreateAdjacent(c, sources, Unweighted, targets, Unweighted, false)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			if _, err := RecvSlice(c, make([]int, 1), 0, syncGo); err != nil {
+				return err
+			}
+			r, err := IneighborAllgather(g, []int{10, 11, 12}, []int{})
+			if err != nil {
+				return err
+			}
+			if _, err := r.Wait(); err != nil {
+				return err
+			}
+			return SendSlice(c, []int{1}, 0, syncSent)
+		}
+
+		// Phase 1: the peer never sends; abandon the collective via Cancel.
+		recv := []int{-1, -1, -1}
+		r, err := IneighborAllgather(g, []int{0, 0, 0}, recv)
+		if err != nil {
+			return err
+		}
+		if !r.Cancel() {
+			return fmt.Errorf("Cancel of a fully-unmatched aggregate reported false")
+		}
+		if _, err := r.Wait(); !errors.Is(err, ErrCancelled) {
+			return fmt.Errorf("cancelled aggregate Wait returned %v, want ErrCancelled", err)
+		}
+		if recvs, _ := c.rs.box.pendingPosted(); recvs != 0 {
+			return fmt.Errorf("phase 1: %d pending receive(s) leaked after Cancel", recvs)
+		}
+		if err := SendSlice(c, []int{1}, 1, syncGo); err != nil {
+			return err
+		}
+
+		// Phase 2: the block has already arrived (per-sender delivery order
+		// puts it in the mailbox before the sync message), so the new
+		// aggregate's receive matches at post time. Cancel must refuse —
+		// the scatter already ran — and Free must drain without leaking.
+		if _, err := RecvSlice(c, make([]int, 1), 1, syncSent); err != nil {
+			return err
+		}
+		recv2 := []int{-1, -1, -1}
+		r2, err := IneighborAllgather(g, []int{0, 0, 0}, recv2)
+		if err != nil {
+			return err
+		}
+		if r2.Cancel() {
+			return fmt.Errorf("Cancel of an aggregate with a matched message reported true")
+		}
+		r2.Free()
+		if want := []int{10, 11, 12}; !reflect.DeepEqual(recv2, want) {
+			return fmt.Errorf("freed aggregate's matched block: got %v want %v", recv2, want)
+		}
+		recvs, unexpected := c.rs.box.pendingPosted()
+		if recvs != 0 || unexpected != 0 {
+			return fmt.Errorf("phase 2: %d pending receive(s), %d unexpected message(s) leaked after Free", recvs, unexpected)
+		}
+		// A freed request is finished: Free and Wait after Free are no-ops.
+		r2.Free()
+		if _, err := r2.Wait(); err != nil {
+			return fmt.Errorf("Wait after successful Free returned %v", err)
+		}
+		return nil
+	})
+}

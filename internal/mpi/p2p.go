@@ -47,6 +47,13 @@ func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detac
 		met.sendsPosted.Inc()
 		met.sendBytes.Add(int64(nbytes))
 	}
+	// One sender, one delivery order: sequence allocation through delivery
+	// (injected delays included) happens under the per-sender send lock, so
+	// a progress engine posting concurrently with the rank's goroutine
+	// cannot deliver out of sequence order — the receiver's dedup would
+	// drop the regressing message.
+	rs.sendMu.Lock()
+	defer rs.sendMu.Unlock()
 	rs.sendSeq++
 	m := &message{
 		ctx: c.ctx, epoch: c.epoch, src: c.rank, tag: int(tag), payload: payload,
@@ -157,11 +164,11 @@ func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, defe
 	c.rs.box.post(p)
 	if err := c.opError(srcWorld, "recv src", src, tag); err != nil {
 		if removed, n, idx := c.rs.box.cancel(p); removed {
-			// Notify-then-ready, as in the matcher: signal any attached
+			// Notify-then-ready, as in the matcher: post to any attached
 			// set, then hand over the poison. (cancel already marked the
 			// receive delivered.)
 			if n != nil {
-				n <- idx
+				n.post(idx)
 			}
 			p.handover(&message{ctx: p.ctx, epoch: p.epoch, src: p.src, tag: p.tag, fail: err})
 		}

@@ -121,6 +121,23 @@ func (r *Request) awaitMessage() (*message, error) {
 		return m, nil
 	default:
 	}
+	if r.pending.delivered.Load() {
+		// A matcher has claimed this receive and is between setting
+		// delivered and the ready handoff: the handoff is imminent
+		// (straight-line code in the matcher), so block on it without
+		// watchdog registration or the rank's shared fallback timer. This
+		// is the path a progress engine takes after a completion
+		// notification — the notification is posted before the ready send —
+		// and it must not touch rank-goroutine-owned wait state, which may
+		// be in use concurrently. (A successful explicit Cancel also sets
+		// delivered, but it finishes the request first, so Wait never
+		// reaches here for it.)
+		m := <-r.pending.ready
+		if m.fail != nil {
+			return nil, m.fail
+		}
+		return m, nil
+	}
 	if met := rs.met; met != nil {
 		// Past the fast path: this wait will block. The closure allocates,
 		// but only on the instrumented slow path — the metrics-off and
@@ -165,7 +182,7 @@ func (r *Request) awaitMessage() (*message, error) {
 			return m, nil
 		}
 		if n != nil {
-			n <- idx
+			n.post(idx)
 		}
 		if cause := w.abortCause(); cause != nil {
 			// Carry the primary failure: a receive released by the abort
@@ -187,7 +204,7 @@ func (r *Request) awaitMessage() (*message, error) {
 			return m, nil
 		}
 		if n != nil {
-			n <- idx
+			n.post(idx)
 		}
 		err := fmt.Errorf("mpi: rank %d: deadlock suspected: receive (src=%d tag=%d ctx=%d) blocked for %v",
 			r.c.rank, r.pending.src, r.pending.tag, r.pending.ctx, w.timeout)
@@ -212,27 +229,94 @@ func (r *Request) UndeferConsume() bool {
 
 // Cancel removes a still-unmatched receive request from its rank's
 // mailbox, completing it with ErrCancelled, and reports whether it was
-// cancelled. A request whose message has already been handed over (or a
-// non-receive request) is not cancellable — complete it with Wait.
-// Mirrors MPI_Cancel for receives; schedule executors use it to abandon a
-// failed phase without leaking matchable receives.
+// cancelled. A receive whose message has already been handed over is not
+// cancellable — complete it with Wait (or Free, which drains it). An
+// aggregate (the handle the Ineighbor_* collectives return) cancels every
+// unfinished child: sends complete trivially, receives are cancelled, and
+// the aggregate reports cancelled only if every child ended finished — a
+// child whose message already arrived keeps the aggregate alive and must
+// still be waited or freed. Mirrors MPI_Cancel; schedule executors use it
+// to abandon a failed phase without leaking matchable receives.
 func (r *Request) Cancel() bool {
-	if r == nil || r.finished || r.kind != reqRecv {
+	if r == nil || r.finished {
 		return false
 	}
-	removed, n, idx := r.c.rs.box.cancel(r.pending)
-	if !removed {
-		return false
+	switch r.kind {
+	case reqRecv:
+		removed, n, idx := r.c.rs.box.cancel(r.pending)
+		if !removed {
+			return false
+		}
+		r.finished = true
+		r.err = fmt.Errorf("mpi: %w (src=%d tag=%d)", ErrCancelled, r.pending.src, r.pending.tag)
+		// Post to any attached WaitSet only now: the sink post publishes the
+		// finished/err writes above to the set's owner, so a Cancel from a
+		// helper goroutine cannot race the owner's Wait after Waitsome wakes.
+		if n != nil {
+			n.post(idx)
+		}
+		return true
+	case reqAggregate:
+		all := true
+		for _, ch := range r.children {
+			if ch == nil || ch.finished {
+				continue
+			}
+			if ch.kind == reqSend {
+				_, _ = ch.Wait() // buffered: completes at post time
+				continue
+			}
+			if !ch.Cancel() {
+				all = false
+			}
+		}
+		if !all {
+			return false
+		}
+		r.finished = true
+		r.err = fmt.Errorf("mpi: %w (aggregate)", ErrCancelled)
+		return true
 	}
-	r.finished = true
-	r.err = fmt.Errorf("mpi: %w (src=%d tag=%d)", ErrCancelled, r.pending.src, r.pending.tag)
-	// Signal any attached WaitSet only now: the channel send publishes the
-	// finished/err writes above to the set's owner, so a Cancel from a
-	// helper goroutine cannot race the owner's Wait after Waitsome wakes.
-	if n != nil {
-		n <- idx
+	return false
+}
+
+// Free releases a nonblocking operation without requiring its completion —
+// MPI_Request_free semantics, but deterministic (no finalizer): each
+// reachable receive is cancelled if still unmatched, or drained if its
+// message has already been handed over (the drain runs the scatter, so the
+// caller must not reuse the receive buffers until Free returns). Errors
+// are recorded on the request and discarded here; Free never blocks on the
+// network — a drain only completes an already-matched handoff.
+//
+// Free is the leak-free way to abandon an Ineighbor_* aggregate that will
+// never be waited on: an abandoned aggregate would otherwise pin its
+// unmatched pending receives in the mailbox forever, and a later send with
+// the same (source, tag) would match a stale receive and scatter into a
+// buffer the application has moved on from.
+func (r *Request) Free() {
+	if r == nil || r.finished {
+		return
 	}
-	return true
+	switch r.kind {
+	case reqAggregate:
+		// Record the first child outcome, as Wait would: a freed aggregate
+		// whose messages had all arrived completed successfully; one that
+		// was still unmatched carries its children's ErrCancelled.
+		for _, ch := range r.children {
+			ch.Free()
+			if ch != nil && ch.err != nil && r.err == nil {
+				r.err = ch.err
+			}
+		}
+		r.finished = true
+	case reqRecv:
+		if r.Cancel() {
+			return
+		}
+		_, _ = r.Wait()
+	default:
+		_, _ = r.Wait()
+	}
 }
 
 // Test reports whether the operation has completed, without blocking; when

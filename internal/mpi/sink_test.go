@@ -1,0 +1,130 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCompletionSinkDrainAndWake covers the sink's token plumbing: a
+// receive added before its message arrives posts its token on match, a
+// send and an injected Post are drained immediately, Pending mirrors the
+// queue without the lock, and Park consumes the wake the posts left.
+func TestCompletionSinkDrainAndWake(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			if _, err := RecvSlice(c, make([]int, 1), 0, 1); err != nil {
+				return err
+			}
+			return SendSlice(c, []int{42}, 0, 2)
+		}
+		s := NewCompletionSink(c, 4)
+		buf := make([]int, 1)
+		r, err := Irecv(c, buf, contiguousN(1), 1, 2)
+		if err != nil {
+			return err
+		}
+		s.Add(r, 7)
+		snd, err := Isend(c, []int{9}, contiguousN(1), 1, 1)
+		if err != nil {
+			return err
+		}
+		s.Add(snd, 5) // sends complete at post time: queued immediately
+		s.Post(3)
+		if got := s.Pending(); got < 2 {
+			return fmt.Errorf("Pending() = %d before drain, want >= 2", got)
+		}
+		seen := map[int]bool{}
+		for len(seen) < 3 {
+			for _, tok := range s.TryDrain(nil) {
+				seen[tok] = true
+			}
+			if len(seen) == 3 {
+				break
+			}
+			if _, err := s.Park(true); err != nil {
+				return err
+			}
+		}
+		if s.Pending() != 0 {
+			return fmt.Errorf("Pending() = %d after full drain, want 0", s.Pending())
+		}
+		if !seen[7] || !seen[5] || !seen[3] {
+			return fmt.Errorf("drained tokens = %v, want {3,5,7}", seen)
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
+		if buf[0] != 42 {
+			return fmt.Errorf("payload = %d, want 42", buf[0])
+		}
+		_, err = snd.Wait()
+		return err
+	})
+}
+
+// TestCompletionSinkGated covers the countdown gate: three receives
+// attached under one token post it exactly once, when the last of them
+// completes — the caller's bias keeps the gate from firing while the
+// group is still being attached.
+func TestCompletionSinkGated(t *testing.T) {
+	const n = 3
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			if _, err := RecvSlice(c, make([]int, 1), 0, 9); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if err := SendSlice(c, []int{i}, 0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		s := NewCompletionSink(c, 4)
+		var gate atomic.Int32
+		gate.Store(1) // bias: the gate cannot fire mid-attach
+		bufs := make([][]int, n)
+		reqs := make([]*Request, n)
+		for i := 0; i < n; i++ {
+			bufs[i] = make([]int, 1)
+			r, err := Irecv(c, bufs[i], contiguousN(1), 1, i)
+			if err != nil {
+				return err
+			}
+			reqs[i] = r
+			s.AddGated(r, 11, &gate)
+		}
+		// All receives armed before any message exists: release the sender.
+		if err := SendSlice(c, []int{1}, 1, 9); err != nil {
+			return err
+		}
+		if gate.Add(-1) == 0 {
+			s.Post(11)
+		}
+		var toks []int
+		for len(toks) == 0 {
+			if toks = s.TryDrain(toks); len(toks) > 0 {
+				break
+			}
+			if _, err := s.Park(true); err != nil {
+				return err
+			}
+		}
+		if len(toks) != 1 || toks[0] != 11 {
+			return fmt.Errorf("gated drain = %v, want exactly [11]", toks)
+		}
+		for i, r := range reqs {
+			if _, err := r.Wait(); err != nil {
+				return err
+			}
+			if bufs[i][0] != i {
+				return fmt.Errorf("payload %d = %d", i, bufs[i][0])
+			}
+		}
+		if s.Pending() != 0 {
+			return fmt.Errorf("gate posted more than once: %d pending", s.Pending())
+		}
+		return nil
+	})
+}

@@ -118,16 +118,26 @@ type Config struct {
 	DeadlockPoll time.Duration
 }
 
-// rankState is the per-rank runtime state. The clock, rng, ops and
-// delayCount fields are owned by the rank's goroutine; the mailbox has its
-// own lock.
+// rankState is the per-rank runtime state. The clock, rng and delayCount
+// fields are owned by the rank's goroutine (virtual-time runs are
+// single-poster by construction); the mailbox has its own lock. Wall-clock
+// runs may post operations from helper goroutines too — a cart progress
+// engine drives committed schedules off the rank's goroutine — so the ops
+// counter is atomic and sendMu serializes send-sequence allocation through
+// delivery.
 type rankState struct {
-	world      *World
-	rank       int
-	clock      netmodel.Time
-	rng        *rand.Rand
-	box        mailbox
-	ops        int    // point-to-point operations posted (fault triggers)
+	world *World
+	rank  int
+	clock netmodel.Time
+	rng   *rand.Rand
+	box   mailbox
+	ops   atomic.Int64 // point-to-point operations posted (fault triggers)
+	// sendMu orders sendSeq allocation and mailbox delivery as one atomic
+	// step per sender: the receiver's per-sender dedup drops any message
+	// whose sequence number does not advance, so two posters interleaving
+	// (rank goroutine + progress engine) must never deliver out of
+	// sequence order.
+	sendMu     sync.Mutex
 	sendSeq    uint64 // per-sender send sequence (duplicate suppression)
 	delayCount []int  // per-MsgDelay matching-message counters
 	dropCount  []int  // per-MsgDrop matching-message counters

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"strings"
 	"time"
@@ -215,19 +216,26 @@ func checkLegInternals(sc *Scenario, leg string, algo cart.Algorithm, out *legOu
 //     picks, and the payloads must equal leg 1 regardless of the pick
 //     (selection may only change performance, never results).
 //     Re-execution must stay idempotent across the memoized decision.
-//  5. virtual time — leg 2 re-run under the scenario's cost model with a
+//  5. async-futures — the same collective committed three deep through
+//     the progress engine (cart.Start), with distinct per-future payload
+//     offsets and each rank waiting on its futures in an independent
+//     seed-shuffled order: every future's buffer must equal the trivial
+//     reference shifted by its offset, whatever the completion order.
+//     Concurrent in-flight executions must not bleed into each other —
+//     a tag-isolation bug shows up here as a cross-future differential.
+//  6. virtual time — leg 2 re-run under the scenario's cost model with a
 //     trace recorder, twice: both runs must produce identical per-rank
 //     clocks and event streams (determinism), the payloads must still
 //     match, and the trace must be well-formed (every send slice has a
 //     matching receive flow).
-//  6. faults — when the scenario carries a fault plan, the reference leg
+//  7. faults — when the scenario carries a fault plan, the reference leg
 //     re-runs under it: the run must either fail with a typed rank
 //     failure (or its cascade) or complete with correct payloads.
 //     Watchdog deadlocks are a legitimate terminal outcome only for
 //     plans that drop messages; dup-only plans must complete cleanly
 //     (the mailbox dedup suppresses the duplicates); everything else is
 //     a harness catch.
-//  7. recovery — crash scenarios re-run under the self-healing wrapper
+//  8. recovery — crash scenarios re-run under the self-healing wrapper
 //     (cart.Recoverable), once per re-embedding policy: every run must
 //     end verified-recovered (payloads equal a fresh run on the final
 //     shrunken shape) or typed-terminal (see CheckRecovery).
@@ -298,6 +306,12 @@ func CheckScenario(sc Scenario, opt Options) *Failure {
 		return fail("metric-invariants", "auto-selected: %v", err)
 	}
 
+	// Async leg: concurrent futures through the progress engine must be
+	// payload-exact and isolated from each other in any completion order.
+	if f := runAsyncLeg(&sc, ref); f != nil {
+		return f
+	}
+
 	// Virtual-time leg: determinism, payload agreement, trace flows.
 	model, err := sc.model()
 	if err != nil {
@@ -361,6 +375,96 @@ func CheckScenario(sc Scenario, opt Options) *Failure {
 	// verified-recovered or typed-terminal, never silently wrong.
 	if _, f := CheckRecovery(sc); f != nil {
 		return f
+	}
+	return nil
+}
+
+// asyncLegK is how many futures the async leg keeps in flight per rank;
+// asyncLegOff separates their payload spaces (the reference encoding is
+// rank*1_000_000 + elem, far below one offset step), so a block delivered
+// to the wrong future is a visible differential, not a silent overlap.
+const (
+	asyncLegK   = 3
+	asyncLegOff = 100_000_000
+)
+
+// runAsyncLeg runs the scenario's collective asyncLegK-deep through the
+// per-world progress engine: every rank commits K futures of one plan
+// (each with its payload shifted by a distinct offset), then waits on
+// them in a rank- and seed-dependent shuffled order, so completion and
+// observation orders decouple. Each future's buffer must equal the
+// trivial reference shifted by that future's offset — untouched sentinel
+// blocks stay untouched — whatever order retirements landed in.
+func runAsyncLeg(sc *Scenario, ref *legOut) *Failure {
+	p := sc.Procs()
+	nbh := sc.nbh()
+	m := sc.BlockSize
+	t := len(nbh)
+	recvs := make([][][]int, p)
+	reg := metrics.NewRegistry(p)
+	err := mpi.Run(mpi.Config{Procs: p, Timeout: 30 * time.Second, Metrics: reg}, func(w *mpi.Comm) error {
+		cc, err := cart.NeighborhoodCreate(w, sc.Dims, sc.Periods, nbh, nil)
+		if err != nil {
+			return err
+		}
+		var plan *cart.Plan
+		if sc.Op == "alltoall" {
+			plan, err = cart.AlltoallInit(cc, m, cart.Combining)
+		} else {
+			plan, err = cart.AllgatherInit(cc, m, cart.Combining)
+		}
+		if err != nil {
+			return err
+		}
+		sendLen := t * m
+		if sc.Op == "allgather" {
+			sendLen = m
+		}
+		futs := make([]*cart.Future, asyncLegK)
+		bufs := make([][]int, asyncLegK)
+		for k := 0; k < asyncLegK; k++ {
+			send := make([]int, sendLen)
+			for i := range send {
+				send[i] = w.Rank()*1_000_000 + i + (k+1)*asyncLegOff
+			}
+			recv := make([]int, t*m)
+			for i := range recv {
+				recv[i] = -1
+			}
+			if futs[k], err = cart.Start(plan, send, recv); err != nil {
+				return err
+			}
+			bufs[k] = recv
+		}
+		rnd := rand.New(rand.NewSource(sc.ModelSeed*1_000_003 + int64(w.Rank())))
+		for _, k := range rnd.Perm(asyncLegK) {
+			if err := futs[k].Wait(); err != nil {
+				return fmt.Errorf("future %d: %w", k, err)
+			}
+		}
+		recvs[w.Rank()] = bufs
+		return nil
+	})
+	if err != nil {
+		return fail("async-error", "%v", err)
+	}
+	for r := 0; r < p; r++ {
+		for k := 0; k < asyncLegK; k++ {
+			got := recvs[r][k]
+			for i, want := range ref.recv[r] {
+				if want != -1 {
+					want += (k + 1) * asyncLegOff
+				}
+				if got[i] != want {
+					return fail("payload-differential",
+						"async-futures: rank %d future %d element %d: reference implies %d, future has %d",
+						r, k, i, want, got[i])
+				}
+			}
+		}
+	}
+	if err := mpi.CheckMetricInvariants(reg.Merged()); err != nil {
+		return fail("metric-invariants", "async-futures: %v", err)
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AsyncLog records the lifetime of progress-engine futures: one span per
+// committed collective, from Start's commit to the engine's retirement,
+// so a capture of a concurrent run shows how collectives overlapped in
+// flight. Spans are recorded by engine workers while ranks commit more —
+// inherently concurrent, so the log is mutex-guarded like RecoveryLog.
+type AsyncLog struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []AsyncSpan
+}
+
+// AsyncSpan is one future's commit-to-retire window.
+type AsyncSpan struct {
+	Rank  int
+	Seq   int    // commit sequence on the rank's communicator
+	Op    string // "alltoall(combining)" etc.
+	Err   bool   // completed with an error (failure or cancellation)
+	Start time.Duration
+	End   time.Duration
+}
+
+// NewAsyncLog starts a log; span offsets are relative to this call.
+func NewAsyncLog() *AsyncLog {
+	return &AsyncLog{start: time.Now()}
+}
+
+// Now returns the current offset on the log's clock.
+func (l *AsyncLog) Now() time.Duration { return time.Since(l.start) }
+
+// Add records one future span. Safe for concurrent use.
+func (l *AsyncLog) Add(s AsyncSpan) {
+	l.mu.Lock()
+	l.spans = append(l.spans, s)
+	l.mu.Unlock()
+}
+
+// Spans returns a snapshot of the recorded spans.
+func (l *AsyncLog) Spans() []AsyncSpan {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]AsyncSpan(nil), l.spans...)
+}
+
+// Export replays the future spans into the timeline: one thread per rank,
+// one "future" slice per collective, named with its commit sequence (and
+// flagged when it completed with an error), so overlap depth per rank is
+// visible as stacked slices in Perfetto.
+func (l *AsyncLog) Export(tl *Timeline, pid int) {
+	for _, s := range l.Spans() {
+		tr := Track{pid, s.Rank}
+		tl.SetThread(tr, fmt.Sprintf("rank %d", s.Rank))
+		name := fmt.Sprintf("%s #%d", s.Op, s.Seq)
+		if s.Err {
+			name += " (failed)"
+		}
+		tl.AddSpan(Span{
+			Track:   tr,
+			Name:    name,
+			Cat:     "future",
+			StartNs: s.Start.Nanoseconds(),
+			DurNs:   (s.End - s.Start).Nanoseconds(),
+			Tag:     s.Seq,
+		})
+	}
+}
