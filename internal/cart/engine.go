@@ -49,7 +49,12 @@ import (
 const (
 	// asyncTagBase offsets engine-execution tags above the synchronous
 	// executors' round-tag plane (dag.go's tagBase) and user tag space.
-	asyncTagBase = 1 << 32
+	// The async tag plane needs int to hold values ≥ 2^32 (tags thread
+	// through the mailbox as int), so the progress engine requires a
+	// 64-bit platform; the typed declaration turns what would be a
+	// scatter of untyped-constant overflow errors on GOARCH=386/arm into
+	// one named compile-time failure at this line.
+	asyncTagBase int = 1 << 32
 	// asyncTagSpan is the tag block one committed execution owns: round
 	// tags live in [tagBase, tagBase+asyncTagSpan) (guarded at Start), so
 	// execution seq maps them to a disjoint block.
@@ -282,8 +287,6 @@ func (w *engineWorker) commitSlot() int {
 // Start/Wait hot path.
 func (w *engineWorker) register(ex committed) {
 	w.mu.Lock()
-	w.committedTo = ex.slotID()
-	w.ctA.Store(int64(w.committedTo))
 	// Direct admission: if no driver holds the drive lock right now, the
 	// committer installs the execution in the slot table itself — no
 	// pending-queue round trip, and the next drive batch keeps its
@@ -294,9 +297,18 @@ func (w *engineWorker) register(ex committed) {
 	// only be called after Start returns.
 	direct := w.driveMu.TryLock()
 	if !direct {
+		// A driver may be mid-batch: publish the pending entry (and
+		// pendingN) BEFORE bumping the ctA watermark, mirrored by admit()'s
+		// fast path loading ctA before pendingN. A driver that observes
+		// pendingN == 0 is then guaranteed a ctA snapshot predating this
+		// registration, so this execution's completion tokens classify as
+		// orphans (stashed, redelivered next batch) — never as stale
+		// (dropped), which would lose the completion for good.
 		w.pending = append(w.pending, ex)
 		w.pendingN.Store(int32(len(w.pending)))
 	}
+	w.committedTo = ex.slotID()
+	w.ctA.Store(int64(w.committedTo))
 	spawn := !w.running
 	w.running = true
 	w.mu.Unlock()
@@ -534,16 +546,24 @@ func (w *engineWorker) drive() {
 // first window was posted inline at commit; a future cancelled before
 // admission is failed here (its receives are posted and must drain).
 func (w *engineWorker) admit() int {
+	// Load ctA BEFORE pendingN (register stores them in the opposite
+	// order): pendingN == 0 then proves the ctA snapshot predates any
+	// registration not yet visible here, so tokens of such a registration
+	// stay above the watermark and stash as orphans. The reverse order
+	// could pair a fresh watermark with an unadmitted slot and drop its
+	// tokens as stale. A stale ctA is safe — it only widens the orphan
+	// window by one batch.
+	ct := int(w.ctA.Load())
 	if w.pendingN.Load() == 0 {
 		// Nothing registered since the last batch: skip the commit mutex.
-		return int(w.ctA.Load())
+		return ct
 	}
 	w.mu.Lock()
 	w.admitScr = append(w.admitScr[:0], w.pending...)
 	clear(w.pending)
 	w.pending = w.pending[:0]
 	w.pendingN.Store(0)
-	ct := w.committedTo
+	ct = w.committedTo
 	w.mu.Unlock()
 	for _, ex := range w.admitScr {
 		slot := ex.slotID()

@@ -85,6 +85,74 @@ func TestFuturesManyInFlightInterleave(t *testing.T) {
 	})
 }
 
+// Regression for the commit/driver publication race: register() must
+// publish the pending entry before it bumps the committedTo watermark
+// (mirrored by admit()'s fast path loading ctA before pendingN) — the old
+// order let a driver mid-batch pair a fresh watermark with a
+// not-yet-visible registration and drop that execution's completion
+// tokens as stale, hanging the future until the fallback watchdog failed
+// the run. A sliding-window Start storm keeps the resident continuously
+// driving while the committer registers, maximizing the window; a dropped
+// token surfaces as a Wait error (suspected deadlock) here.
+func TestStartStormCommitRace(t *testing.T) {
+	const K, m = 5, 1
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	nbh := mustStencil(t, 2, 3, -1)
+	runWorld(t, 9, func(w *mpi.Comm) error {
+		c, err := NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		plan, err := AlltoallInit(c, m, Combining)
+		if err != nil {
+			return err
+		}
+		tn := len(nbh)
+		base := refAlltoall(c.Grid(), nbh, w.Rank(), m)
+		type inflight struct {
+			f    *Future
+			recv []int
+			it   int
+		}
+		window := make([]inflight, 0, K)
+		retire := func(fl inflight) error {
+			if err := fl.f.Wait(); err != nil {
+				return fmt.Errorf("rank %d future it=%d: %w", w.Rank(), fl.it, err)
+			}
+			for i := range base {
+				if fl.recv[i] != base[i]+fl.it {
+					return fmt.Errorf("rank %d future it=%d: recv[%d] = %d, want %d", w.Rank(), fl.it, i, fl.recv[i], base[i]+fl.it)
+				}
+			}
+			return nil
+		}
+		for it := 0; it < iters; it++ {
+			f, recv, err := startAlltoallFuture(w, plan, tn, m, it)
+			if err != nil {
+				return err
+			}
+			window = append(window, inflight{f, recv, it})
+			if len(window) == K {
+				// Retire only the oldest: the rest stay in flight, so the
+				// next Start always races an actively driving engine.
+				if err := retire(window[0]); err != nil {
+					return err
+				}
+				window = append(window[:0], window[1:]...)
+			}
+		}
+		for _, fl := range window {
+			if err := retire(fl); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // Futures of two different plans (alltoall and allgather) interleave on
 // one communicator; waits complete in a shuffled order.
 func TestFuturesInterleaveTwoPlans(t *testing.T) {

@@ -149,6 +149,7 @@ func (s *WaitSet) Notify(token int) {
 func (s *WaitSet) Reset() {
 	s.sink.mu.Lock()
 	s.sink.queue = s.sink.queue[:0]
+	s.sink.pend.Store(0)
 	s.sink.mu.Unlock()
 	select {
 	case <-s.sink.wake:
@@ -257,6 +258,7 @@ func (s *WaitSet) drain() {
 		s.take(tok)
 	}
 	s.sink.queue = s.sink.queue[:0]
+	s.sink.pend.Store(0)
 	s.sink.mu.Unlock()
 }
 
