@@ -27,6 +27,10 @@
 //	-reps N                override repetitions per variant
 //	-procs-d3 N            override process count for d<=4 panels
 //	-procs-d5 N            override process count for d=5 panels
+//	-serve ADDR            serve the live introspection plane (/metrics,
+//	                       /healthz, /debug/*) over a continuous workload
+//	-serve-for D           stop the -serve workload after D (0 = interrupt)
+//	-dump-dir DIR          post-mortem bundle directory for -serve
 //
 // Figures are printed as text tables: the absolute baseline time per cell
 // and, per series, run time relative to the blocking MPI_Neighbor_*
@@ -59,8 +63,19 @@ func main() {
 	procsD3 := flag.Int("procs-d3", 0, "override process count for d<=4 panels")
 	procsD5 := flag.Int("procs-d5", 0, "override process count for d=5 panels")
 	traceOut := flag.String("o", "trace.json", "output path for the trace experiment")
+	serve := flag.String("serve", "", "serve the live introspection plane on this address over a continuous workload (e.g. 127.0.0.1:6060; empty port picks one)")
+	serveFor := flag.Duration("serve-for", 0, "stop the -serve workload after this long (0 = until interrupt)")
+	dumpDir := flag.String("dump-dir", "", "post-mortem bundle directory for the -serve workload")
 	flag.Parse()
 	traceOutPath = *traceOut
+
+	if *serve != "" {
+		if err := serveExperiment(*serve, *serveFor, *dumpDir); err != nil {
+			fmt.Fprintf(os.Stderr, "cartbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := bench.DefaultScale
 	if *scale == "quick" {

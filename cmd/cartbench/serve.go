@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/introspect"
+	"cartcc/internal/metrics"
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// serveExperiment is the -serve mode: a long-running wall-clock workload
+// world with the live introspection plane attached. Sixteen ranks on a
+// 4×4 torus continuously run combining Cart_alltoall futures through the
+// progress engine while rank 0 serves /metrics, /metrics.json, /healthz,
+// /debug/state, /debug/flight and /debug/stragglers on addr; a failure
+// (injected or real) writes a post-mortem bundle to dumpDir. The run
+// stops after d (0 means until interrupted).
+func serveExperiment(addr string, d time.Duration, dumpDir string) error {
+	nbh, err := vec.Moore(2, 1)
+	if err != nil {
+		return err
+	}
+	const procs = 16
+	reg := metrics.NewRegistry(procs)
+	insp := introspect.New(introspect.Options{Metrics: reg, DumpDir: dumpDir})
+
+	deadline := make(chan struct{})
+	if d > 0 {
+		time.AfterFunc(d, func() { close(deadline) })
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() { <-sig; close(deadline) }()
+	}
+
+	var srv *introspect.Server
+	defer func() {
+		if srv != nil {
+			srv.Close()
+		}
+	}()
+	err = mpi.Run(mpi.Config{Procs: procs, Metrics: reg, OnFailure: insp.FailureHook}, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, []int{4, 4}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		const m = 64
+		plan, err := cart.AlltoallInit(c, m, cart.Combining)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			insp.Bind(w.World())
+			insp.AttachEngine("rank0", c)
+			insp.AttachPlan("alltoall-moore-4x4", plan)
+			s, err := insp.ListenAndServe(addr)
+			if err != nil {
+				return err
+			}
+			srv = s
+			fmt.Printf("serving introspection on http://%s\n", s.Addr)
+			fmt.Printf("  endpoints: /metrics /metrics.json /healthz /debug/state /debug/flight /debug/stragglers\n")
+			if d > 0 {
+				fmt.Printf("  workload: %d ranks, combining Cart_alltoall futures for %s\n", procs, d)
+			} else {
+				fmt.Printf("  workload: %d ranks, combining Cart_alltoall futures until interrupt\n", procs)
+			}
+		}
+		if err := mpi.Barrier(c.Base()); err != nil {
+			return err
+		}
+		send := make([]int32, len(nbh)*m)
+		recv := make([]int32, len(nbh)*m)
+		// Stopping must be collective: rank 0 alone observes the deadline
+		// and broadcasts the verdict, so every rank leaves the loop after
+		// the same iteration. Independent per-rank polling would strand
+		// neighbors that already posted the next collective.
+		stop := []int32{0}
+		for {
+			if w.Rank() == 0 {
+				select {
+				case <-deadline:
+					stop[0] = 1
+				default:
+				}
+			}
+			if err := mpi.Bcast(c.Base(), stop, 0); err != nil {
+				return err
+			}
+			if stop[0] != 0 {
+				return nil
+			}
+			f, err := cart.Start(plan, send, recv)
+			if err != nil {
+				return err
+			}
+			if err := f.Wait(); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("serve workload finished")
+	return nil
+}

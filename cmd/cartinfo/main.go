@@ -11,6 +11,8 @@
 //	cartinfo -d 3 -moore 2            # Moore neighborhood of radius 2
 //	cartinfo -d 4 -vonneumann 1       # von Neumann (2d+1-point) stencil
 //	cartinfo -d 2 -n 3 -select       # Auto selection table + live cache demo
+//	cartinfo -d 2 -n 3 -metrics      # demo exchange + merged metrics snapshot
+//	cartinfo -live 127.0.0.1:6060    # render a running debug server's state
 package main
 
 import (
@@ -41,7 +43,17 @@ func main() {
 	modelName := flag.String("model", "hydra", "machine constants for -select: a netmodel preset, or \"default\"")
 	profilePath := flag.String("profile", "", "machine profile JSON for -select (overrides -model; see tune.Save)")
 	asJSON := flag.Bool("json", false, "emit the stats and schedules as JSON")
+	live := flag.String("live", "", "render the state of a running debug server (cartbench -serve) at this address")
+	metricsDemoFlag := flag.Bool("metrics", false, "run a short demo exchange with a metrics registry and print the merged snapshot")
 	flag.Parse()
+
+	if *live != "" {
+		if err := liveReport(os.Stdout, *live); err != nil {
+			fmt.Fprintln(os.Stderr, "cartinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	nbh, err := buildNeighborhood(*d, *n, *f, *moore, *vonNeumann, *offsets)
 	if err != nil {
@@ -56,6 +68,13 @@ func main() {
 		return
 	}
 	report(nbh)
+	if *metricsDemoFlag {
+		fmt.Println()
+		if err := metricsDemo(os.Stdout, nbh); err != nil {
+			fmt.Fprintln(os.Stderr, "cartinfo:", err)
+			os.Exit(1)
+		}
+	}
 	if *sel {
 		prof, err := resolveSelectionProfile(*profilePath, *modelName)
 		if err != nil {

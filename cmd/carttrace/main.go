@@ -4,9 +4,16 @@
 // slowest slices, and the message-flow count — a quick textual look at a
 // capture without loading ui.perfetto.dev.
 //
+// With -postmortem the argument is instead a post-mortem bundle written
+// by the introspection plane's failure hook (internal/introspect): the
+// failing rank and error, the wait-for-graph proof when the failure was
+// a diagnosed deadlock, the cross-layer state snapshot, and each rank's
+// flight-recorder tail.
+//
 // Usage:
 //
 //	carttrace [-top N] trace.json
+//	carttrace -postmortem postmortem-*.json
 package main
 
 import (
@@ -17,14 +24,26 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"cartcc/internal/introspect"
 )
 
 func main() {
 	top := flag.Int("top", 5, "number of slowest slices to list")
+	postmortem := flag.Bool("postmortem", false, "inspect a post-mortem bundle instead of a Chrome trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: carttrace [-top N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: carttrace [-top N] trace.json | carttrace -postmortem bundle.json")
 		os.Exit(2)
+	}
+	if *postmortem {
+		b, err := introspect.ReadBundle(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "carttrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(b.Format())
+		return
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {

@@ -104,12 +104,14 @@ type committed interface {
 }
 
 // engine is a communicator's progress engine. Created lazily at the first
-// Start; commit-side state (nextSeq, sticky) is touched only by the
+// Start; commit-side state (nextSeq, nextWkr) is touched only by the
 // communicator's owning goroutine, like every other cart operation.
 type engine struct {
-	c       *Comm
-	nextSeq int           // next future sequence (also the tag-block index)
-	sticky  map[*Plan]int // plan → worker pinning
+	c *Comm
+	// nextSeq is the next future sequence (also the tag-block index).
+	// Commits allocate from one goroutine; it is atomic only so debug
+	// snapshots can read it from foreign goroutines without a race.
+	nextSeq atomic.Int64
 	nextWkr int
 	// inflight counts committed, unretired futures across the pool; the
 	// peak feeds the cart.async.inflight gauge.
@@ -143,7 +145,7 @@ func (e *engine) wakeOthers(self *engineWorker) {
 }
 
 func newEngine(c *Comm) *engine {
-	e := &engine{c: c, sticky: make(map[*Plan]int)}
+	e := &engine{c: c}
 	for i := range e.workers {
 		e.workers[i] = &engineWorker{
 			eng:      e,
@@ -165,15 +167,16 @@ func (c *Comm) engine() *engine {
 
 // workerFor pins a plan to a worker: all executions of one plan share its
 // scratch pool, so they stay under one drive lock; distinct plans
-// round-robin across the pool.
+// round-robin across the pool. The pinning lives on the plan itself
+// (commit-side, single-goroutine like nextWkr), so the steady-state Start
+// path costs a field read where it used to cost a map lookup — the last
+// per-execution map in the drive loop's bookkeeping.
 func (e *engine) workerFor(p *Plan) *engineWorker {
-	if i, ok := e.sticky[p]; ok {
-		return e.workers[i]
+	if p.engWkr == 0 {
+		p.engWkr = e.nextWkr%asyncWorkers + 1
+		e.nextWkr++
 	}
-	i := e.nextWkr % asyncWorkers
-	e.nextWkr++
-	e.sticky[p] = i
-	return e.workers[i]
+	return e.workers[p.engWkr-1]
 }
 
 // engineWorker drives the committed executions assigned to it. Commits are
@@ -237,10 +240,15 @@ type engineWorker struct {
 	progress uint64
 }
 
-// slotEnt is one live execution in a worker's slot table.
+// slotEnt is one live execution in a worker's slot table. touched marks
+// the slot as already queued for this batch's advance pass, so deliver
+// dedups with a flag write instead of scanning the touched list per token
+// — with a deep window, one execution's tokens dominate a batch and the
+// scan was quadratic in batch size.
 type slotEnt struct {
-	id int
-	ex committed
+	id      int
+	ex      committed
+	touched bool
 }
 
 // findSlot resolves a slot id, nil when the execution already settled.
@@ -251,6 +259,16 @@ func (w *engineWorker) findSlot(id int) committed {
 		}
 	}
 	return nil
+}
+
+// findSlotIdx resolves a slot id to its table index, -1 when settled.
+func (w *engineWorker) findSlotIdx(id int) int {
+	for j := range w.slots {
+		if w.slots[j].id == id {
+			return j
+		}
+	}
+	return -1
 }
 
 // dropSlot swap-removes a slot table entry.
@@ -313,7 +331,7 @@ func (w *engineWorker) register(ex committed) {
 	w.running = true
 	w.mu.Unlock()
 	if direct {
-		w.slots = append(w.slots, slotEnt{ex.slotID(), ex})
+		w.slots = append(w.slots, slotEnt{id: ex.slotID(), ex: ex})
 		w.progress++
 		w.driveMu.Unlock()
 	}
@@ -525,10 +543,12 @@ func (w *engineWorker) drive() {
 			w.deliver(tok, ct)
 		}
 		for _, slot := range w.touched {
-			ex := w.findSlot(slot)
-			if ex == nil {
+			j := w.findSlotIdx(slot)
+			if j < 0 {
 				continue
 			}
+			w.slots[j].touched = false
+			ex := w.slots[j].ex
 			if err := ex.advance(); err != nil {
 				w.retire(slot, ex, err, false)
 				continue
@@ -567,7 +587,7 @@ func (w *engineWorker) admit() int {
 	w.mu.Unlock()
 	for _, ex := range w.admitScr {
 		slot := ex.slotID()
-		w.slots = append(w.slots, slotEnt{slot, ex})
+		w.slots = append(w.slots, slotEnt{id: slot, ex: ex})
 		w.progress++
 		if f := ex.fut(); f.cancelled.Load() {
 			w.retire(slot, ex, f.cancelErr(), false)
@@ -598,8 +618,8 @@ func (w *engineWorker) deliver(tok, committedTo int) {
 		return
 	}
 	slot, i := tok>>ownerShift, tok&ownerMask
-	ex := w.findSlot(slot)
-	if ex == nil {
+	j := w.findSlotIdx(slot)
+	if j < 0 {
 		if slot > committedTo {
 			// Posted between an inline begin and its register; the commit
 			// concludes momentarily and the next batch finds the slot.
@@ -607,17 +627,16 @@ func (w *engineWorker) deliver(tok, committedTo int) {
 		}
 		return
 	}
+	ex := w.slots[j].ex
 	w.progress++
 	if err := ex.onArrived(i); err != nil {
 		w.retire(slot, ex, err, false)
 		return
 	}
-	for _, s := range w.touched {
-		if s == slot {
-			return
-		}
+	if !w.slots[j].touched {
+		w.slots[j].touched = true
+		w.touched = append(w.touched, slot)
 	}
-	w.touched = append(w.touched, slot)
 }
 
 // tryExit ends the resident when no execution is live and nothing is

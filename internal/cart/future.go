@@ -443,9 +443,12 @@ func (e *asyncExec[T]) settle(err error) {
 func (p *Plan) countAsyncRetire(f *Future, err error) {
 	eng := p.comm.eng
 	eng.inflight.Add(-1)
+	lat := time.Now().UnixNano() - f.commitNs
 	if m := p.cmet; m != nil {
-		m.futureNs.Observe(time.Now().UnixNano() - f.commitNs)
+		m.futureNs.Observe(lat)
 	}
+	mc := p.comm.comm
+	mc.World().Flight().Record(mc.WorldRank(mc.Rank()), trace.FlightFutureRetire, -1, 0, lat, int64(f.seq))
 	if l := p.comm.alog.Load(); l != nil {
 		l.Add(trace.AsyncSpan{
 			Rank:  p.comm.comm.Rank(),
@@ -492,8 +495,7 @@ func Start[T any](p *Plan, send, recv []T) (*Future, error) {
 		return nil, err
 	}
 	w := eng.workerFor(p)
-	seq := eng.nextSeq
-	eng.nextSeq++
+	seq := int(eng.nextSeq.Add(1) - 1)
 
 	scr := p.acquireAsyncScratch()
 	var temp []T
@@ -531,6 +533,8 @@ func Start[T any](p *Plan, send, recv []T) (*Future, error) {
 		m.asyncStarts.Inc()
 		m.asyncInflight.SetMax(n)
 	}
+	mc := p.comm.comm
+	mc.World().Flight().Record(mc.WorldRank(mc.Rank()), trace.FlightFutureCommit, -1, 0, 0, int64(seq))
 	// Inline commit: the first receive window and every barrier-free send
 	// post on this goroutine — the messages are on the wire before Start
 	// returns, with no scheduler handoff on the critical path. An injected

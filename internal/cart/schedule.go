@@ -365,6 +365,12 @@ type Plan struct {
 	asyncMaxTag int
 	// tagFit memoizes asyncTagFits lock-free: 0 unknown, 1 fits, 2 not.
 	tagFit atomic.Int32
+	// engWkr is the 1-based engine-worker index this plan's executions are
+	// pinned to (0 = not yet pinned); all executions of one plan share its
+	// scratch pool, so they must stay under one drive lock. Commit-side
+	// state, touched only by the communicator's owning goroutine — keeping
+	// it on the plan spares the engine a per-Start map lookup.
+	engWkr int
 	// rlog, when set, records wall-clock per-round post/complete events
 	// from the executors (trace.RoundLog).
 	rlog *trace.RoundLog

@@ -1,0 +1,88 @@
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cartcc/internal/metrics"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a metrics
+// snapshot. The registry's dotted names mangle to underscore names
+// (mpi.sends.posted → mpi_sends_posted); log2 histograms render as
+// cumulative _bucket series with `le` labels taken from the registry's
+// own bucket boundaries (metrics.BucketUpper), so a scrape reconstructs
+// exactly the distribution the runtime recorded. Output is deterministic
+// — snapshots are name-sorted and buckets ordered — which is what the
+// golden test pins down.
+
+// promName mangles a registry metric name into a Prometheus-legal one:
+// dots and dashes become underscores, any other illegal rune too, and a
+// leading digit gets an underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if legal {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLe renders a bucket upper bound as an `le` label value; the
+// catch-all bucket (MaxInt64) renders as +Inf.
+func promLe(bound int64) string {
+	if bound == math.MaxInt64 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", bound)
+}
+
+// WriteProm writes the snapshot in Prometheus text exposition format.
+// Counters render with a _total suffix per convention; histograms emit
+// cumulative _bucket{le=...} series up to the last occupied bucket, then
+// the +Inf catch-all, _sum and _count.
+func WriteProm(w io.Writer, s metrics.Snapshot) {
+	for _, m := range s.Metrics {
+		name := promName(m.Name)
+		switch m.Kind {
+		case metrics.KindCounter:
+			fmt.Fprintf(w, "# TYPE %s_total counter\n", name)
+			fmt.Fprintf(w, "%s_total %d\n", name, m.Value)
+		case metrics.KindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %d\n", name, m.Value)
+		case metrics.KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			// Last occupied bucket bounds the emitted series; everything
+			// above it is zero and folds into +Inf.
+			last := -1
+			for i, c := range m.Buckets {
+				if c > 0 {
+					last = i
+				}
+			}
+			var cum int64
+			for i := 0; i <= last && i < len(m.Buckets)-1; i++ {
+				cum += m.Buckets[i]
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promLe(m.BucketBound(i)), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, m.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", name, m.Value)
+			fmt.Fprintf(w, "%s_count %d\n", name, m.Count)
+		}
+	}
+}

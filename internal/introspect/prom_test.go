@@ -1,0 +1,117 @@
+package introspect
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cartcc/internal/metrics"
+)
+
+// goldenSnapshot builds a deterministic snapshot exercising every metric
+// kind: a counter, a gauge, a histogram with observations spread over
+// several log2 buckets (including the catch-all), and a name needing
+// mangling.
+func goldenSnapshot() metrics.Snapshot {
+	s := metrics.NewSet()
+	s.Counter("mpi.sends.posted").Add(42)
+	s.Gauge("mpi.unexpected.hwm").Set(7)
+	h := s.Histogram("cart.round.ns")
+	for _, v := range []int64{1, 3, 3, 100, 1000, 1 << 20} {
+		h.Observe(v)
+	}
+	s.Counter("weird-name.1total").Inc()
+	return s.Snapshot()
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WriteProm(&buf, goldenSnapshot())
+	golden := filepath.Join("testdata", "prom.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -run TestWritePromGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestUpdatePromGolden regenerates the golden file when run with
+// UPDATE_GOLDEN=1 — kept as a test so the update path compiles and stays
+// next to the comparison.
+func TestUpdatePromGolden(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDEN") == "" {
+		t.Skip("set UPDATE_GOLDEN=1 to regenerate testdata/prom.golden")
+	}
+	var buf bytes.Buffer
+	WriteProm(&buf, goldenSnapshot())
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "prom.golden"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromBucketsRoundTrip(t *testing.T) {
+	// The cumulative _bucket series must reconstruct the snapshot's own
+	// buckets: successive differences equal per-bucket counts, +Inf equals
+	// the total count.
+	snap := goldenSnapshot()
+	m, ok := snap.Get("cart.round.ns")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	var buf bytes.Buffer
+	WriteProm(&buf, snap)
+	var prev int64
+	total := int64(0)
+	reconstructed := map[string]int64{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "cart_round_ns_bucket{le=\"") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "cart_round_ns_bucket{le=\"")
+		i := strings.Index(rest, "\"} ")
+		le, valStr := rest[:i], rest[i+3:]
+		var cum int64
+		fmt.Sscanf(valStr, "%d", &cum)
+		if cum < prev {
+			t.Fatalf("bucket series not cumulative at le=%s: %d < %d", le, cum, prev)
+		}
+		reconstructed[le] = cum - prev
+		prev = cum
+		total = cum
+	}
+	if total != m.Count {
+		t.Fatalf("+Inf cumulative = %d, want count %d", total, m.Count)
+	}
+	// Each emitted le bound's per-bucket count matches the snapshot.
+	for i, c := range m.Buckets {
+		if c == 0 {
+			continue
+		}
+		le := promLe(m.BucketBound(i))
+		if reconstructed[le] != c {
+			t.Fatalf("bucket le=%s reconstructed %d, want %d", le, reconstructed[le], c)
+		}
+	}
+}
+
+func TestPromNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"mpi.sends.posted": "mpi_sends_posted",
+		"weird-name.1st":   "weird_name_1st",
+		"1leading":         "_1leading",
+		"ok_name:sub":      "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package introspect
+
+import (
+	"sort"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/trace"
+)
+
+// Straggler analysis over the flight recorder's retained window: every
+// FlightRecvDone event carries the post→completion latency of one
+// receive (Arg) and the source peer (Peer), so the tails reconstruct who
+// each rank spends its time waiting for, and — after folding engine-plane
+// wire tags back to schedule round tags — which round of the compiled
+// schedule carries the critical path. The window is bounded (the ring
+// keeps the newest events only), which is the right bias for "who is
+// slow *now*".
+
+// ewmaAlpha weights the newest observation in the per-peer latency EWMA.
+const ewmaAlpha = 0.25
+
+// maxRoundStats bounds the per-round section of the report to the worst
+// offenders.
+const maxRoundStats = 32
+
+// PeerStat is one source peer's receive-completion latency profile as
+// seen by one observing rank.
+type PeerStat struct {
+	Peer   int     `json:"peer"`
+	Count  int     `json:"count"`
+	EwmaNs float64 `json:"ewma_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// RankStragglers is one rank's view: its peers ordered worst-first by
+// latency EWMA — the top entry is who this rank waits for.
+type RankStragglers struct {
+	Rank  int        `json:"rank"`
+	Peers []PeerStat `json:"peers"`
+}
+
+// RoundStat attributes latency to one schedule round (identified by its
+// normalized round tag): the critical path is the slowest receive
+// completion observed for that round in the window.
+type RoundStat struct {
+	Tag   int64 `json:"tag"`
+	Count int   `json:"count"`
+	// CritNs is the slowest post→completion latency; CritRank observed
+	// it, waiting on CritPeer.
+	CritNs   int64 `json:"crit_ns"`
+	CritRank int   `json:"crit_rank"`
+	CritPeer int   `json:"crit_peer"`
+}
+
+// PlanRounds is one attached plan's predicted-vs-planned round counts,
+// the baseline the observed rounds are judged against (the paper's C:
+// the schedule compiler's promised round count).
+type PlanRounds struct {
+	Name            string `json:"name"`
+	Op              string `json:"op"`
+	Algo            string `json:"algo"`
+	PredictedRounds int    `json:"predicted_rounds"`
+	PlannedRounds   int    `json:"planned_rounds"`
+	Executions      int64  `json:"executions"`
+}
+
+// StragglerReport is the /debug/stragglers document.
+type StragglerReport struct {
+	// Ranks holds each rank's worst-first peer latency profile; ranks
+	// with no completed receives in the window are omitted.
+	Ranks []RankStragglers `json:"ranks"`
+	// Rounds holds the slowest schedule rounds in the window, worst
+	// first, capped at maxRoundStats.
+	Rounds []RoundStat `json:"rounds,omitempty"`
+	// ObservedRounds is the number of distinct schedule round tags in the
+	// window; Plans carries the attached plans' predicted counts to
+	// compare against.
+	ObservedRounds int          `json:"observed_rounds"`
+	Plans          []PlanRounds `json:"plans,omitempty"`
+	// WindowEvents counts the receive completions the report is built
+	// from — a small number means the rings have mostly rotated past the
+	// interesting interval.
+	WindowEvents int `json:"window_events"`
+}
+
+// stragglerReport builds the report from the world's flight tails and
+// the attached plans.
+func stragglerReport(w *mpi.World, plans []planSrc) StragglerReport {
+	rep := StragglerReport{}
+	for _, p := range plans {
+		st := p.plan.Stats()
+		rep.Plans = append(rep.Plans, PlanRounds{
+			Name:            p.name,
+			Op:              st.Op.String(),
+			Algo:            st.Algo.String(),
+			PredictedRounds: st.PredictedRounds,
+			PlannedRounds:   st.PlannedRounds,
+			Executions:      st.Executions,
+		})
+	}
+	tails := w.FlightTail(0)
+	rounds := make(map[int64]*RoundStat)
+	for rank, tail := range tails {
+		peers := make(map[int]*PeerStat)
+		for _, ev := range tail {
+			if ev.Kind != trace.FlightRecvDone {
+				continue
+			}
+			rep.WindowEvents++
+			lat := ev.Arg
+			ps := peers[int(ev.Peer)]
+			if ps == nil {
+				ps = &PeerStat{Peer: int(ev.Peer), EwmaNs: float64(lat)}
+				peers[int(ev.Peer)] = ps
+			} else {
+				ps.EwmaNs = ewmaAlpha*float64(lat) + (1-ewmaAlpha)*ps.EwmaNs
+			}
+			ps.Count++
+			if lat > ps.MaxNs {
+				ps.MaxNs = lat
+			}
+			if !cart.IsRoundTag(ev.Tag) {
+				continue
+			}
+			tag := cart.NormalizeRoundTag(ev.Tag)
+			rs := rounds[tag]
+			if rs == nil {
+				rs = &RoundStat{Tag: tag, CritRank: rank, CritPeer: int(ev.Peer), CritNs: lat}
+				rounds[tag] = rs
+			}
+			rs.Count++
+			if lat > rs.CritNs {
+				rs.CritNs, rs.CritRank, rs.CritPeer = lat, rank, int(ev.Peer)
+			}
+		}
+		if len(peers) == 0 {
+			continue
+		}
+		rs := RankStragglers{Rank: rank, Peers: make([]PeerStat, 0, len(peers))}
+		for _, ps := range peers {
+			rs.Peers = append(rs.Peers, *ps)
+		}
+		sortPeerStats(rs.Peers)
+		rep.Ranks = append(rep.Ranks, rs)
+	}
+	rep.ObservedRounds = len(rounds)
+	rep.Rounds = make([]RoundStat, 0, len(rounds))
+	for _, rs := range rounds {
+		rep.Rounds = append(rep.Rounds, *rs)
+	}
+	sort.Slice(rep.Rounds, func(a, b int) bool {
+		if rep.Rounds[a].CritNs != rep.Rounds[b].CritNs {
+			return rep.Rounds[a].CritNs > rep.Rounds[b].CritNs
+		}
+		return rep.Rounds[a].Tag < rep.Rounds[b].Tag
+	})
+	if len(rep.Rounds) > maxRoundStats {
+		rep.Rounds = rep.Rounds[:maxRoundStats]
+	}
+	return rep
+}

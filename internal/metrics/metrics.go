@@ -19,6 +19,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -236,6 +237,55 @@ func (m Metric) Mean() float64 {
 		return 0
 	}
 	return float64(m.Value) / float64(m.Count)
+}
+
+// BucketUpper returns the inclusive upper bound of log2 bucket i: bucket i
+// counts observations v with BucketUpper(i-1) < v <= BucketUpper(i), and
+// bucket 0 counts v <= 1. The final bucket is a catch-all for the clamp in
+// histBucket, so its bound is MaxInt64. Exposition formats and quantile
+// summaries read boundaries through this accessor instead of re-deriving
+// the log2 layout.
+func BucketUpper(i int) int64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// BucketBound is BucketUpper as a Metric method, for callers holding a
+// histogram snapshot. Non-histogram metrics have no buckets; the bound is
+// still well defined (the layout is global), so no kind check is made.
+func (m Metric) BucketBound(i int) int64 { return BucketUpper(i) }
+
+// Quantile returns an upper estimate of the q-quantile (0 <= q <= 1) of a
+// histogram snapshot: the upper bound of the first bucket at which the
+// cumulative count reaches q·Count. Log2 buckets make this exact to within
+// a factor of 2 — good enough for straggler triage, not for billing.
+// Returns 0 for empty histograms and non-histogram metrics.
+func (m Metric) Quantile(q float64) int64 {
+	if m.Count == 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(m.Count)))
+	if need <= 0 {
+		need = 1
+	}
+	var cum int64
+	for i, c := range m.Buckets {
+		cum += c
+		if cum >= need {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(len(m.Buckets) - 1)
 }
 
 // Snapshot is a point-in-time view of a metric set, sorted by name.

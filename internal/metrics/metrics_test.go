@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 )
@@ -181,5 +182,83 @@ func TestSnapshotJSONStable(t *testing.T) {
 	}
 	if len(decoded.Metrics) != 2 || decoded.Metrics[0].Name != "a.first" {
 		t.Errorf("snapshot not name-sorted: %+v", decoded.Metrics)
+	}
+}
+
+// The bucket boundaries exposed on Metric must round-trip with the bucket
+// selection in Observe: every observation must land in the unique bucket i
+// with BucketUpper(i-1) < v <= BucketUpper(i). Exposition formats build
+// their le= labels from these bounds, so a drift between the two would
+// silently mislabel whole latency ranges.
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1025, 1 << 20, 1<<40 + 3}
+	for _, v := range values {
+		s := NewSet()
+		s.Histogram("h").Observe(v)
+		m, _ := s.Snapshot().Get("h")
+		idx := -1
+		for i, c := range m.Buckets {
+			if c != 0 {
+				if idx != -1 {
+					t.Fatalf("value %d counted in buckets %d and %d", v, idx, i)
+				}
+				idx = i
+			}
+		}
+		if idx == -1 {
+			t.Fatalf("value %d not counted in any bucket", v)
+		}
+		upper := m.BucketBound(idx)
+		var lower int64
+		if idx > 0 {
+			lower = m.BucketBound(idx - 1)
+		} else {
+			lower = -1 // bucket 0 admits v <= 1, including the 0-clamp
+		}
+		if v > upper || v <= lower {
+			t.Errorf("value %d landed in bucket %d with bounds (%d, %d]", v, idx, lower, upper)
+		}
+	}
+}
+
+// The last bucket is the clamp catch-all: its bound must be MaxInt64 and
+// huge observations must land there.
+func TestBucketBoundsCatchAll(t *testing.T) {
+	if got := BucketUpper(HistBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("final bucket bound = %d, want MaxInt64", got)
+	}
+	if got := BucketUpper(-3); got != 0 {
+		t.Errorf("negative index bound = %d, want 0", got)
+	}
+	s := NewSet()
+	s.Histogram("h").Observe(math.MaxInt64)
+	m, _ := s.Snapshot().Get("h")
+	if m.Buckets[HistBuckets-1] != 1 {
+		t.Errorf("MaxInt64 observation not in final bucket: %v", m.Buckets)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := NewSet()
+	h := s.Histogram("h")
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket 4, upper 16
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // bucket 13, upper 8192
+	}
+	m, _ := s.Snapshot().Get("h")
+	if got := m.Quantile(0.5); got != 16 {
+		t.Errorf("p50 = %d, want 16", got)
+	}
+	if got := m.Quantile(0.99); got != 8192 {
+		t.Errorf("p99 = %d, want 8192", got)
+	}
+	if got := m.Quantile(0); got != 16 {
+		t.Errorf("p0 = %d, want 16 (first non-empty bucket)", got)
+	}
+	var empty Metric
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
 	}
 }

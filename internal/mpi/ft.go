@@ -3,6 +3,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+
+	"cartcc/internal/trace"
 )
 
 // Fault-tolerance primitives in the style of ULFM (User-Level Failure
@@ -168,6 +170,7 @@ func (c *Comm) Shrink() (*Comm, error) {
 	if myNew < 0 {
 		return nil, fmt.Errorf("mpi: Shrink: coordinator %d's member list excludes this rank", coord)
 	}
+	c.w.flight.Record(c.rs.rank, trace.FlightEpochBump, coord, 0, 0, msg[1])
 	return &Comm{w: c.w, rs: c.rs, rank: myNew, size: n, ctx: msg[0], epoch: msg[1], group: group}, nil
 }
 
@@ -263,6 +266,7 @@ func (c *Comm) RecoverShrink() (*Comm, RecoveryInfo, error) {
 			met.shrinks.Inc()
 			met.epochGauge.SetMax(nc.epoch)
 		}
+		c.w.flight.Record(c.rs.rank, trace.FlightRecovery, -1, 0, int64(info.Drained), int64(attempt))
 		return nc, info, nil
 	}
 	return nil, info, fmt.Errorf("mpi: RecoverShrink: no stable membership after %d rounds (last: %v): %w",

@@ -84,6 +84,10 @@ type pendingRecv struct {
 	// alone cannot, because the receiver may have consumed the message and
 	// then been preempted before deregistering its blocked state.
 	delivered atomic.Bool
+	// postNs is the flight-recorder clock reading at post time (0 when
+	// recording is off); the completion hook turns it into the receive's
+	// post→completion latency.
+	postNs int64
 	// notify, when non-nil, is posted notifyIdx exactly once, immediately
 	// before the ready handoff — the completion sink of a WaitSet
 	// (Waitsome). It is attached under the mailbox lock (attachNotify) and

@@ -47,6 +47,7 @@ func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detac
 		met.sendsPosted.Inc()
 		met.sendBytes.Add(int64(nbytes))
 	}
+	c.w.flight.Record(rs.rank, trace.FlightSendPost, c.worldRank(dst), tag, int64(nbytes), 0)
 	// One sender, one delivery order: sequence allocation through delivery
 	// (injected delays included) happens under the per-sender send lock, so
 	// a progress engine posting concurrently with the rank's goroutine
@@ -153,6 +154,10 @@ func (c *Comm) irecvDefer(src int, tag int64, consume func(*message) error, defe
 		srcWorld = c.worldRank(src)
 	}
 	p := &pendingRecv{ctx: c.ctx, epoch: c.epoch, src: src, tag: int(tag), srcWorld: srcWorld, consume: consume, deferConsume: deferConsume, ready: make(chan *message, 1)}
+	if fl := c.w.flight; fl != nil {
+		p.postNs = fl.Now()
+		fl.Record(c.rs.rank, trace.FlightRecvPost, srcWorld, tag, 0, 0)
+	}
 	req := &Request{kind: reqRecv, c: c, pending: p}
 	// Post first, check faults after: a receive whose message has already
 	// arrived completes even if the sender has since failed (ULFM raises

@@ -65,6 +65,9 @@ func (r *Request) Wait() (Status, error) {
 			met.recvsDone.Inc()
 			met.recvBytes.Add(int64(m.bytes))
 		}
+		if fl := r.c.w.flight; fl != nil {
+			fl.Record(rs.rank, trace.FlightRecvDone, r.c.worldRank(m.src), int64(m.tag), int64(m.bytes), fl.Now()-r.pending.postNs)
+		}
 		if model := r.c.w.model; model != nil {
 			start := rs.clock
 			if m.arrive > rs.clock {

@@ -58,6 +58,7 @@ func elemType[T any]() reflect.Type {
 // wire-pool hit/miss metric). The contents are unspecified; every caller
 // fully overwrites the slice (Gather, copy).
 func getWire[T any](w *World, n int) (wire []T, pooled bool) {
+	w.wireOut.Add(1)
 	cl := wireClass(n)
 	if cl > wireMaxClass {
 		return make([]T, n), false
@@ -79,6 +80,7 @@ func releaseWire[T any](w *World, m *message) {
 		return
 	}
 	m.payload = nil
+	w.wireOut.Add(-1)
 	c := cap(s)
 	if c == 0 || c&(c-1) != 0 {
 		return // not a pool-shaped capacity; let the GC have it

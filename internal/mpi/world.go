@@ -51,6 +51,15 @@ type World struct {
 	timeout time.Duration
 	faults  *FaultPlan
 
+	// flight is the always-on flight recorder: a bounded per-rank ring of
+	// recent runtime events, nil only when explicitly disabled
+	// (Config.FlightCap < 0). Snapshot with FlightTail; the introspection
+	// plane serves it live and dumps it on failure.
+	flight *trace.FlightRecorder
+	// metricsReg is Config.Metrics, kept so the introspection plane can
+	// reach the run's registry from the world handle alone (/metrics).
+	metricsReg *metrics.Registry
+
 	ranks  []*rankState
 	ctxSeq atomic.Int64
 	// epochSeq allocates recovery epoch numbers; the world starts in epoch
@@ -65,6 +74,10 @@ type World struct {
 	primary []error
 	cascade []error
 	errRank map[int]bool // ranks that contributed a primary error
+	// onFail is Config.OnFailure; set before the ranks spawn, never
+	// written again. Invoked outside failMu (a hook snapshotting the
+	// world must not self-deadlock).
+	onFail func(rank int, err error)
 
 	// Fault layer: failed ranks and revoked contexts, with atomic counters
 	// keeping the hot-path checks free until a first fault.
@@ -84,7 +97,10 @@ type World struct {
 
 	// wirePools holds the per-element-type wire-buffer pools behind the
 	// non-contiguous send path (wirepool.go), keyed by reflect.Type.
+	// wireOut counts wires currently drawn and not yet released — the
+	// pool-occupancy probe of the introspection plane.
 	wirePools sync.Map
+	wireOut   atomic.Int64
 }
 
 // Config controls a parallel run.
@@ -116,6 +132,23 @@ type Config struct {
 	// DeadlockPoll is the sampling interval of the wait-for-graph deadlock
 	// monitor; 0 means DefaultDeadlockPoll, negative disables the monitor.
 	DeadlockPoll time.Duration
+	// FlightCap sets the per-rank capacity of the always-on flight
+	// recorder (see trace.FlightRecorder): 0 selects
+	// trace.DefaultFlightCap, negative disables recording entirely.
+	// Ignored when Flight is non-nil.
+	FlightCap int
+	// Flight, if non-nil, is an externally created flight recorder the run
+	// records into (it must cover at least Procs ranks). Supplying one lets
+	// a harness keep the ring across runs; normally leave it nil and let
+	// Run size its own.
+	Flight *trace.FlightRecorder
+	// OnFailure, if non-nil, is invoked once per primary failure recorded
+	// against the run (a rank's own error, an injected crash, a watchdog
+	// diagnosis — never the secondary ErrAborted cascade), with the world
+	// rank it was attributed to (-1 when unattributed) and the error. It
+	// runs on the failing goroutine before blocked peers are released, so
+	// a post-mortem hook observes the world in the state that failed.
+	OnFailure func(rank int, err error)
 }
 
 // rankState is the per-rank runtime state. The clock, rng and delayCount
@@ -204,15 +237,24 @@ func Run(cfg Config, f func(c *Comm) error) error {
 	if cfg.Metrics != nil && cfg.Metrics.Ranks() < cfg.Procs {
 		return fmt.Errorf("mpi: metrics registry sized for %d ranks, run has %d", cfg.Metrics.Ranks(), cfg.Procs)
 	}
+	if cfg.Flight != nil && cfg.Flight.Ranks() < cfg.Procs {
+		return fmt.Errorf("mpi: flight recorder sized for %d ranks, run has %d", cfg.Flight.Ranks(), cfg.Procs)
+	}
 	w := &World{
-		size:    cfg.Procs,
-		model:   cfg.Model,
-		rec:     cfg.Recorder,
-		seed:    cfg.Seed,
-		timeout: cfg.Timeout,
-		faults:  cfg.Faults,
-		abort:   make(chan struct{}),
-		errRank: make(map[int]bool),
+		size:       cfg.Procs,
+		model:      cfg.Model,
+		rec:        cfg.Recorder,
+		seed:       cfg.Seed,
+		timeout:    cfg.Timeout,
+		faults:     cfg.Faults,
+		flight:     cfg.Flight,
+		onFail:     cfg.OnFailure,
+		metricsReg: cfg.Metrics,
+		abort:      make(chan struct{}),
+		errRank:    make(map[int]bool),
+	}
+	if w.flight == nil && cfg.FlightCap >= 0 {
+		w.flight = trace.NewFlightRecorder(cfg.Procs, cfg.FlightCap)
 	}
 	if w.timeout == 0 {
 		w.timeout = DefaultTimeout
@@ -291,14 +333,23 @@ func (w *World) failFrom(rank int, err error) {
 // mask the primary failures.
 func (w *World) record(rank int, err error) {
 	w.failMu.Lock()
-	defer w.failMu.Unlock()
 	if errors.Is(err, ErrAborted) {
 		w.cascade = append(w.cascade, err)
+		w.failMu.Unlock()
 		return
 	}
 	w.primary = append(w.primary, err)
 	if rank >= 0 {
 		w.errRank[rank] = true
+	}
+	w.failMu.Unlock()
+	fr := rank
+	if fr < 0 {
+		fr = 0 // unattributed failures (watchdog diagnoses) land on rank 0's ring
+	}
+	w.flight.Record(fr, trace.FlightFailure, rank, 0, 0, 0)
+	if w.onFail != nil {
+		w.onFail(rank, err)
 	}
 }
 

@@ -105,7 +105,9 @@ func runLeg(sc *Scenario, algo cart.Algorithm, planOpts []cart.PlanOption,
 		Faults:   faults,
 		Metrics:  reg,
 	}
+	bindPM := wirePostMortem(&cfg)
 	err := mpi.Run(cfg, func(w *mpi.Comm) error {
+		bindPM(w)
 		cc, err := cart.NeighborhoodCreate(w, sc.Dims, sc.Periods, nbh, nil)
 		if err != nil {
 			return err

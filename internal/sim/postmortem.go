@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"os"
+
+	"cartcc/internal/introspect"
+	"cartcc/internal/mpi"
+)
+
+// CI failure forensics: when CARTSIM_DUMP_DIR is set, every simulated
+// world runs with the introspection plane's post-mortem dumper attached,
+// so a soak or recovery-sweep failure leaves bundles (state snapshot,
+// flight tails, deadlock proof) next to the replay artifact. Unset — the
+// normal local case — everything here is a no-op.
+
+// pmDumpDir reads the env var once per call; sweeps are long, process
+// caching buys nothing.
+func pmDumpDir() string { return os.Getenv("CARTSIM_DUMP_DIR") }
+
+// wirePostMortem attaches a fresh inspector's failure hook to cfg and
+// returns the bind function the run body must call so the dumper sees
+// the live world. Returns a no-op bind when dumping is disabled.
+func wirePostMortem(cfg *mpi.Config) func(c *mpi.Comm) {
+	dir := pmDumpDir()
+	if dir == "" {
+		return func(*mpi.Comm) {}
+	}
+	insp := introspect.New(introspect.Options{DumpDir: dir})
+	cfg.OnFailure = insp.FailureHook
+	return func(c *mpi.Comm) { insp.Bind(c.World()) }
+}

@@ -100,12 +100,15 @@ func runRecoveryLeg(sc *Scenario, leg string, policy cart.ReembedPolicy, algo ca
 	for _, c := range sc.Faults.Crashes {
 		crashed[c.Rank] = true
 	}
-	runErr := mpi.Run(mpi.Config{
+	cfg := mpi.Config{
 		Procs:   p,
 		Timeout: 30 * time.Second,
 		Seed:    sc.ModelSeed,
 		Faults:  sc.faultPlan(),
-	}, func(w *mpi.Comm) error {
+	}
+	bindPM := wirePostMortem(&cfg)
+	runErr := mpi.Run(cfg, func(w *mpi.Comm) error {
+		bindPM(w)
 		ro := &recoveryOutcome{}
 		outs[w.Rank()] = ro
 		cc, err := cart.NeighborhoodCreate(w, sc.Dims, sc.Periods, nbh, nil)
