@@ -81,6 +81,30 @@ func Launch(p int, f func(c *ProcComm) error) error {
 	return mpi.Run(mpi.Config{Procs: p, Timeout: 60 * time.Second}, f)
 }
 
+// TransportConfig selects a network transport backend ("tcp" or "unix")
+// and maps world ranks onto OS processes; see RunTransport.
+type TransportConfig = mpi.TransportConfig
+
+// ProcSpec names one process of a multi-process world: its listen address
+// and the world ranks it hosts.
+type ProcSpec = mpi.ProcSpec
+
+// RunTransport is Run over a network transport: one world whose ranks
+// span OS processes. Every process calls it with the same cfg and
+// rank/address map, differing only in tc.Self; messages between processes
+// travel the varint-framed wire format of internal/wire, and collectives,
+// epochs and fault propagation behave as in-process. Plain Run also
+// honors the CARTCC_TRANSPORT environment variable ("tcp", "unix",
+// "loopback") by detouring all traffic of a single-process world through
+// a real socket — the conformance battery's mode.
+func RunTransport(cfg RunConfig, tc TransportConfig, f func(c *ProcComm) error) error {
+	return mpi.RunTransport(cfg, tc, f)
+}
+
+// TransportEnvActive reports whether CARTCC_TRANSPORT currently selects a
+// network backend.
+func TransportEnvActive() bool { return mpi.TransportEnvActive() }
+
 // Barrier blocks until every process in the communicator has entered it.
 func Barrier(c *ProcComm) error { return mpi.Barrier(c) }
 

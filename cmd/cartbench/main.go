@@ -15,13 +15,18 @@
 // (perf-trajectory records BENCH_P2/P3), autotune (Auto vs fixed
 // algorithms with the 1.05x perf gate, BENCH_P7), concurrent (async
 // futures vs blocking execution across W tenant worlds with throughput
-// and latency gates, BENCH_P8), trace (Perfetto/Chrome trace
-// capture with metrics and predicted-vs-observed accounting; -o sets the
-// output path), and all.
+// and latency gates, BENCH_P8), transport (loopback vs framed tcp/unix
+// socket backends with the loopback fast-path allocation gate,
+// BENCH_P10), trace (Perfetto/Chrome trace capture with metrics and
+// predicted-vs-observed accounting; -o sets the output path), and all.
 //
 // Flags:
 //
 //	-scale quick|default   experiment size (default "default")
+//	-transport NAME        force a transport backend for wall-clock
+//	                       worlds: loopback, tcp or unix (sets
+//	                       CARTCC_TRANSPORT; virtual-time figures are
+//	                       in-process by construction)
 //	-csv                   emit CSV instead of text tables
 //	-bars                  render figures as ASCII bar charts
 //	-reps N                override repetitions per variant
@@ -66,8 +71,16 @@ func main() {
 	serve := flag.String("serve", "", "serve the live introspection plane on this address over a continuous workload (e.g. 127.0.0.1:6060; empty port picks one)")
 	serveFor := flag.Duration("serve-for", 0, "stop the -serve workload after this long (0 = until interrupt)")
 	dumpDir := flag.String("dump-dir", "", "post-mortem bundle directory for the -serve workload")
+	transport := flag.String("transport", "", "force a transport backend for wall-clock worlds: loopback, tcp or unix (sets CARTCC_TRANSPORT)")
 	flag.Parse()
 	traceOutPath = *traceOut
+	if !mpi.KnownTransport(*transport) {
+		fmt.Fprintf(os.Stderr, "cartbench: unknown transport %q (want loopback, tcp or unix)\n", *transport)
+		os.Exit(2)
+	}
+	if *transport != "" {
+		os.Setenv(mpi.EnvTransport, *transport)
+	}
 
 	if *serve != "" {
 		if err := serveExperiment(*serve, *serveFor, *dumpDir); err != nil {
@@ -93,7 +106,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos allocs pipeline autotune concurrent trace all")
+		fmt.Fprintln(os.Stderr, "cartbench: no experiment named; try: table1 fig3 fig4 fig5 fig6 fig7 crossover timeline scaling mesh reduce reorder predict chaos allocs pipeline autotune concurrent transport trace all")
 		os.Exit(2)
 	}
 	mode := renderText
@@ -176,6 +189,8 @@ func run(name string, sc bench.Scale, mode renderMode) error {
 		return autotuneExperiment(sc)
 	case "concurrent":
 		return concurrentExperiment(sc)
+	case "transport":
+		return transportExperiment(sc)
 	case "trace":
 		return traceExperiment()
 	default:
@@ -333,6 +348,43 @@ func concurrentExperiment(sc bench.Scale) error {
 	}
 	fmt.Println("wrote BENCH_P8.json")
 	return bench.GateConcurrent(rep)
+}
+
+// transportExperiment sweeps ping-pong latency and trivial Cart_alltoall
+// cost over the loopback, tcp and unix transport backends (the socket
+// backends as ForceRemote self-worlds, so every message crosses a real
+// framed connection), records the sweep in BENCH_P10.json, and enforces
+// the loopback fast-path gate: in-process delivery must allocate no
+// more than the framed tcp path and stay flat in the block size.
+func transportExperiment(sc bench.Scale) error {
+	cfg := bench.TransportBenchConfig{}
+	if sc.Reps > 0 && sc.Reps < bench.DefaultScale.Reps {
+		cfg.Iters = 40 // quick scale
+		cfg.PingIters = 400
+	}
+	rep, err := bench.RunTransportBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatTransportReport(rep))
+	rec := &bench.BenchP10{
+		Description: "Pluggable transport sweep (wall clock): ping-pong round-trip latency between two ranks (64 int64s) and trivial Cart_alltoall on a 3x3 Moore torus (int64 blocks) over the in-process loopback and the framed tcp/unix socket backends as ForceRemote self-worlds; the gate demands loopback allocate no more than tcp at every alltoall point and stay flat in the block size.",
+		After:       rep,
+	}
+	// Track the trajectory: the previous sweep (its baseline if it had one,
+	// else its result) becomes the "before" of this record.
+	if prev, err := bench.ReadBenchP10("BENCH_P10.json"); err == nil && prev != nil {
+		if prev.Before != nil {
+			rec.Before = prev.Before
+		} else {
+			rec.Before = prev.After
+		}
+	}
+	if err := bench.WriteBenchP10("BENCH_P10.json", rec); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_P10.json")
+	return bench.GateTransportLoopback(rep)
 }
 
 // traceOutPath is the -o flag value, bound in main.

@@ -24,6 +24,12 @@
 //	                 checking — the oracles must catch it
 //	-artifact PATH   where to write the failing-case replay file
 //	                 (default sim-failure.json)
+//	-transport NAME  force a transport backend for the wall-clock oracle
+//	                 legs: loopback, tcp or unix (sets CARTCC_TRANSPORT;
+//	                 virtual-time legs are in-process by construction,
+//	                 and with real sockets the byte-determinism guarantee
+//	                 below narrows: recovery classification may vary
+//	                 with socket timing between the two valid categories)
 //	-v               print every scenario checked, not just failures
 //
 // Output is deterministic for fixed flags in seed mode (no timestamps, no
@@ -40,6 +46,7 @@ import (
 	"os"
 	"time"
 
+	"cartcc/internal/mpi"
 	"cartcc/internal/sim"
 )
 
@@ -56,9 +63,17 @@ func run() int {
 		replay      = flag.String("replay", "", "re-run a failing-case artifact")
 		mutate      = flag.String("mutate", "", "plant a schedule mutation before checking (copy-skew)")
 		artifact    = flag.String("artifact", "sim-failure.json", "failing-case replay file to write")
+		transport   = flag.String("transport", "", "force a transport backend for wall-clock oracle legs: loopback, tcp or unix (sets CARTCC_TRANSPORT)")
 		verbose     = flag.Bool("v", false, "print every scenario checked")
 	)
 	flag.Parse()
+	if !mpi.KnownTransport(*transport) {
+		fmt.Fprintf(os.Stderr, "cartsim: unknown transport %q (want loopback, tcp or unix)\n", *transport)
+		return 2
+	}
+	if *transport != "" {
+		os.Setenv(mpi.EnvTransport, *transport)
+	}
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "cartsim: unexpected arguments %v\n", flag.Args())
 		flag.Usage()

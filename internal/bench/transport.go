@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"cartcc/internal/cart"
+	"cartcc/internal/mpi"
+	"cartcc/internal/vec"
+)
+
+// This file implements the transport sweep behind `cartbench transport`
+// and BENCH_P10.json: wall-clock ping-pong latency and Cart_alltoall
+// cost of the same world over the three transport backends — the
+// zero-copy in-process loopback and the framed tcp/unix socket backends
+// (self-worlds with ForceRemote, so every message crosses a real socket
+// and the full encode/flush/decode path). The loopback rows double as
+// the fast-path regression gate: adding the transport seam must not have
+// put allocations or framing work on the nil-transport delivery path.
+
+// transportBackends are the swept backends, loopback first so the gate
+// always has its baseline row.
+var transportBackends = []string{"loopback", "tcp", "unix"}
+
+// TransportBenchConfig parameterizes one transport sweep.
+type TransportBenchConfig struct {
+	// BlockSizes are the per-neighbor element counts (int64) swept by the
+	// alltoall measurement; zero means {16, 1024}.
+	BlockSizes []int
+	// Iters is the number of alltoall operations per measurement; zero
+	// means 200.
+	Iters int
+	// PingIters is the number of ping-pong round trips; zero means 2000.
+	PingIters int
+}
+
+// TransportSample is one measured (backend, op, block size) cell.
+// Counters are totals across the whole world per operation, as in the
+// allocation sweep.
+type TransportSample struct {
+	Backend     string  `json:"backend"`
+	Op          string  `json:"op"`
+	BlockSize   int     `json:"block_elems"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// TransportReport is the serialized form of one full sweep (the content
+// of BENCH_P10.json's "before"/"after" sections).
+type TransportReport struct {
+	Procs     int               `json:"procs"`
+	Iters     int               `json:"iters"`
+	PingIters int               `json:"ping_iters"`
+	Samples   []TransportSample `json:"samples"`
+}
+
+// benchSockSeq disambiguates unix socket paths across measurements.
+var benchSockSeq atomic.Int64
+
+// runTransportWorld runs f under the named backend: loopback is the
+// plain in-process world (nil transport — the fast path under test);
+// tcp and unix are single-process self-worlds with ForceRemote, routing
+// every message through a real socket.
+func runTransportWorld(backend string, procs int, f func(w *mpi.Comm) error) error {
+	cfg := mpi.Config{Procs: procs, DeadlockPoll: -1, Timeout: 5 * time.Minute}
+	if backend == "loopback" {
+		return mpi.Run(cfg, f)
+	}
+	addr := "127.0.0.1:0"
+	if backend == "unix" {
+		addr = filepath.Join(os.TempDir(),
+			fmt.Sprintf("cartcc-bench-%d-%d.sock", os.Getpid(), benchSockSeq.Add(1)))
+	}
+	ranks := make([]int, procs)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return mpi.RunTransport(cfg, mpi.TransportConfig{
+		Network:     backend,
+		Procs:       []mpi.ProcSpec{{Addr: addr, Ranks: ranks}},
+		Self:        0,
+		ForceRemote: true,
+	}, f)
+}
+
+// measureTransportPingPong times round trips of an m-element int64
+// payload between ranks 0 and 1 and reads the world-wide allocation
+// deltas on rank 0, fenced by barriers.
+func measureTransportPingPong(backend string, m, iters int) (TransportSample, error) {
+	sample := TransportSample{Backend: backend, Op: "pingpong", BlockSize: m}
+	err := runTransportWorld(backend, 2, func(w *mpi.Comm) error {
+		buf := make([]int64, m)
+		for i := range buf {
+			buf[i] = int64(w.Rank()*1000 + i)
+		}
+		// Warm up connections and pools before the counters start.
+		if err := warmPing(w, buf, 3); err != nil {
+			return err
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		var before, after runtime.MemStats
+		var t0 time.Time
+		if w.Rank() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			t0 = time.Now()
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		if err := warmPing(w, buf, iters); err != nil {
+			return err
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			sample.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+			sample.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+			sample.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+		}
+		return nil
+	})
+	if err != nil {
+		return TransportSample{}, err
+	}
+	return sample, nil
+}
+
+// warmPing runs n ping-pong round trips between ranks 0 and 1.
+func warmPing(w *mpi.Comm, buf []int64, n int) error {
+	peer := 1 - w.Rank()
+	for i := 0; i < n; i++ {
+		if w.Rank() == 0 {
+			if err := mpi.SendSlice(w, buf, peer, i); err != nil {
+				return err
+			}
+			if _, err := mpi.RecvSlice(w, buf, peer, i); err != nil {
+				return err
+			}
+		} else {
+			if _, err := mpi.RecvSlice(w, buf, peer, i); err != nil {
+				return err
+			}
+			if err := mpi.SendSlice(w, buf, peer, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// measureTransportAlltoall times the trivial Cart_alltoall on a 3×3
+// torus with the Moore neighborhood (the wire-heaviest schedule — one
+// message per neighbor per op) and reads the world-wide allocation
+// deltas on rank 0.
+func measureTransportAlltoall(backend string, m, iters int) (TransportSample, error) {
+	sample := TransportSample{Backend: backend, Op: "alltoall", BlockSize: m}
+	nbh, err := vec.Stencil(2, 3, -1)
+	if err != nil {
+		return TransportSample{}, err
+	}
+	err = runTransportWorld(backend, 9, func(w *mpi.Comm) error {
+		c, err := cart.NeighborhoodCreate(w, []int{3, 3}, nil, nbh, nil)
+		if err != nil {
+			return err
+		}
+		plan, err := cart.AlltoallInit(c, m, cart.Trivial)
+		if err != nil {
+			return err
+		}
+		send := make([]int64, len(nbh)*m)
+		recv := make([]int64, len(nbh)*m)
+		for i := range send {
+			send[i] = int64(w.Rank()*len(send) + i)
+		}
+		op := func() error { return cart.Run(plan, send, recv) }
+		for i := 0; i < 3; i++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		var before, after runtime.MemStats
+		var t0 time.Time
+		if w.Rank() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			t0 = time.Now()
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		for i := 0; i < iters; i++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		if err := mpi.Barrier(w); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			sample.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+			sample.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+			sample.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+		}
+		return nil
+	})
+	if err != nil {
+		return TransportSample{}, err
+	}
+	return sample, nil
+}
+
+// RunTransportBench sweeps ping-pong latency and alltoall cost over
+// every backend and block size.
+func RunTransportBench(cfg TransportBenchConfig) (*TransportReport, error) {
+	if len(cfg.BlockSizes) == 0 {
+		cfg.BlockSizes = []int{16, 1024}
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 200
+	}
+	if cfg.PingIters == 0 {
+		cfg.PingIters = 2000
+	}
+	rep := &TransportReport{Procs: 9, Iters: cfg.Iters, PingIters: cfg.PingIters}
+	for _, backend := range transportBackends {
+		s, err := measureTransportPingPong(backend, 64, cfg.PingIters)
+		if err != nil {
+			return nil, fmt.Errorf("%s pingpong: %w", backend, err)
+		}
+		rep.Samples = append(rep.Samples, s)
+		for _, m := range cfg.BlockSizes {
+			s, err := measureTransportAlltoall(backend, m, cfg.Iters)
+			if err != nil {
+				return nil, fmt.Errorf("%s alltoall m=%d: %w", backend, m, err)
+			}
+			rep.Samples = append(rep.Samples, s)
+		}
+	}
+	return rep, nil
+}
+
+// GateTransportLoopback is the loopback fast-path gate on a sweep: at
+// every swept alltoall point the loopback backend must allocate no more
+// than the framed tcp backend (the transport seam added no encode work
+// to in-process delivery — tcp visibly pays for framing on top of the
+// shared collective machinery, loopback must not), and loopback
+// allocs/op must stay flat in the block size (the zero-copy detach and
+// pooled wires still carry large payloads without fresh buffers).
+func GateTransportLoopback(rep *TransportReport) error {
+	cell := func(backend, op string, m int) *TransportSample {
+		for i := range rep.Samples {
+			s := &rep.Samples[i]
+			if s.Backend == backend && s.Op == op && s.BlockSize == m {
+				return s
+			}
+		}
+		return nil
+	}
+	var loop []*TransportSample
+	for i := range rep.Samples {
+		s := &rep.Samples[i]
+		if s.Backend == "loopback" && s.Op == "alltoall" {
+			loop = append(loop, s)
+		}
+	}
+	if len(loop) == 0 {
+		return fmt.Errorf("transport gate: no loopback alltoall samples")
+	}
+	for _, s := range loop {
+		tcp := cell("tcp", "alltoall", s.BlockSize)
+		if tcp == nil {
+			return fmt.Errorf("transport gate: no tcp alltoall sample at m=%d", s.BlockSize)
+		}
+		// 5% slack over tcp absorbs counter jitter; real framing work on
+		// the fast path costs far more (tcp itself runs ~15% above).
+		if s.AllocsPerOp > tcp.AllocsPerOp*1.05 {
+			return fmt.Errorf("transport gate: loopback alltoall m=%d allocates %.1f allocs/op vs tcp %.1f — fast path is doing framing work",
+				s.BlockSize, s.AllocsPerOp, tcp.AllocsPerOp)
+		}
+	}
+	small, large := loop[0], loop[len(loop)-1]
+	if large.BlockSize > small.BlockSize && small.AllocsPerOp > 0 &&
+		large.AllocsPerOp > small.AllocsPerOp*2 {
+		return fmt.Errorf("transport gate: loopback allocs/op scaled with block size: m=%d -> %.1f, m=%d -> %.1f",
+			small.BlockSize, small.AllocsPerOp, large.BlockSize, large.AllocsPerOp)
+	}
+	return nil
+}
+
+// BenchP10 is the persisted perf-trajectory record (BENCH_P10.json): the
+// transport sweep introduced with the pluggable transport layer of
+// PR 10.
+type BenchP10 struct {
+	Description string           `json:"description"`
+	Before      *TransportReport `json:"before,omitempty"`
+	After       *TransportReport `json:"after"`
+}
+
+// ReadBenchP10 loads a persisted record; a missing file is (nil, error).
+func ReadBenchP10(path string) (*BenchP10, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchP10
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// WriteBenchP10 serializes the record to path with stable formatting.
+func WriteBenchP10(path string, rec *BenchP10) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatTransportReport renders the sweep as a text table.
+func FormatTransportReport(rep *TransportReport) string {
+	out := fmt.Sprintf("Transport sweep — loopback vs framed sockets (self-worlds), p=%d, %d alltoall iters, %d ping-pong round trips (totals across all ranks per op)\n",
+		rep.Procs, rep.Iters, rep.PingIters)
+	out += fmt.Sprintf("%-10s %-10s %10s %14s %14s %14s\n", "backend", "op", "m (elems)", "ns/op", "B/op", "allocs/op")
+	for _, s := range rep.Samples {
+		out += fmt.Sprintf("%-10s %-10s %10d %14.0f %14.0f %14.1f\n",
+			s.Backend, s.Op, s.BlockSize, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// This file is the multi-process launch layer: RunTransport builds one
+// world whose ranks span OS processes, connected by a network transport
+// (transport_net.go), and the CARTCC_TRANSPORT environment variable lets
+// any existing entry point detour its traffic through a real socket
+// without code changes.
+
+// EnvTransport is the environment variable selecting a transport backend
+// for plain Run calls: "tcp" or "unix" builds the world force-remote over
+// that backend (every message crosses a real socket back into the
+// process); empty or "loopback" keeps the in-process fast path.
+// Virtual-time runs ignore it.
+const EnvTransport = "CARTCC_TRANSPORT"
+
+// TransportEnvActive reports whether CARTCC_TRANSPORT selects a network
+// backend. Tests asserting loopback-only properties (zero allocations on
+// the zero-copy path, exact pool occupancy) skip themselves when it does.
+func TransportEnvActive() bool {
+	switch os.Getenv(EnvTransport) {
+	case "tcp", "unix":
+		return true
+	}
+	return false
+}
+
+// KnownTransport reports whether name is a recognized backend selector
+// for EnvTransport: "loopback", "tcp", "unix", or empty (= loopback).
+// CLIs validate their -transport flag with it before any world runs, so
+// a typo is a usage error instead of a failure inside the first world.
+func KnownTransport(name string) bool {
+	switch name {
+	case "", "loopback", "tcp", "unix":
+		return true
+	}
+	return false
+}
+
+// RunTransport is Run over a network transport: it spawns a goroutine for
+// every world rank hosted by this process (per tc.Procs[tc.Self]), carries
+// traffic to the rest over tc's backend, and waits for the local ranks to
+// finish. Every process of the world calls RunTransport with the same cfg
+// and the same rank/address map, differing only in tc.Self; collective
+// context allocation works because world rank 0 allocates and broadcasts.
+//
+// The wait-for-graph deadlock monitor is local-only, so worlds that span
+// processes rely on the fallback timer (Config.Timeout) for remote-peer
+// hangs. A peer process dying tears its connection down and marks every
+// rank it hosted failed, ULFM-style; a peer whose world aborts propagates
+// the original cause.
+func RunTransport(cfg Config, tc TransportConfig, f func(c *Comm) error) error {
+	if err := validateConfig(&cfg); err != nil {
+		return err
+	}
+	if cfg.Model != nil {
+		return fmt.Errorf("mpi: a virtual-time run cannot span processes (the cost model owns delivery timing)")
+	}
+	t, err := newNetTransport(tc, cfg.Procs)
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	var localRank []bool
+	if len(tc.Procs) > 1 {
+		localRank = make([]bool, cfg.Procs)
+		for _, r := range tc.Procs[tc.Self].Ranks {
+			localRank[r] = true
+		}
+	}
+	return runWorld(cfg, t, localRank, f)
+}
+
+// sockSeq disambiguates unix socket paths of concurrent env-selected
+// worlds in one process.
+var sockSeq atomic.Int64
+
+// transportFromEnv builds the force-remote single-process transport the
+// CARTCC_TRANSPORT variable asks for. ok is false when the variable is
+// unset (or "loopback") and the caller should run in-process; err is
+// non-nil for an unknown value or a failed socket bind.
+func transportFromEnv(procs int) (t Transport, err error, ok bool) {
+	val := os.Getenv(EnvTransport)
+	switch val {
+	case "", "loopback":
+		return nil, nil, false
+	case "tcp", "unix":
+	default:
+		return nil, fmt.Errorf("mpi: %s=%q (want tcp, unix or loopback)", EnvTransport, val), true
+	}
+	addr := "127.0.0.1:0"
+	if val == "unix" {
+		addr = filepath.Join(os.TempDir(),
+			fmt.Sprintf("cartcc-%d-%d.sock", os.Getpid(), sockSeq.Add(1)))
+	}
+	ranks := make([]int, procs)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	nt, err := newNetTransport(TransportConfig{
+		Network:     val,
+		Procs:       []ProcSpec{{Addr: addr, Ranks: ranks}},
+		Self:        0,
+		ForceRemote: true,
+	}, procs)
+	if err != nil {
+		return nil, err, true
+	}
+	return nt, nil, true
+}

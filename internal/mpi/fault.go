@@ -342,6 +342,13 @@ func (rs *rankState) dupFor(dstWorld int) bool {
 // receives that were blocked when the failure happened (a message from the
 // dead rank can no longer be ruled out as their match).
 func (w *World) markDead(rank int, cause *RankFailedError) {
+	if t := w.transport; t != nil {
+		// Let in-flight self-loop frames reach their mailboxes first: on
+		// the loopback path everything posted before the crash is already
+		// delivered when the poison below runs, and recovery's convergence
+		// relies on the poison not overtaking real messages.
+		t.Drain()
+	}
 	w.deadMu.Lock()
 	if w.dead == nil {
 		w.dead = make(map[int]*RankFailedError)

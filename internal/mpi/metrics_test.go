@@ -71,7 +71,9 @@ func TestRuntimeMetricsCounts(t *testing.T) {
 	if ga < 2 {
 		t.Errorf("gathered sends = %d, want >= 2 (one strided send per rank)", ga)
 	}
-	if det := m.Value("mpi.recv.detached"); det < 1 {
+	// Detach-to-pool is a loopback mechanism: a forced network transport
+	// encodes payloads inside Send instead of detaching at delivery.
+	if det := m.Value("mpi.recv.detached"); det < 1 && !TransportEnvActive() {
 		t.Errorf("detach-to-pool count = %d, want >= 1 (rank 1's late receive)", det)
 	}
 	if hwm := m.Value("mpi.unexpected.hwm"); hwm < 1 {

@@ -118,9 +118,16 @@ func (c *Comm) isendRawTag(payload any, elems, nbytes, dst int, tag int64, detac
 			})
 		}
 	}
-	c.w.ranks[dstWorld].box.deliver(m)
+	if err := c.w.route(dstWorld, m); err != nil {
+		// The transport could not carry the message (peer process gone,
+		// payload not wire-encodable): complete the send with the typed
+		// error — buffers were reclaimed by Send before it failed, or are
+		// still owned by the message; discard covers both.
+		c.rs.box.discard(m)
+		return failedRequest(c, reqSend, err)
+	}
 	if dup != nil {
-		c.w.ranks[dstWorld].box.deliver(dup)
+		_ = c.w.route(dstWorld, dup) // best effort, like the fault it mimics
 	}
 	return &Request{kind: reqSend, c: c}
 }

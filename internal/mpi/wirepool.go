@@ -92,6 +92,48 @@ func releaseWire[T any](w *World, m *message) {
 	w.wirePoolFor(elemType[T]()).buckets[cl].Put(s[:c])
 }
 
+// getWireReflect is getWire for a runtime-chosen element type: the network
+// transport decodes incoming frames into pooled wires of the element type
+// named by the frame header, sharing the same per-type bucket pools as the
+// generic send path (a wire drawn here and released by a scatter, or drawn
+// by a gather and released here, recycles either way). The returned value
+// is a slice of n elements with pool-shaped capacity.
+func getWireReflect(w *World, t reflect.Type, n int) (reflect.Value, bool) {
+	w.wireOut.Add(1)
+	cl := wireClass(n)
+	st := reflect.SliceOf(t)
+	if cl > wireMaxClass {
+		return reflect.MakeSlice(st, n, n), false
+	}
+	if v := w.wirePoolFor(t).buckets[cl].Get(); v != nil {
+		return reflect.ValueOf(v).Slice(0, n), true
+	}
+	return reflect.MakeSlice(st, n, 1<<cl), false
+}
+
+// releaseWireAny is releaseWire without the compile-time element type: the
+// release hook of messages decoded from the wire, whose payload type is
+// known only at runtime. Pool entries are stored exactly as the generic
+// path stores them (a full-capacity []T boxed in an any), so wires cycle
+// freely between the local and remote paths.
+func releaseWireAny(w *World, m *message) {
+	v := reflect.ValueOf(m.payload)
+	if v.Kind() != reflect.Slice {
+		return
+	}
+	m.payload = nil
+	w.wireOut.Add(-1)
+	c := v.Cap()
+	if c == 0 || c&(c-1) != 0 {
+		return // not a pool-shaped capacity; let the GC have it
+	}
+	cl := wireClass(c)
+	if cl > wireMaxClass {
+		return
+	}
+	w.wirePoolFor(v.Type().Elem()).buckets[cl].Put(v.Slice(0, c).Interface())
+}
+
 // detachWire detaches a zero-copy message from the sender's user buffer:
 // the payload is copied into a pooled wire so the alias dies before the
 // send call returns. Installed as message.detach by the contiguous send

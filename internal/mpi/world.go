@@ -101,6 +101,14 @@ type World struct {
 	// pool-occupancy probe of the introspection plane.
 	wirePools sync.Map
 	wireOut   atomic.Int64
+
+	// transport, when non-nil, carries messages whose destination the
+	// transport does not answer Local for (transport.go). localRank marks
+	// the world ranks hosted by this process; nil means all of them (the
+	// in-process default and force-remote single-process worlds). Both are
+	// set before the rank goroutines spawn and never written again.
+	transport Transport
+	localRank []bool
 }
 
 // Config controls a parallel run.
@@ -212,7 +220,30 @@ func (rs *rankState) disarmTimeout() {
 // and waits for all to finish. The first error or panic aborts the run and
 // is returned; remaining blocked ranks are released through the abort
 // channel.
+//
+// When the CARTCC_TRANSPORT environment variable selects a network backend
+// and the run is in wall-clock mode, the world is built force-remote over
+// that backend: every message detours through a real socket back into this
+// process (see TransportFromEnv). Virtual-time runs ignore the variable —
+// the cost model owns delivery timing.
 func Run(cfg Config, f func(c *Comm) error) error {
+	if err := validateConfig(&cfg); err != nil {
+		return err
+	}
+	if cfg.Model == nil {
+		if t, err, ok := transportFromEnv(cfg.Procs); ok {
+			if err != nil {
+				return err
+			}
+			defer t.Close()
+			return runWorld(cfg, t, nil, f)
+		}
+	}
+	return runWorld(cfg, nil, nil, f)
+}
+
+// validateConfig checks a Config before a world is built.
+func validateConfig(cfg *Config) error {
 	if cfg.Procs < 1 {
 		return fmt.Errorf("mpi: Procs must be >= 1, got %d", cfg.Procs)
 	}
@@ -240,6 +271,14 @@ func Run(cfg Config, f func(c *Comm) error) error {
 	if cfg.Flight != nil && cfg.Flight.Ranks() < cfg.Procs {
 		return fmt.Errorf("mpi: flight recorder sized for %d ranks, run has %d", cfg.Flight.Ranks(), cfg.Procs)
 	}
+	return nil
+}
+
+// runWorld builds the world and runs f on every locally hosted rank.
+// localRank nil means all ranks run here (in-process and force-remote
+// worlds); otherwise only the marked ranks spawn and the transport carries
+// traffic to the rest.
+func runWorld(cfg Config, t Transport, localRank []bool, f func(c *Comm) error) error {
 	w := &World{
 		size:       cfg.Procs,
 		model:      cfg.Model,
@@ -275,7 +314,16 @@ func Run(cfg Config, f func(c *Comm) error) error {
 		}
 	}
 
-	if cfg.DeadlockPoll >= 0 {
+	w.transport = t
+	w.localRank = localRank
+	if t != nil {
+		t.Attach(w)
+	}
+
+	// The wait-for-graph monitor needs to see every rank's blocked state;
+	// when the world spans processes only the fallback timer can watch the
+	// remote ranks, so the monitor stays local-only.
+	if cfg.DeadlockPoll >= 0 && localRank == nil {
 		poll := cfg.DeadlockPoll
 		if poll == 0 {
 			poll = DefaultDeadlockPoll
@@ -287,8 +335,12 @@ func Run(cfg Config, f func(c *Comm) error) error {
 	}
 
 	var wg sync.WaitGroup
-	wg.Add(cfg.Procs)
 	for r := 0; r < cfg.Procs; r++ {
+		if !w.hosted(r) {
+			w.done[r].Store(true) // remote ranks look finished to the monitor
+			continue
+		}
+		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			defer func() {
@@ -324,6 +376,11 @@ func (w *World) failFrom(rank int, err error) {
 	w.record(rank, err)
 	if w.failed.CompareAndSwap(false, true) {
 		close(w.abort)
+		if w.transport != nil && !errors.Is(err, ErrAborted) {
+			// Tell peer processes why this world died so they abort with
+			// the cause instead of a timeout.
+			w.transport.NoteFailure(err)
+		}
 	}
 }
 

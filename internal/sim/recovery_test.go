@@ -1,11 +1,20 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"cartcc/internal/mpi"
+)
 
 // TestCheckRecoverySweep pins the self-healing contract over a block of
 // generated scenarios: every crash scenario must end verified-recovered or
 // typed-terminal — never a Failure — and the classification must be
-// deterministic, since CI replays failing seeds by number.
+// deterministic, since CI replays failing seeds by number. The
+// determinism half applies only to in-process worlds: under
+// CARTCC_TRANSPORT the wall-clock recovery legs cross real sockets,
+// whose timing legitimately moves a seed between the two valid
+// categories (the recovered-or-typed-terminal contract itself still
+// holds, run after run).
 func TestCheckRecoverySweep(t *testing.T) {
 	n := int64(120)
 	if testing.Short() {
@@ -19,8 +28,11 @@ func TestCheckRecoverySweep(t *testing.T) {
 			t.Fatalf("seed %d (%s): %s", seed, sc.Fingerprint(), f)
 		}
 		again, f := CheckRecovery(sc)
-		if f != nil || again != cat {
-			t.Fatalf("seed %d: classification not deterministic: %s then %s (%v)", seed, cat, again, f)
+		if f != nil {
+			t.Fatalf("seed %d: re-run failed the contract: %s (%v)", seed, again, f)
+		}
+		if again != cat && !mpi.TransportEnvActive() {
+			t.Fatalf("seed %d: classification not deterministic: %s then %s", seed, cat, again)
 		}
 		counts[cat]++
 	}

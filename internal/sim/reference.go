@@ -1,0 +1,21 @@
+package sim
+
+import "cartcc/internal/cart"
+
+// ReferencePayloads executes the scenario's collective in-process, in
+// wall-clock time, with the trivial executor, and returns every rank's
+// receive buffer. This is the oracle the cross-process transport tests
+// compare a real multi-process TCP world against byte for byte: send
+// payloads follow the harness convention send[i] = rank*1_000_000 + i, so
+// any misrouted, reordered or corrupted block is visible in the values
+// themselves. Fault specs are ignored — a reference is fault-free by
+// definition.
+func ReferencePayloads(sc *Scenario) ([][]int, error) {
+	clean := *sc
+	clean.Faults = nil
+	out, err := runLeg(&clean, cart.Trivial, nil, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out.recv, nil
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// ElemID names a wire-encodable element type. The id assignment is part
+// of the wire format: both ends of a connection must agree on it, so the
+// registry is a fixed table of Go's plain-old-data types — no dynamic
+// registration, whose ids would depend on registration order and silently
+// disagree across processes.
+type ElemID uint8
+
+// The fixed element-type table. Every entry is a pointer-free type whose
+// in-memory representation is its wire representation (native endianness;
+// a world must not span architectures of different byte order — see
+// DESIGN.md §15).
+const (
+	ElemInvalid ElemID = iota
+	ElemInt8
+	ElemInt16
+	ElemInt32
+	ElemInt64
+	ElemUint8
+	ElemUint16
+	ElemUint32
+	ElemUint64
+	ElemFloat32
+	ElemFloat64
+	ElemComplex64
+	ElemComplex128
+	ElemBool
+	ElemInt  // platform int: 8 bytes on every supported GOARCH
+	ElemUint // platform uint
+	elemMax
+)
+
+// elemTypes maps ids to reflect types; built once at init.
+var elemTypes = [elemMax]reflect.Type{
+	ElemInt8:       reflect.TypeOf(int8(0)),
+	ElemInt16:      reflect.TypeOf(int16(0)),
+	ElemInt32:      reflect.TypeOf(int32(0)),
+	ElemInt64:      reflect.TypeOf(int64(0)),
+	ElemUint8:      reflect.TypeOf(uint8(0)),
+	ElemUint16:     reflect.TypeOf(uint16(0)),
+	ElemUint32:     reflect.TypeOf(uint32(0)),
+	ElemUint64:     reflect.TypeOf(uint64(0)),
+	ElemFloat32:    reflect.TypeOf(float32(0)),
+	ElemFloat64:    reflect.TypeOf(float64(0)),
+	ElemComplex64:  reflect.TypeOf(complex64(0)),
+	ElemComplex128: reflect.TypeOf(complex128(0)),
+	ElemBool:       reflect.TypeOf(false),
+	ElemInt:        reflect.TypeOf(int(0)),
+	ElemUint:       reflect.TypeOf(uint(0)),
+}
+
+// elemIDs is the inverse lookup.
+var elemIDs = func() map[reflect.Type]ElemID {
+	m := make(map[reflect.Type]ElemID, int(elemMax))
+	for id, t := range elemTypes {
+		if t != nil {
+			m[t] = ElemID(id)
+		}
+	}
+	return m
+}()
+
+// elemByID returns the reflect type of a registered id.
+func elemByID(id ElemID) (reflect.Type, bool) {
+	if id <= ElemInvalid || id >= elemMax {
+		return nil, false
+	}
+	return elemTypes[id], true
+}
+
+// ElemTypeOf returns the reflect type a registered id decodes to.
+func ElemTypeOf(id ElemID) (reflect.Type, error) {
+	t, ok := elemByID(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrBadElemType, id)
+	}
+	return t, nil
+}
+
+// ElemIDOf returns the wire id of element type t. Named types, structs,
+// and anything pointer-bearing are not wire-encodable: the id table must
+// be identical in every process, so only the builtin POD types qualify.
+func ElemIDOf(t reflect.Type) (ElemID, error) {
+	if id, ok := elemIDs[t]; ok {
+		return id, nil
+	}
+	return ElemInvalid, fmt.Errorf("%w: %v is not wire-encodable", ErrBadElemType, t)
+}
+
+// ElemSize returns the byte size of one element of a registered id.
+func ElemSize(id ElemID) (int, bool) {
+	t, ok := elemByID(id)
+	if !ok {
+		return 0, false
+	}
+	return int(t.Size()), true
+}

@@ -1,0 +1,276 @@
+// Package wire implements the compact self-describing frame format of the
+// network transports: variable-length integer packing in the style of
+// WiredTiger's intpack (small magnitudes cost one byte, the common case for
+// ranks, tags and block counts), a fixed-layout frame header carrying the
+// full MPI match envelope — (ctx, epoch, src, tag) plus the sender's
+// world rank and send sequence number for duplicate suppression — and a
+// registry of wire-encodable element types.
+//
+// The package is pure: it never touches sockets, pools or runtime state,
+// so the codec can be fuzzed in isolation (FuzzFrameCodec) and every
+// malformed input maps to a typed error, never a panic or an unbounded
+// allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Typed decode errors. Transports and tests match these with errors.Is;
+// any of them on a connection is a framing-protocol violation (or
+// corruption) and tears the connection down.
+var (
+	// ErrTruncated reports input that ends inside a header or payload.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrBadMagic reports a frame that does not start with the magic byte.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadVersion reports an unsupported protocol version.
+	ErrBadVersion = errors.New("wire: unsupported version")
+	// ErrBadKind reports an unknown frame kind.
+	ErrBadKind = errors.New("wire: unknown frame kind")
+	// ErrOversize reports a length field exceeding MaxPayload (a malformed
+	// or hostile frame must never drive a giant allocation).
+	ErrOversize = errors.New("wire: oversized frame")
+	// ErrBadElemType reports an element-type id outside the registry.
+	ErrBadElemType = errors.New("wire: unknown element type")
+	// ErrBadField reports a header field with an impossible value (negative
+	// element count, payload length inconsistent with elems × elem size).
+	ErrBadField = errors.New("wire: invalid header field")
+)
+
+// Magic and Version identify the framing protocol; a version bump is a
+// wire-format break.
+const (
+	Magic   = 0xCC
+	Version = 1
+)
+
+// MaxPayload bounds the payload bytes a single frame may carry (and
+// therefore the allocation a decoder performs on behalf of a peer).
+// Larger application messages are rejected at encode time; the schedule
+// layer never produces them (wire buffers are pooled up to 2^24 elements).
+const MaxPayload = 1 << 30
+
+// Kind discriminates frame types on a transport connection.
+type Kind uint8
+
+const (
+	// KindData carries one point-to-point message.
+	KindData Kind = iota + 1
+	// KindHello opens a connection: it names the dialing process.
+	KindHello
+	// KindBye announces a clean departure: the sending process finished its
+	// local ranks and will close the connection.
+	KindBye
+	// KindFail propagates a fatal local failure to the peer process so its
+	// world aborts with the cause instead of waiting for a timeout.
+	KindFail
+)
+
+// validKind reports whether k names a defined frame kind.
+func validKind(k Kind) bool { return k >= KindData && k <= KindFail }
+
+// AppendUvarint appends the unsigned varint encoding of v.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends the zigzag varint encoding of v (small magnitudes
+// of either sign stay short — tags and wildcard ranks may be negative).
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// ConsumeUvarint decodes an unsigned varint from the front of b, returning
+// the value and the remaining bytes. ErrTruncated covers both an empty
+// buffer and a varint whose continuation bytes run out; a varint longer
+// than 10 bytes (overflow) is also truncation-class corruption.
+func ConsumeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, ErrTruncated
+	}
+	return v, b[n:], nil
+}
+
+// ConsumeVarint decodes a zigzag varint from the front of b.
+func ConsumeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, ErrTruncated
+	}
+	return v, b[n:], nil
+}
+
+// Header is the decoded frame header. For KindData every field is
+// meaningful; control frames use only Proc (hello: the dialing process;
+// fail: the failing process) and, for KindFail, the Detail string carried
+// in the payload.
+type Header struct {
+	Kind Kind
+	// Proc is the sending process index (control frames).
+	Proc int
+	// Dst is the destination world rank of a data frame.
+	Dst int
+	// Ctx, Epoch, Src, Tag are the MPI match envelope of the message.
+	Ctx   int64
+	Epoch int64
+	Src   int
+	Tag   int
+	// SrcWorld and Sseq identify the physical send for the receiver's
+	// per-sender duplicate suppression.
+	SrcWorld int
+	Sseq     uint64
+	// Elem is the registered element-type id of the payload; Elems the
+	// element count described by the sender's layout.
+	Elem  ElemID
+	Elems int
+	// PayloadLen is the payload byte length that follows the header.
+	PayloadLen int
+}
+
+// AppendHeader appends the encoded header to b. The caller appends
+// PayloadLen payload bytes immediately after.
+func AppendHeader(b []byte, h Header) ([]byte, error) {
+	if h.PayloadLen < 0 || h.PayloadLen > MaxPayload {
+		return b, fmt.Errorf("%w: payload %d bytes", ErrOversize, h.PayloadLen)
+	}
+	if !validKind(h.Kind) {
+		return b, fmt.Errorf("%w: kind %d", ErrBadKind, h.Kind)
+	}
+	b = append(b, Magic, Version, byte(h.Kind))
+	b = AppendUvarint(b, uint64(h.Proc))
+	if h.Kind != KindData {
+		// Control frames carry only the process id and an opaque payload.
+		b = AppendUvarint(b, uint64(h.PayloadLen))
+		return b, nil
+	}
+	b = AppendUvarint(b, uint64(h.Dst))
+	b = AppendVarint(b, h.Ctx)
+	b = AppendVarint(b, h.Epoch)
+	b = AppendVarint(b, int64(h.Src))
+	b = AppendVarint(b, int64(h.Tag))
+	b = AppendUvarint(b, uint64(h.SrcWorld))
+	b = AppendUvarint(b, h.Sseq)
+	b = append(b, byte(h.Elem))
+	b = AppendUvarint(b, uint64(h.Elems))
+	b = AppendUvarint(b, uint64(h.PayloadLen))
+	return b, nil
+}
+
+// DecodeHeader decodes a header from the front of b, returning it and the
+// remaining bytes (the first of which is the first payload byte). It never
+// reads past the header, never allocates, and returns a typed error for
+// every malformed input.
+func DecodeHeader(b []byte) (Header, []byte, error) {
+	var h Header
+	if len(b) < 3 {
+		return h, b, ErrTruncated
+	}
+	if b[0] != Magic {
+		return h, b, ErrBadMagic
+	}
+	if b[1] != Version {
+		return h, b, fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+	}
+	h.Kind = Kind(b[2])
+	if !validKind(h.Kind) {
+		return h, b, fmt.Errorf("%w: %d", ErrBadKind, b[2])
+	}
+	rest := b[3:]
+	var err error
+	var u uint64
+	if u, rest, err = ConsumeUvarint(rest); err != nil {
+		return h, b, err
+	}
+	if u > 1<<30 {
+		return h, b, fmt.Errorf("%w: proc %d", ErrBadField, u)
+	}
+	h.Proc = int(u)
+	if h.Kind != KindData {
+		if u, rest, err = ConsumeUvarint(rest); err != nil {
+			return h, b, err
+		}
+		if u > MaxPayload {
+			return h, b, fmt.Errorf("%w: control payload %d bytes", ErrOversize, u)
+		}
+		h.PayloadLen = int(u)
+		return h, rest, nil
+	}
+	if u, rest, err = ConsumeUvarint(rest); err != nil {
+		return h, b, err
+	}
+	if u > 1<<30 {
+		return h, b, fmt.Errorf("%w: dst rank %d", ErrBadField, u)
+	}
+	h.Dst = int(u)
+	if h.Ctx, rest, err = ConsumeVarint(rest); err != nil {
+		return h, b, err
+	}
+	if h.Epoch, rest, err = ConsumeVarint(rest); err != nil {
+		return h, b, err
+	}
+	var s int64
+	if s, rest, err = ConsumeVarint(rest); err != nil {
+		return h, b, err
+	}
+	h.Src = int(s)
+	if s, rest, err = ConsumeVarint(rest); err != nil {
+		return h, b, err
+	}
+	h.Tag = int(s)
+	if u, rest, err = ConsumeUvarint(rest); err != nil {
+		return h, b, err
+	}
+	if u > 1<<30 {
+		return h, b, fmt.Errorf("%w: src world rank %d", ErrBadField, u)
+	}
+	h.SrcWorld = int(u)
+	if h.Sseq, rest, err = ConsumeUvarint(rest); err != nil {
+		return h, b, err
+	}
+	if len(rest) < 1 {
+		return h, b, ErrTruncated
+	}
+	h.Elem = ElemID(rest[0])
+	rest = rest[1:]
+	if _, ok := elemByID(h.Elem); !ok {
+		return h, b, fmt.Errorf("%w: id %d", ErrBadElemType, h.Elem)
+	}
+	if u, rest, err = ConsumeUvarint(rest); err != nil {
+		return h, b, err
+	}
+	if u > MaxPayload {
+		return h, b, fmt.Errorf("%w: %d elements", ErrOversize, u)
+	}
+	h.Elems = int(u)
+	if u, rest, err = ConsumeUvarint(rest); err != nil {
+		return h, b, err
+	}
+	if u > MaxPayload {
+		return h, b, fmt.Errorf("%w: payload %d bytes", ErrOversize, u)
+	}
+	h.PayloadLen = int(u)
+	if sz, _ := ElemSize(h.Elem); h.PayloadLen != h.Elems*sz {
+		return h, b, fmt.Errorf("%w: %d elements of %d bytes vs %d payload bytes",
+			ErrBadField, h.Elems, sz, h.PayloadLen)
+	}
+	return h, rest, nil
+}
+
+// DecodeFrame decodes one full frame (header + payload) from b: the
+// payload slice aliases b. A frame followed by trailing bytes returns
+// them in rest, so a buffer holding several coalesced frames decodes by
+// repeated calls.
+func DecodeFrame(b []byte) (h Header, payload []byte, rest []byte, err error) {
+	h, after, err := DecodeHeader(b)
+	if err != nil {
+		return h, nil, b, err
+	}
+	if len(after) < h.PayloadLen {
+		return h, nil, b, ErrTruncated
+	}
+	return h, after[:h.PayloadLen], after[h.PayloadLen:], nil
+}

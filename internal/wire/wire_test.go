@@ -1,0 +1,275 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// headerEqual compares the fields DecodeHeader is expected to reproduce.
+func headerEqual(a, b Header) bool { return a == b }
+
+func TestHeaderRoundTripData(t *testing.T) {
+	cases := []Header{
+		{Kind: KindData, Proc: 0, Dst: 0, Ctx: 0, Epoch: 0, Src: 0, Tag: 0,
+			SrcWorld: 0, Sseq: 0, Elem: ElemInt64, Elems: 0, PayloadLen: 0},
+		{Kind: KindData, Proc: 3, Dst: 17, Ctx: 42, Epoch: 2, Src: 5, Tag: 1048576,
+			SrcWorld: 11, Sseq: 9001, Elem: ElemFloat64, Elems: 128, PayloadLen: 1024},
+		// Negative envelope fields: wildcard-adjacent values and the ft-plane
+		// context bit (1<<61) must survive the zigzag coding.
+		{Kind: KindData, Proc: 1, Dst: 2, Ctx: 1 << 61, Epoch: -1, Src: -1, Tag: -1,
+			SrcWorld: 7, Sseq: 1, Elem: ElemInt8, Elems: 3, PayloadLen: 3},
+		{Kind: KindData, Proc: 0, Dst: 1, Ctx: math.MaxInt64, Epoch: math.MinInt64,
+			Src: 1 << 29, Tag: 1 << 30, SrcWorld: 1 << 29, Sseq: math.MaxUint64,
+			Elem: ElemComplex128, Elems: 2, PayloadLen: 32},
+	}
+	for i, h := range cases {
+		b, err := AppendHeader(nil, h)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, rest, err := DecodeHeader(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("case %d: %d bytes left after header", i, len(rest))
+		}
+		if !headerEqual(got, h) {
+			t.Fatalf("case %d: round trip\n got %+v\nwant %+v", i, got, h)
+		}
+	}
+}
+
+func TestHeaderRoundTripControl(t *testing.T) {
+	for _, k := range []Kind{KindHello, KindBye, KindFail} {
+		h := Header{Kind: k, Proc: 7, PayloadLen: 5}
+		b, err := AppendHeader(nil, h)
+		if err != nil {
+			t.Fatalf("kind %d: encode: %v", k, err)
+		}
+		got, _, err := DecodeHeader(b)
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", k, err)
+		}
+		if got.Kind != k || got.Proc != 7 || got.PayloadLen != 5 {
+			t.Fatalf("kind %d: got %+v", k, got)
+		}
+	}
+}
+
+func TestDecodeFrameCoalesced(t *testing.T) {
+	// Two frames in one buffer — the reader's coalesced case.
+	h1 := Header{Kind: KindData, Proc: 0, Dst: 1, Src: 0, SrcWorld: 0, Sseq: 1,
+		Elem: ElemInt32, Elems: 2, PayloadLen: 8}
+	h2 := Header{Kind: KindBye, Proc: 0}
+	b, err := AppendHeader(nil, h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, 1, 0, 0, 0, 2, 0, 0, 0)
+	if b, err = AppendHeader(b, h2); err != nil {
+		t.Fatal(err)
+	}
+	g1, payload, rest, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != h1 || len(payload) != 8 {
+		t.Fatalf("frame 1: %+v payload %d", g1, len(payload))
+	}
+	g2, payload2, rest, err := DecodeFrame(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Kind != KindBye || len(payload2) != 0 || len(rest) != 0 {
+		t.Fatalf("frame 2: %+v payload %d rest %d", g2, len(payload2), len(rest))
+	}
+}
+
+// TestDecodeMalformed is the malformed-input corpus: every entry must map
+// to its typed error — never a panic, never a success.
+func TestDecodeMalformed(t *testing.T) {
+	valid, err := AppendHeader(nil, Header{Kind: KindData, Proc: 1, Dst: 2,
+		Ctx: 9, Epoch: 1, Src: 0, Tag: 3, SrcWorld: 4, Sseq: 5,
+		Elem: ElemInt64, Elems: 2, PayloadLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(idx int, val byte) []byte {
+		b := append([]byte(nil), valid...)
+		b[idx] = val
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"magic only", []byte{Magic}, ErrTruncated},
+		{"bad magic", mutate(0, 0xAB), ErrBadMagic},
+		{"bad version", mutate(1, 99), ErrBadVersion},
+		{"bad kind zero", mutate(2, 0), ErrBadKind},
+		{"bad kind high", mutate(2, 200), ErrBadKind},
+		{"truncated mid-header", valid[:5], ErrTruncated},
+		{"truncated before elem", valid[:len(valid)-3], ErrTruncated},
+		{"unknown elem type", func() []byte {
+			b := append([]byte(nil), valid...)
+			// The elem id byte is third-from-last (elems and payloadLen are
+			// single-byte varints in this header).
+			b[len(b)-3] = 250
+			return b
+		}(), ErrBadElemType},
+		{"payload/elems mismatch", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)-1] = 24 // claims 24 payload bytes for 2 int64s
+			return b
+		}(), ErrBadField},
+		{"oversized payload length", func() []byte {
+			b, _ := AppendHeader(nil, Header{Kind: KindBye, Proc: 0})
+			b = b[:len(b)-1] // drop the encoded zero payloadLen...
+			return AppendUvarint(b, uint64(MaxPayload)+1)
+		}(), ErrOversize},
+		{"truncated varint", append(append([]byte(nil), valid[:3]...),
+			0x80, 0x80, 0x80), ErrTruncated},
+	}
+	for _, tc := range cases {
+		_, _, err := DecodeHeader(tc.in)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeFramePayloadTruncated(t *testing.T) {
+	b, err := AppendHeader(nil, Header{Kind: KindData, Proc: 0, Dst: 1,
+		SrcWorld: 0, Elem: ElemInt32, Elems: 4, PayloadLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, 1, 2, 3) // 3 of 16 payload bytes
+	if _, _, _, err := DecodeFrame(b); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestAppendHeaderRejectsBadInput(t *testing.T) {
+	if _, err := AppendHeader(nil, Header{Kind: KindData, PayloadLen: MaxPayload + 1}); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize accepted: %v", err)
+	}
+	if _, err := AppendHeader(nil, Header{Kind: 0}); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("zero kind accepted: %v", err)
+	}
+}
+
+func TestElemRegistry(t *testing.T) {
+	for id := ElemInvalid + 1; id < elemMax; id++ {
+		rt, err := ElemTypeOf(id)
+		if err != nil {
+			t.Fatalf("id %d: %v", id, err)
+		}
+		back, err := ElemIDOf(rt)
+		if err != nil || back != id {
+			t.Fatalf("id %d: inverse gave %d, %v", id, back, err)
+		}
+		if sz, ok := ElemSize(id); !ok || sz != int(rt.Size()) {
+			t.Fatalf("id %d: size %d ok=%v, want %d", id, sz, ok, rt.Size())
+		}
+	}
+	if _, err := ElemTypeOf(ElemInvalid); err == nil {
+		t.Fatal("ElemInvalid resolved")
+	}
+	if _, err := ElemTypeOf(elemMax); err == nil {
+		t.Fatal("out-of-range id resolved")
+	}
+	// Named types must be rejected: the fixed table is the wire contract.
+	type myInt int64
+	if _, err := ElemIDOf(reflect.TypeOf(myInt(0))); !errors.Is(err, ErrBadElemType) {
+		t.Fatalf("named type accepted: %v", err)
+	}
+	if _, err := ElemIDOf(reflect.TypeOf(struct{ A int }{})); !errors.Is(err, ErrBadElemType) {
+		t.Fatalf("struct type accepted: %v", err)
+	}
+}
+
+func TestVarintHelpers(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64} {
+		b := AppendVarint(nil, v)
+		got, rest, err := ConsumeVarint(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("varint %d: got %d rest %d err %v", v, got, len(rest), err)
+		}
+	}
+	for _, v := range []uint64{0, 1, 127, 128, math.MaxUint64} {
+		b := AppendUvarint(nil, v)
+		got, rest, err := ConsumeUvarint(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("uvarint %d: got %d rest %d err %v", v, got, len(rest), err)
+		}
+	}
+	if _, _, err := ConsumeUvarint(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty uvarint: %v", err)
+	}
+	// An 11-byte varint overflows uint64: truncation-class corruption.
+	over := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, _, err := ConsumeUvarint(over); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overflowing uvarint: %v", err)
+	}
+}
+
+// FuzzFrameCodec round-trips arbitrary header fields through the codec and
+// feeds arbitrary bytes to the decoder: encode(decode(encode(h))) must be
+// the identity, and no input may panic or allocate beyond MaxPayload.
+func FuzzFrameCodec(f *testing.F) {
+	f.Add(uint8(1), uint16(0), uint16(1), int64(0), int64(0), int64(0), int64(0),
+		uint16(0), uint64(1), uint8(4), uint32(8), []byte("payloadpayload99"))
+	f.Add(uint8(2), uint16(3), uint16(0), int64(-1), int64(5), int64(-2), int64(9),
+		uint16(2), uint64(0), uint8(1), uint32(0), []byte{})
+	f.Add(uint8(4), uint16(0), uint16(0), int64(0), int64(0), int64(0), int64(0),
+		uint16(0), uint64(0), uint8(0), uint32(0), []byte("process 3 died"))
+	f.Fuzz(func(t *testing.T, kind uint8, proc, dst uint16, ctx, epoch, src, tag int64,
+		srcWorld uint16, sseq uint64, elem uint8, elems uint32, raw []byte) {
+		// Leg 1: structured round trip for inputs that encode cleanly.
+		h := Header{
+			Kind: Kind(kind), Proc: int(proc), Dst: int(dst),
+			Ctx: ctx, Epoch: epoch, Src: int(src), Tag: int(tag),
+			SrcWorld: int(srcWorld), Sseq: sseq,
+			Elem: ElemID(elem), Elems: int(elems),
+		}
+		if sz, ok := ElemSize(h.Elem); ok {
+			h.PayloadLen = h.Elems * sz
+		}
+		if b, err := AppendHeader(nil, h); err == nil {
+			got, rest, derr := DecodeHeader(b)
+			if h.Kind == KindData {
+				if derr != nil {
+					// Only field-bound violations may reject a clean encode.
+					if !errors.Is(derr, ErrBadField) && !errors.Is(derr, ErrOversize) && !errors.Is(derr, ErrBadElemType) {
+						t.Fatalf("decode of valid encode failed: %v", derr)
+					}
+				} else {
+					if len(rest) != 0 {
+						t.Fatalf("leftover %d bytes", len(rest))
+					}
+					if got != h {
+						t.Fatalf("round trip\n got %+v\nwant %+v", got, h)
+					}
+				}
+			}
+		}
+		// Leg 2: the decoder survives arbitrary bytes — typed error or valid
+		// header, never a panic, and any reported payload stays bounded.
+		gh, after, err := DecodeHeader(raw)
+		if err == nil {
+			if gh.PayloadLen < 0 || gh.PayloadLen > MaxPayload {
+				t.Fatalf("decoder admitted payload length %d", gh.PayloadLen)
+			}
+			if len(after) > len(raw) {
+				t.Fatal("decoder produced more bytes than it was given")
+			}
+		}
+		_, _, _, _ = DecodeFrame(raw)
+	})
+}

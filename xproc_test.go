@@ -1,0 +1,295 @@
+package cartcc_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"cartcc"
+	"cartcc/internal/sim"
+)
+
+// This file is the cross-process differential test: TestMain re-execs the
+// test binary as the worker processes of a real multi-process TCP world
+// (2 and 4 processes), each hosting a subset of the ranks, running the
+// trivial Cartesian collective end to end over the wire. The parent
+// merges every process's receive buffers and compares them byte for byte
+// against the in-process oracle from internal/sim — the strongest
+// statement the repository can make that the transport is semantically
+// invisible.
+
+// Child-process environment contract.
+const (
+	envChild = "CARTCC_XPROC_CHILD" // "1" switches TestMain into worker mode
+	envSelf  = "CARTCC_XPROC_SELF"  // this process's index into the map
+	envAddrs = "CARTCC_XPROC_ADDRS" // comma-separated listen addresses
+	envRanks = "CARTCC_XPROC_RANKS" // per-process rank lists, "0,1;2,3"
+	envOp    = "CARTCC_XPROC_OP"    // "alltoall" or "allgather"
+	envOut   = "CARTCC_XPROC_OUT"   // path for this process's result JSON
+)
+
+// exitBindRace is the child's exit code when its reserved port was taken
+// between the parent's probe and the child's bind; the parent reserves
+// fresh ports and retries the whole world.
+const exitBindRace = 21
+
+// xprocScenario is the one scenario both sides run: a 2×2 periodic torus
+// with a three-vector neighborhood, small enough to be fast and irregular
+// enough that any misrouted block changes the payload.
+func xprocScenario(op string) sim.Scenario {
+	return sim.Scenario{
+		Dims:         []int{2, 2},
+		Periods:      []bool{true, true},
+		Neighborhood: [][]int{{0, 0}, {0, 1}, {1, 0}},
+		Op:           op,
+		BlockSize:    3,
+	}
+}
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envChild) != "" {
+		os.Exit(xprocChild())
+	}
+	os.Exit(m.Run())
+}
+
+// xprocChild is one worker process of the multi-process world.
+func xprocChild() int {
+	self, err := strconv.Atoi(os.Getenv(envSelf))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xproc child: bad %s: %v\n", envSelf, err)
+		return 2
+	}
+	addrs := strings.Split(os.Getenv(envAddrs), ",")
+	var procs []cartcc.ProcSpec
+	for i, rl := range strings.Split(os.Getenv(envRanks), ";") {
+		spec := cartcc.ProcSpec{Addr: addrs[i]}
+		for _, rs := range strings.Split(rl, ",") {
+			r, err := strconv.Atoi(rs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xproc child: bad rank %q: %v\n", rs, err)
+				return 2
+			}
+			spec.Ranks = append(spec.Ranks, r)
+		}
+		procs = append(procs, spec)
+	}
+	sc := xprocScenario(os.Getenv(envOp))
+	p := sc.Procs()
+	nbh := make(cartcc.Neighborhood, len(sc.Neighborhood))
+	for i, off := range sc.Neighborhood {
+		nbh[i] = append([]int(nil), off...)
+	}
+	t, m0 := len(nbh), sc.BlockSize
+
+	var recvsMu sync.Mutex
+	recvs := make(map[string][]int)
+	err = cartcc.RunTransport(
+		cartcc.RunConfig{Procs: p, Timeout: 60 * time.Second},
+		cartcc.TransportConfig{Network: "tcp", Procs: procs, Self: self},
+		func(w *cartcc.ProcComm) error {
+			cc, err := cartcc.NeighborhoodCreate(w, sc.Dims, sc.Periods, nbh, nil)
+			if err != nil {
+				return err
+			}
+			var plan *cartcc.Plan
+			if sc.Op == "alltoall" {
+				plan, err = cartcc.AlltoallInit(cc, m0, cartcc.Trivial)
+			} else {
+				plan, err = cartcc.AllgatherInit(cc, m0, cartcc.Trivial)
+			}
+			if err != nil {
+				return err
+			}
+			sendLen := t * m0
+			if sc.Op == "allgather" {
+				sendLen = m0
+			}
+			send := make([]int, sendLen)
+			for i := range send {
+				send[i] = w.Rank()*1_000_000 + i
+			}
+			recv := make([]int, t*m0)
+			for i := range recv {
+				recv[i] = -1
+			}
+			if err := cartcc.RunPlan(plan, send, recv); err != nil {
+				return err
+			}
+			recvsMu.Lock()
+			recvs[strconv.Itoa(w.Rank())] = recv
+			recvsMu.Unlock()
+			return nil
+		})
+	if err != nil {
+		if errors.Is(err, syscall.EADDRINUSE) {
+			return exitBindRace
+		}
+		fmt.Fprintf(os.Stderr, "xproc child %d: %v\n", self, err)
+		return 1
+	}
+	data, err := json.Marshal(recvs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xproc child %d: marshal: %v\n", self, err)
+		return 1
+	}
+	if err := os.WriteFile(os.Getenv(envOut), data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "xproc child %d: write: %v\n", self, err)
+		return 1
+	}
+	return 0
+}
+
+// reserveAddrs picks n free TCP ports by binding and releasing them. The
+// race window until the children re-bind is real; bind collisions exit
+// with exitBindRace and the caller retries.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// runXprocWorld launches one multi-process world (rank lists per process)
+// and returns the merged per-rank receive buffers. Retries with fresh
+// ports when a child loses the bind race.
+func runXprocWorld(t *testing.T, op string, rankLists [][]int) [][]int {
+	t.Helper()
+	sc := xprocScenario(op)
+	for attempt := 0; attempt < 3; attempt++ {
+		addrs := reserveAddrs(t, len(rankLists))
+		ranksEnv := make([]string, len(rankLists))
+		for i, rl := range rankLists {
+			parts := make([]string, len(rl))
+			for j, r := range rl {
+				parts[j] = strconv.Itoa(r)
+			}
+			ranksEnv[i] = strings.Join(parts, ",")
+		}
+		dir := t.TempDir()
+		type childRes struct {
+			proc int
+			err  error
+			code int
+			out  string
+		}
+		results := make(chan childRes, len(rankLists))
+		outFiles := make([]string, len(rankLists))
+		for i := range rankLists {
+			outFiles[i] = filepath.Join(dir, fmt.Sprintf("proc%d.json", i))
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(),
+				envChild+"=1",
+				envSelf+"="+strconv.Itoa(i),
+				envAddrs+"="+strings.Join(addrs, ","),
+				envRanks+"="+strings.Join(ranksEnv, ";"),
+				envOp+"="+op,
+				envOut+"="+outFiles[i],
+			)
+			go func(i int, cmd *exec.Cmd) {
+				out, err := cmd.CombinedOutput()
+				code := 0
+				var xerr *exec.ExitError
+				if errors.As(err, &xerr) {
+					code = xerr.ExitCode()
+				}
+				results <- childRes{proc: i, err: err, code: code, out: string(out)}
+			}(i, cmd)
+		}
+		retry := false
+		failed := false
+		for range rankLists {
+			select {
+			case r := <-results:
+				if r.out != "" {
+					t.Logf("proc %d output:\n%s", r.proc, r.out)
+				}
+				switch {
+				case r.code == exitBindRace:
+					retry = true
+				case r.err != nil:
+					failed = true
+					t.Errorf("attempt %d: proc %d: %v", attempt, r.proc, r.err)
+				}
+			case <-time.After(120 * time.Second):
+				t.Fatal("cross-process world timed out")
+			}
+		}
+		if retry && !failed {
+			t.Logf("attempt %d: bind race, retrying with fresh ports", attempt)
+			continue
+		}
+		if failed {
+			t.FailNow()
+		}
+		merged := make([][]int, sc.Procs())
+		for _, f := range outFiles {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatalf("read %s: %v", f, err)
+			}
+			var recvs map[string][]int
+			if err := json.Unmarshal(data, &recvs); err != nil {
+				t.Fatalf("parse %s: %v", f, err)
+			}
+			for rs, recv := range recvs {
+				r, _ := strconv.Atoi(rs)
+				merged[r] = recv
+			}
+		}
+		return merged
+	}
+	t.Fatal("lost the bind race three times")
+	return nil
+}
+
+// TestCrossProcessDifferential runs real 2- and 4-process TCP worlds and
+// compares every rank's payloads against the in-process trivial oracle.
+func TestCrossProcessDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+	cases := []struct {
+		name      string
+		op        string
+		rankLists [][]int
+	}{
+		{"alltoall-2proc", "alltoall", [][]int{{0, 1}, {2, 3}}},
+		{"alltoall-4proc", "alltoall", [][]int{{0}, {1}, {2}, {3}}},
+		{"allgather-2proc-split", "allgather", [][]int{{0, 3}, {1, 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := sim.ReferencePayloads(func() *sim.Scenario { s := xprocScenario(tc.op); return &s }())
+			if err != nil {
+				t.Fatalf("in-process oracle: %v", err)
+			}
+			got := runXprocWorld(t, tc.op, tc.rankLists)
+			for r := range want {
+				if got[r] == nil {
+					t.Fatalf("rank %d missing from cross-process results", r)
+				}
+				if fmt.Sprint(got[r]) != fmt.Sprint(want[r]) {
+					t.Errorf("rank %d payload diverges\n  tcp world: %v\n  oracle:    %v", r, got[r], want[r])
+				}
+			}
+		})
+	}
+}
