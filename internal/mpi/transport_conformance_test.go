@@ -341,6 +341,51 @@ func conformanceSuite() []conformanceLeg {
 			},
 		},
 		{
+			// Interleaved wire-encodable and non-encodable payloads to the
+			// same peer on one tag: the non-POD path must not overtake
+			// frames still queued in the self-link pipe — per-sender order
+			// (and with it the receiver's sseq dedup) has to hold across
+			// the two delivery mechanisms, or earlier in-flight messages
+			// are dropped as duplicates and the receiver hangs.
+			name: "mixed-pod-named-order", procs: 2,
+			run: func(c *Comm) error {
+				type tick = time.Duration // named non-registry type
+				const k = 8
+				if c.Rank() == 0 {
+					for i := 0; i < k; i++ {
+						if i%2 == 0 {
+							if err := SendSlice(c, []int64{int64(i)}, 1, 9); err != nil {
+								return err
+							}
+						} else if err := SendSlice(c, []tick{tick(i)}, 1, 9); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				for i := 0; i < k; i++ {
+					if i%2 == 0 {
+						got := make([]int64, 1)
+						if _, err := RecvSlice(c, got, 0, 9); err != nil {
+							return err
+						}
+						if got[0] != int64(i) {
+							return fmt.Errorf("message %d carried %d", i, got[0])
+						}
+					} else {
+						got := make([]tick, 1)
+						if _, err := RecvSlice(c, got, 0, 9); err != nil {
+							return err
+						}
+						if got[0] != tick(i) {
+							return fmt.Errorf("message %d carried %v", i, got[0])
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
 			// Epoch-floor stale drain: after a crash and RecoverShrink,
 			// survivors exchange on the shrunk communicator while any
 			// pre-recovery straggler is discarded by the floor — the

@@ -142,6 +142,15 @@ type netTransport struct {
 	closing  atomic.Bool
 	failSent atomic.Bool
 
+	// handoffs parks messages whose payload the wire codec cannot encode
+	// (named element types): only a KindHandoff token travels the
+	// self-link, and the reader delivers the parked message at the token's
+	// position in the frame stream — per-sender order holds across the
+	// encoded and non-encodable paths (see sendHandoff).
+	handoffMu  sync.Mutex
+	handoffSeq uint64
+	handoffs   map[uint64]handoff
+
 	inflight atomic.Int64
 	readers  sync.WaitGroup
 }
@@ -247,13 +256,18 @@ func (t *netTransport) Send(dst int, m *message) error {
 	proc := t.rankProc[dst]
 	pb, err := t.encodeData(dst, m)
 	if err != nil {
-		// Unsupported element type. A rank we host can still be reached by
-		// the local path — single-process force-remote worlds fall back so
-		// exotic payload types (named types, structs) keep working; a
-		// genuinely remote destination fails typed.
+		// Unsupported element type (named types, structs — allowed by the
+		// generic Isend[T] API). A rank we host can still be reached
+		// without wire-encoding the payload, but not by a direct mailbox
+		// call from here: earlier frames to the same mailbox may still sit
+		// in the self-link pipe, and delivering around them would advance
+		// the receiver's per-sender dedup counter past their sseqs, so
+		// they would be dropped as duplicates on arrival. The handoff path
+		// parks the message and sends a token through the same pipe
+		// instead, preserving order. A genuinely remote destination fails
+		// typed — the id registry must agree across processes.
 		if t.rankProc[dst] == t.cfg.Self {
-			t.w.ranks[dst].box.deliver(m)
-			return nil
+			return t.sendHandoff(dst, m)
 		}
 		return &TransportError{Proc: proc, Err: err}
 	}
@@ -306,6 +320,93 @@ func (t *netTransport) encodeData(dst int, m *message) (*[]byte, error) {
 	}
 	*pb = append(b, payload...)
 	return pb, nil
+}
+
+// handoff is one parked message awaiting its KindHandoff token: a payload
+// the wire codec cannot encode, delivered to a local mailbox by the
+// self-link reader at the token's position in the frame stream.
+type handoff struct {
+	dst int
+	m   *message
+}
+
+// sendHandoff routes a non-wire-encodable message to a locally hosted
+// rank without breaking per-sender order: the message is parked in the
+// handoff table and a token frame is queued on the self-link, behind
+// every frame already queued there, so the reader delivers it after the
+// messages that were posted before it.
+func (t *netTransport) sendHandoff(dst int, m *message) error {
+	// The reader delivers the message after this call returns, so a
+	// zero-copy alias of the sender's user buffer must die now: detach
+	// into a pooled wire, exactly as an unexpected-queue detach would.
+	if d := m.detach; d != nil {
+		m.detach = nil
+		d(t.w, m)
+	}
+	t.handoffMu.Lock()
+	t.handoffSeq++
+	tok := t.handoffSeq
+	if t.handoffs == nil {
+		t.handoffs = make(map[uint64]handoff)
+	}
+	t.handoffs[tok] = handoff{dst: dst, m: m}
+	t.handoffMu.Unlock()
+
+	// On any failure the message has not been delivered: unpark it and
+	// return its pooled wire so the caller sees the usual discarded-send
+	// state (Send's contract).
+	undo := func(err error) error {
+		t.handoffMu.Lock()
+		delete(t.handoffs, tok)
+		t.handoffMu.Unlock()
+		if rel := m.release; rel != nil {
+			m.release = nil
+			rel(t.w, m)
+		}
+		m.payload = nil
+		return err
+	}
+	var tokbuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tokbuf[:], tok)
+	pb := getFrameBuf(n + 16)
+	b, err := wire.AppendHeader(*pb, wire.Header{Kind: wire.KindHandoff, Proc: t.cfg.Self, PayloadLen: n})
+	if err != nil {
+		putFrameBuf(pb)
+		return undo(&TransportError{Proc: t.cfg.Self, Err: err})
+	}
+	*pb = append(b, tokbuf[:n]...)
+	t.inflight.Add(1)
+	if err := t.queueFrame(t.cfg.Self, pb); err != nil {
+		t.inflight.Add(-1)
+		return undo(err)
+	}
+	return nil
+}
+
+// deliverHandoff resolves a KindHandoff token read off the self-link and
+// delivers the parked message. An unknown token or a handoff arriving on
+// any connection other than our own loopback is a protocol violation.
+func (t *netTransport) deliverHandoff(h wire.Header, payload []byte) error {
+	if h.Proc != t.cfg.Self {
+		return fmt.Errorf("%w: handoff frame from process %d", wire.ErrBadField, h.Proc)
+	}
+	tok, rest, err := wire.ConsumeUvarint(payload)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing handoff bytes", wire.ErrBadField, len(rest))
+	}
+	t.handoffMu.Lock()
+	hd, ok := t.handoffs[tok]
+	delete(t.handoffs, tok)
+	t.handoffMu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: unknown handoff token %d", wire.ErrBadField, tok)
+	}
+	t.w.ranks[hd.dst].box.deliver(hd.m)
+	t.inflight.Add(-1)
+	return nil
 }
 
 // queueFrame hands an encoded frame to proc's writer, establishing the
@@ -408,12 +509,31 @@ func (t *netTransport) writeLoop(l *peerLink) {
 	defer close(l.done)
 	bw := bufio.NewWriterSize(l.conn, 64<<10)
 	var lenbuf [binary.MaxVarintLen64]byte
+	// counted reports whether a frame was counted in inflight by Send: a
+	// data or handoff frame on the self link (the frame buffer starts with
+	// the header, so the kind byte is at a fixed offset). A frame lost on
+	// the failure path must decrement the count it carried, or InFlight
+	// never drains and Drain()/the deadlock monitor stall on frames no
+	// reader will ever deliver. Frames already flushed into the socket (or
+	// sitting in bw when a later flush fails) cannot be accounted here;
+	// procDown's self-link world-fail and the monitor's staleness bound
+	// (deadlockCheck) backstop those.
+	counted := func(pb *[]byte) bool {
+		if l.proc != t.cfg.Self || len(*pb) < 3 {
+			return false
+		}
+		k := wire.Kind((*pb)[2])
+		return k == wire.KindData || k == wire.KindHandoff
+	}
 	writeFrame := func(pb *[]byte) error {
 		n := binary.PutUvarint(lenbuf[:], uint64(len(*pb)))
-		if _, err := bw.Write(lenbuf[:n]); err != nil {
-			return err
+		_, err := bw.Write(lenbuf[:n])
+		if err == nil {
+			_, err = bw.Write(*pb)
 		}
-		_, err := bw.Write(*pb)
+		if err != nil && counted(pb) {
+			t.inflight.Add(-1)
+		}
 		putFrameBuf(pb)
 		return err
 	}
@@ -425,7 +545,11 @@ func (t *netTransport) writeLoop(l *peerLink) {
 			select {
 			case pb := <-l.q:
 				if pb == nil {
+					t.procDown(l.proc, err)
 					return
+				}
+				if counted(pb) {
+					t.inflight.Add(-1)
 				}
 				putFrameBuf(pb)
 			default:
@@ -538,6 +662,16 @@ func (t *netTransport) readLoop(conn net.Conn) {
 			t.readerGone(peer, err)
 			return
 		}
+		// The codec only bounds Proc syntactically (it cannot know the
+		// process map); an out-of-range id from a malformed or hostile
+		// frame must tear the connection down with a typed error here —
+		// never reach a Procs index and panic.
+		if h.Proc >= len(t.cfg.Procs) {
+			putFrameBuf(pb)
+			t.readerGone(peer, fmt.Errorf("%w: process id %d outside [0,%d)",
+				wire.ErrBadField, h.Proc, len(t.cfg.Procs)))
+			return
+		}
 		switch h.Kind {
 		case wire.KindHello:
 			peer = h.Proc
@@ -550,6 +684,8 @@ func (t *netTransport) readLoop(conn net.Conn) {
 			t.w.fail(fmt.Errorf("mpi: %w: process %d: %s", ErrRemoteFailed, h.Proc, string(payload)))
 		case wire.KindData:
 			err = t.deliverFrame(h, payload)
+		case wire.KindHandoff:
+			err = t.deliverHandoff(h, payload)
 		}
 		putFrameBuf(pb)
 		if err != nil {
@@ -622,7 +758,15 @@ func (t *netTransport) readerGone(peer int, cause error) {
 
 // procDown marks every rank hosted by a dead peer process failed.
 func (t *netTransport) procDown(proc int, cause error) {
-	if t.closing.Load() || proc == t.cfg.Self {
+	if t.closing.Load() {
+		return
+	}
+	if proc == t.cfg.Self {
+		// The self-link carries every frame of a force-remote world;
+		// losing it strands in-flight frames (and parked handoffs) that no
+		// reader will ever deliver. There is no peer to mark dead — fail
+		// the world so the run ends with the cause instead of hanging.
+		t.w.fail(fmt.Errorf("mpi: transport self-link failed: %w", cause))
 		return
 	}
 	for _, r := range t.cfg.Procs[proc].Ranks {
@@ -662,18 +806,29 @@ func (t *netTransport) NoteFailure(err error) {
 	}
 }
 
+// closeDrainTimeout bounds the writer drain during Close: a peer that has
+// stopped reading can wedge a writer against a full socket buffer, and
+// shutdown must not hang behind it.
+const closeDrainTimeout = 5 * time.Second
+
 // Close implements Transport: announce departure, flush writers, release
 // sockets. Called after the local ranks have finished, so every frame the
 // protocol needed has been queued.
 func (t *netTransport) Close() error {
+	// Shutdown starts now: connection teardown below must read as clean
+	// close everywhere (readerGone, procDown), not as peer failure.
+	t.closing.Store(true)
 	// Bye to every connected peer, then close the queues; writers drain
-	// and flush before exiting.
+	// and flush before exiting. Every wait shares one deadline — on
+	// timeout the connection is forced closed, which errors the blocked
+	// write and the writer exits through its failure path.
 	t.mu.Lock()
 	links := make([]*peerLink, 0, len(t.links))
 	for _, l := range t.links {
 		links = append(links, l)
 	}
 	t.mu.Unlock()
+	deadline := time.Now().Add(closeDrainTimeout)
 	for _, l := range links {
 		pb := getFrameBuf(16)
 		if b, err := wire.AppendHeader(*pb, wire.Header{Kind: wire.KindBye, Proc: t.cfg.Self}); err == nil {
@@ -681,6 +836,8 @@ func (t *netTransport) Close() error {
 			select {
 			case l.q <- pb:
 			case <-l.done:
+				putFrameBuf(pb)
+			case <-time.After(time.Until(deadline)):
 				putFrameBuf(pb)
 			}
 		} else {
@@ -691,10 +848,17 @@ func (t *netTransport) Close() error {
 		select {
 		case l.q <- nil: // sentinel: writer flushes and exits
 		case <-l.done:
+		case <-time.After(time.Until(deadline)):
 		}
-		<-l.done
 	}
-	t.closing.Store(true)
+	for _, l := range links {
+		select {
+		case <-l.done:
+		case <-time.After(time.Until(deadline)):
+			l.conn.Close() // unblock a wedged write; the writer fails out
+			<-l.done
+		}
+	}
 	t.ln.Close()
 	for _, l := range links {
 		l.conn.Close()

@@ -162,15 +162,33 @@ func (w *World) runMonitor(interval time.Duration, stop <-chan struct{}) {
 	}
 }
 
+// inFlightStallBound is how long deadlockCheck defers to a transport
+// InFlight() count that is positive but not advancing. A healthy pipe
+// drains in microseconds; a count frozen for this long means its frames
+// were lost (e.g. a failed self-link) and the blocked-rank proofs are
+// sound again — without the bound, a wedged pipe would suppress deadlock
+// detection forever.
+const inFlightStallBound = 2 * time.Second
+
 // deadlockCheck applies the three proofs of non-progress to a snapshot of
 // the blocked registry and returns a diagnosis, or nil while progress is
 // still possible.
 func (w *World) deadlockCheck(minBlocked time.Duration) *DeadlockError {
 	// A transport with frames still in its self-loop pipe (accepted by Send,
 	// not yet handed to a local mailbox) is progress in motion the blocked
-	// registry cannot see; no proof is sound until the pipe drains.
-	if t := w.transport; t != nil && t.InFlight() > 0 {
-		return nil
+	// registry cannot see; no proof is sound until the pipe drains — unless
+	// the count has been frozen past inFlightStallBound.
+	if t := w.transport; t != nil {
+		if n := t.InFlight(); n > 0 {
+			if n != w.dlInFlight || w.dlInFlightSince.IsZero() {
+				w.dlInFlight, w.dlInFlightSince = n, time.Now()
+			}
+			if time.Since(w.dlInFlightSince) < inFlightStallBound {
+				return nil
+			}
+		} else if w.dlInFlight != 0 {
+			w.dlInFlight, w.dlInFlightSince = 0, time.Time{}
+		}
 	}
 	n := w.size
 	now := time.Now()

@@ -94,6 +94,13 @@ type World struct {
 	monitoring bool
 	blocked    []atomic.Pointer[blockedOp]
 	done       []atomic.Bool
+	// dlInFlight/dlInFlightSince remember the monitor's last transport
+	// InFlight() observation (monitor goroutine only, no locking): a
+	// positive count that stops changing is a stalled pipe, not progress
+	// in motion, and must not suppress deadlock detection forever
+	// (deadlockCheck).
+	dlInFlight      int
+	dlInFlightSince time.Time
 
 	// wirePools holds the per-element-type wire-buffer pools behind the
 	// non-contiguous send path (wirepool.go), keyed by reflect.Type.

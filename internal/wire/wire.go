@@ -67,10 +67,18 @@ const (
 	// KindFail propagates a fatal local failure to the peer process so its
 	// world aborts with the cause instead of waiting for a timeout.
 	KindFail
+	// KindHandoff delivers a message that never crossed the wire: payloads
+	// the element registry cannot encode (named types — see ElemIDOf) are
+	// parked in the sending transport's handoff table, and only a uvarint
+	// token travels the process's own loopback connection, so even a
+	// non-encodable message keeps its place in the per-sender frame order.
+	// Tokens are meaningful only on the self-link; a handoff from any
+	// other connection is a protocol violation.
+	KindHandoff
 )
 
 // validKind reports whether k names a defined frame kind.
-func validKind(k Kind) bool { return k >= KindData && k <= KindFail }
+func validKind(k Kind) bool { return k >= KindData && k <= KindHandoff }
 
 // AppendUvarint appends the unsigned varint encoding of v.
 func AppendUvarint(b []byte, v uint64) []byte {
@@ -106,8 +114,8 @@ func ConsumeVarint(b []byte) (int64, []byte, error) {
 
 // Header is the decoded frame header. For KindData every field is
 // meaningful; control frames use only Proc (hello: the dialing process;
-// fail: the failing process) and, for KindFail, the Detail string carried
-// in the payload.
+// fail: the failing process) plus an opaque payload — the failure detail
+// string for KindFail, the uvarint handoff token for KindHandoff.
 type Header struct {
 	Kind Kind
 	// Proc is the sending process index (control frames).

@@ -43,7 +43,7 @@ func TestHeaderRoundTripData(t *testing.T) {
 }
 
 func TestHeaderRoundTripControl(t *testing.T) {
-	for _, k := range []Kind{KindHello, KindBye, KindFail} {
+	for _, k := range []Kind{KindHello, KindBye, KindFail, KindHandoff} {
 		h := Header{Kind: k, Proc: 7, PayloadLen: 5}
 		b, err := AppendHeader(nil, h)
 		if err != nil {
